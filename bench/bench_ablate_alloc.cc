@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Ablation: channel-allocation policies (DESIGN.md E-A2).
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"ablate_alloc", ablateChannelAlloc}});
+}

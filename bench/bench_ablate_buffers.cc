@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Ablation: VC/buffer architecture sensitivity.
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"ablate_buffers", ablateBuffers}});
+}

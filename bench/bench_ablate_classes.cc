@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Ablation: CLRG class-count sensitivity (DESIGN.md E-A1).
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"ablate_classes", ablateClassCount}});
+}

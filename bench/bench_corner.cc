@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Section VI-B pathological inter-layer corner case.
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"corner", cornerInterLayer}});
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Section VI-E discussion: comparison against mesh and flattened
+ * butterfly (energy per flit + latency).
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv,
+                     {{"discussion", discussion},
+                      {"discussion_speedup", discussionSpeedup}});
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Extension: TSV/L2LC fault-tolerance study.
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"fault", faultTolerance}});
+}

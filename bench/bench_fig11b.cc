@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Regenerates the paper's Fig11b (see DESIGN.md experiment index).
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"fig11b", fig11b}});
+}

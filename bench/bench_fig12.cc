@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Regenerates the paper's Fig12 (see DESIGN.md experiment index).
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"fig12", fig12}});
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Regenerates the paper's Fig9c (see DESIGN.md experiment index).
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"fig9c", fig9c}});
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Recomputes the abstract's headline claims.
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"headline", headlineClaims}});
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Section VI-E: kilo-core mesh of Hi-Rise switches (Fig 13).
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"kilocore", kiloCore}});
+}

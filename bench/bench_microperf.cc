@@ -1,0 +1,91 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: arbiter
+ * decision rate, fabric arbitration cycles, and end-to-end simulated
+ * cycles per second for each topology. These measure the tool, not
+ * the paper's system; the table/figure binaries measure the system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arb/matrix_arbiter.hh"
+#include "arb/sub_block_arbiter.hh"
+#include "common/random.hh"
+#include "sim/network_sim.hh"
+#include "traffic/pattern.hh"
+
+using namespace hirise;
+
+static void
+BM_MatrixArbiterPick(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    arb::MatrixArbiter a(n);
+    Rng rng(1);
+    std::vector<bool> req(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        req[i] = rng.bernoulli(0.5);
+    for (auto _ : state) {
+        auto w = a.pick(req);
+        benchmark::DoNotOptimize(w);
+        if (w != arb::MatrixArbiter::kNone)
+            a.update(w);
+    }
+}
+BENCHMARK(BM_MatrixArbiterPick)->Arg(16)->Arg(64)->Arg(128);
+
+static void
+BM_ClrgSubArbiter(benchmark::State &state)
+{
+    arb::ClrgSubArbiter sub(13, 64, 2);
+    Rng rng(2);
+    std::vector<arb::SubBlockRequest> reqs(13);
+    for (std::uint32_t p = 0; p < 13; ++p) {
+        reqs[p].valid = rng.bernoulli(0.5);
+        reqs[p].primaryInput = static_cast<std::uint32_t>(
+            rng.below(64));
+    }
+    for (auto _ : state) {
+        auto w = sub.arbitrate(reqs);
+        benchmark::DoNotOptimize(w);
+    }
+}
+BENCHMARK(BM_ClrgSubArbiter);
+
+namespace {
+
+SwitchSpec
+specFor(int topo)
+{
+    SwitchSpec s;
+    if (topo == 0) {
+        s.topo = Topology::Flat2D;
+        s.arb = ArbScheme::Lrg;
+    } else {
+        s.topo = Topology::HiRise;
+        s.layers = 4;
+        s.channels = 4;
+        s.arb = topo == 1 ? ArbScheme::LayerLrg : ArbScheme::Clrg;
+    }
+    s.radix = 64;
+    return s;
+}
+
+} // namespace
+
+static void
+BM_NetworkSimCycle(benchmark::State &state)
+{
+    sim::SimConfig cfg;
+    cfg.injectionRate = 0.15;
+    auto spec = specFor(static_cast<int>(state.range(0)));
+    sim::NetworkSim sim(spec, cfg,
+                        std::make_shared<traffic::UniformRandom>(64));
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetworkSimCycle)->Arg(0)->Arg(1)->Arg(2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Seed-sensitivity error bars for the headline throughput numbers.
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"seeds", seedSensitivity}});
+}

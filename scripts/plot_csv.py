@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Render a bench CSV (from `bench_* --csv <dir>`) as an SVG line chart.
+
+Pure standard library, so it works in offline environments:
+
+    ./build/bench/bench_fig10 --csv out/
+    scripts/plot_csv.py out/fig10.csv out/fig10.svg
+
+The first CSV column is the x axis; every further numeric column
+becomes a series. Non-numeric cells ("sat", "-") break the line, which
+matches how the latency figures should render at saturation.
+"""
+
+import csv
+import sys
+
+WIDTH, HEIGHT = 640, 420
+MARGIN = 56
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+           "#8c564b", "#e377c2", "#7f7f7f"]
+
+
+def parse(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if len(rows) < 2:
+        sys.exit(f"{path}: need a header and at least one data row")
+    header = rows[0]
+    series = {name: [] for name in header[1:]}
+    xs = []
+    for row in rows[1:]:
+        if not row or not row[0]:
+            continue
+        try:
+            x = float(row[0])
+        except ValueError:
+            continue  # summary/ratio rows
+        xs.append(x)
+        for name, cell in zip(header[1:], row[1:]):
+            try:
+                series[name].append(float(cell))
+            except ValueError:
+                series[name].append(None)  # 'sat' / '-' gaps
+    return header[0], xs, series
+
+
+def bounds(xs, series):
+    ys = [v for vals in series.values() for v in vals if v is not None]
+    if not xs or not ys:
+        sys.exit("no numeric data to plot")
+    return min(xs), max(xs), min(min(ys), 0.0), max(ys)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <in.csv> <out.svg>")
+    xlabel, xs, series = parse(sys.argv[1])
+    x0, x1, y0, y1 = bounds(xs, series)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+
+    def sx(x):
+        return MARGIN + (x - x0) / xr * (WIDTH - 2 * MARGIN)
+
+    def sy(y):
+        return HEIGHT - MARGIN - (y - y0) / yr * (HEIGHT - 2 * MARGIN)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" font-family="sans-serif" font-size="11">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<line x1="{MARGIN}" y1="{HEIGHT - MARGIN}" x2="{WIDTH - MARGIN}" '
+        f'y2="{HEIGHT - MARGIN}" stroke="black"/>',
+        f'<line x1="{MARGIN}" y1="{MARGIN}" x2="{MARGIN}" '
+        f'y2="{HEIGHT - MARGIN}" stroke="black"/>',
+    ]
+    for i in range(5):
+        xv = x0 + xr * i / 4
+        yv = y0 + yr * i / 4
+        parts.append(
+            f'<text x="{sx(xv):.1f}" y="{HEIGHT - MARGIN + 16}" '
+            f'text-anchor="middle">{xv:g}</text>')
+        parts.append(
+            f'<text x="{MARGIN - 6}" y="{sy(yv):.1f}" '
+            f'text-anchor="end" dominant-baseline="middle">{yv:g}'
+            f'</text>')
+    parts.append(
+        f'<text x="{WIDTH / 2}" y="{HEIGHT - 12}" '
+        f'text-anchor="middle">{xlabel}</text>')
+
+    for idx, (name, vals) in enumerate(series.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        segment = []
+        for x, v in zip(xs, vals):
+            if v is None:
+                segment = flush(parts, segment, color)
+                continue
+            segment.append(f"{sx(x):.1f},{sy(v):.1f}")
+        flush(parts, segment, color)
+        ly = MARGIN + 14 * idx
+        parts.append(
+            f'<rect x="{WIDTH - MARGIN - 130}" y="{ly - 8}" width="10" '
+            f'height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{WIDTH - MARGIN - 116}" y="{ly}">{name}</text>')
+
+    parts.append("</svg>")
+    with open(sys.argv[2], "w") as f:
+        f.write("\n".join(parts))
+    print(f"wrote {sys.argv[2]}")
+
+
+def flush(parts, segment, color):
+    if len(segment) >= 2:
+        parts.append(
+            f'<polyline points="{" ".join(segment)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.6"/>')
+    return []
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CLRG thermometer class-counter bank (paper sections III-B4, IV-B1).
+ */
+
+#ifndef HIRISE_ARB_CLASS_COUNTER_HH
+#define HIRISE_ARB_CLASS_COUNTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hirise::arb {
+
+/**
+ * One bank of per-primary-input usage counters, as kept inside every
+ * inter-layer sub-block crosspoint group. The counter value is the
+ * input's priority class: 0 is the highest class; larger values mean
+ * the input has consumed more of this output's bandwidth.
+ *
+ * The hardware uses a thermometer counter ({00,01,11} for the paper's
+ * three classes, i.e. maxCount == 2). When an increment would pass
+ * maxCount, all counters in the bank are halved, preserving relative
+ * class order while forgetting stale history (bursty-traffic rule).
+ */
+class ClassCounterBank
+{
+  public:
+    /**
+     * @param num_inputs  number of primary inputs tracked (radix N)
+     * @param max_count   saturation value; classes = max_count + 1
+     */
+    ClassCounterBank(std::uint32_t num_inputs, std::uint32_t max_count)
+        : maxCount_(max_count), count_(num_inputs, 0)
+    {
+        sim_assert(max_count >= 1, "need at least two classes");
+    }
+
+    std::uint32_t numInputs() const
+    {
+        return static_cast<std::uint32_t>(count_.size());
+    }
+    std::uint32_t maxCount() const { return maxCount_; }
+
+    /** Priority class of @p input (0 = highest priority). */
+    std::uint32_t
+    classOf(std::uint32_t input) const
+    {
+        sim_assert(input < count_.size(), "input %u out of range", input);
+        return count_[input];
+    }
+
+    /**
+     * Record that @p input won this output. Applies the divide-by-2
+     * rule on saturation.
+     */
+    void
+    onWin(std::uint32_t input)
+    {
+        sim_assert(input < count_.size(), "input %u out of range", input);
+        // Saturation rule: halve the whole bank first, then apply the
+        // increment, so the winner keeps its relative penalty. (The
+        // reverse order would reward the input that saturated.)
+        if (count_[input] == maxCount_) {
+            for (auto &c : count_)
+                c >>= 1;
+        }
+        ++count_[input];
+    }
+
+  private:
+    std::uint32_t maxCount_;
+    std::vector<std::uint32_t> count_;
+};
+
+} // namespace hirise::arb
+
+#endif // HIRISE_ARB_CLASS_COUNTER_HH

@@ -1,0 +1,70 @@
+#include "arb/matrix_arbiter.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hirise::arb {
+
+MatrixArbiter::MatrixArbiter(std::uint32_t n)
+    : n_(n), prio_(std::size_t(n) * n, false)
+{
+    sim_assert(n >= 1, "arbiter needs at least one port");
+    // Initial strict order: lower index outranks higher index.
+    for (std::uint32_t i = 0; i < n_; ++i)
+        for (std::uint32_t j = i + 1; j < n_; ++j)
+            set(i, j, true);
+}
+
+std::uint32_t
+MatrixArbiter::pick(const std::vector<bool> &req) const
+{
+    sim_assert(req.size() == n_, "request vector size %zu != %u",
+               req.size(), n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!req[i])
+            continue;
+        bool wins = true;
+        for (std::uint32_t j = 0; j < n_ && wins; ++j) {
+            if (j != i && req[j] && !at(i, j))
+                wins = false;
+        }
+        if (wins)
+            return i;
+    }
+    return kNone;
+}
+
+void
+MatrixArbiter::update(std::uint32_t winner)
+{
+    sim_assert(winner < n_, "winner %u out of range", winner);
+    for (std::uint32_t j = 0; j < n_; ++j) {
+        if (j == winner)
+            continue;
+        set(winner, j, false);
+        set(j, winner, true);
+    }
+}
+
+bool
+MatrixArbiter::outranks(std::uint32_t i, std::uint32_t j) const
+{
+    sim_assert(i < n_ && j < n_ && i != j, "bad pair %u,%u", i, j);
+    return at(i, j);
+}
+
+std::vector<std::uint32_t>
+MatrixArbiter::order() const
+{
+    std::vector<std::uint32_t> idx(n_);
+    for (std::uint32_t i = 0; i < n_; ++i)
+        idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  return at(a, b);
+              });
+    return idx;
+}
+
+} // namespace hirise::arb

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Matrix (least-recently-granted) arbiter, the building block of the
+ * Swizzle-Switch crosspoint priority vectors (paper section II-A).
+ */
+
+#ifndef HIRISE_ARB_MATRIX_ARBITER_HH
+#define HIRISE_ARB_MATRIX_ARBITER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hirise::arb {
+
+/**
+ * Classic matrix arbiter implementing LRG priority over n requestors.
+ *
+ * State is a strict total order encoded as a triangular matrix:
+ * prio_[i][j] == true means i currently outranks j. Granting i moves
+ * it behind everyone (least recently granted wins next time).
+ *
+ * pick() is const so callers can decompose arbitration (e.g. Hi-Rise
+ * only updates the local-switch LRG when the inter-layer stage
+ * confirms the end-to-end win, section III-B1).
+ */
+class MatrixArbiter
+{
+  public:
+    static constexpr std::uint32_t kNone = ~0u;
+
+    explicit MatrixArbiter(std::uint32_t n);
+
+    std::uint32_t size() const { return n_; }
+
+    /**
+     * Highest-priority requestor, or kNone when req is empty.
+     * @param req requestor bitmap, req.size() == size()
+     */
+    std::uint32_t pick(const std::vector<bool> &req) const;
+
+    /** Demote @p winner to the lowest priority. */
+    void update(std::uint32_t winner);
+
+    /** Does i currently outrank j? (i != j) */
+    bool outranks(std::uint32_t i, std::uint32_t j) const;
+
+    /** Full priority order, highest first (for tests/debug). */
+    std::vector<std::uint32_t> order() const;
+
+  private:
+    std::uint32_t n_;
+    /** Row-major n x n; diagonal unused. */
+    std::vector<bool> prio_;
+
+    bool at(std::uint32_t i, std::uint32_t j) const
+    {
+        return prio_[i * n_ + j];
+    }
+    void
+    set(std::uint32_t i, std::uint32_t j, bool v)
+    {
+        prio_[i * n_ + j] = v;
+    }
+};
+
+} // namespace hirise::arb
+
+#endif // HIRISE_ARB_MATRIX_ARBITER_HH

@@ -1,0 +1,93 @@
+#include "arb/sub_block_arbiter.hh"
+
+#include <limits>
+
+namespace hirise::arb {
+
+namespace {
+
+std::vector<bool>
+validMask(const std::vector<SubBlockRequest> &reqs)
+{
+    std::vector<bool> mask(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        mask[i] = reqs[i].valid;
+    return mask;
+}
+
+} // namespace
+
+std::uint32_t
+LrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
+{
+    std::uint32_t w = lrg_.pick(validMask(reqs));
+    if (w != kNone)
+        lrg_.update(w);
+    return w;
+}
+
+std::uint32_t
+WlrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
+{
+    std::uint32_t w = lrg_.pick(validMask(reqs));
+    if (w == kNone)
+        return w;
+    // Freeze the LRG demotion until this port has won once per
+    // requestor it represented, so heavier L2LCs keep a proportional
+    // share of the output (the "weights" of section III-B3).
+    ++wins_[w];
+    if (wins_[w] >= reqs[w].weight) {
+        lrg_.update(w);
+        wins_[w] = 0;
+    }
+    return w;
+}
+
+std::uint32_t
+ClrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
+{
+    // Coarse priority: lowest class (usage count) among contenders.
+    std::uint32_t best_class = std::numeric_limits<std::uint32_t>::max();
+    for (const auto &r : reqs) {
+        if (r.valid)
+            best_class = std::min(best_class,
+                                  counters_.classOf(r.primaryInput));
+    }
+    if (best_class == std::numeric_limits<std::uint32_t>::max())
+        return kNone;
+
+    // The priority-select muxes inhibit every request outside the best
+    // class; LRG breaks ties within it (Fig 7).
+    std::vector<bool> mask(reqs.size(), false);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        mask[i] = reqs[i].valid &&
+                  counters_.classOf(reqs[i].primaryInput) == best_class;
+    }
+    std::uint32_t w = lrg_.pick(mask);
+    sim_assert(w != kNone, "class mask had a requestor");
+    // LRG is updated even on class-decided cycles (paper III-B4).
+    lrg_.update(w);
+    counters_.onWin(reqs[w].primaryInput);
+    return w;
+}
+
+std::unique_ptr<SubBlockArbiter>
+makeSubBlockArbiter(ArbScheme scheme, std::uint32_t num_ports,
+                    std::uint32_t num_inputs, std::uint32_t max_count)
+{
+    switch (scheme) {
+      case ArbScheme::LayerLrg:
+        return std::make_unique<LrgSubArbiter>(num_ports);
+      case ArbScheme::Wlrg:
+        return std::make_unique<WlrgSubArbiter>(num_ports);
+      case ArbScheme::Clrg:
+        return std::make_unique<ClrgSubArbiter>(num_ports, num_inputs,
+                                                max_count);
+      case ArbScheme::Lrg:
+        // A flat switch has no sub-blocks; callers use MatrixArbiter.
+        break;
+    }
+    panic("no sub-block arbiter for scheme %s", toString(scheme));
+}
+
+} // namespace hirise::arb

@@ -1,0 +1,38 @@
+#include "cmp/graph_transport.hh"
+
+#include "common/logging.hh"
+
+namespace hirise::cmp {
+
+GraphTransport::GraphTransport(std::shared_ptr<noc::Topology> topo,
+                               DeliverFn deliver,
+                               std::uint32_t fifo_pkts,
+                               std::uint64_t seed)
+    : net_(std::move(topo), 4, fifo_pkts, seed),
+      deliver_(std::move(deliver))
+{
+    net_.setDeliverFn([this](std::uint64_t tag) {
+        auto it = inFlight_.find(tag);
+        sim_assert(it != inFlight_.end(), "unknown delivery tag");
+        Message m = it->second;
+        inFlight_.erase(it);
+        ++delivered_;
+        deliver_(m);
+    });
+}
+
+void
+GraphTransport::send(const Message &m)
+{
+    std::uint64_t tag = nextTag_++;
+    inFlight_.emplace(tag, m);
+    net_.sendTagged(m.srcTile, m.dstTile, m.lenFlits(), tag);
+}
+
+void
+GraphTransport::step()
+{
+    net_.step();
+}
+
+} // namespace hirise::cmp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Message types exchanged over the central switch in the 64-core
+ * system (paper section VI-D): cache requests (1 flit) and data
+ * responses (4 flits of 128 bits = one 64-byte cache block).
+ */
+
+#ifndef HIRISE_CMP_MESSAGE_HH
+#define HIRISE_CMP_MESSAGE_HH
+
+#include <cstdint>
+
+namespace hirise::cmp {
+
+enum class MsgType : std::uint8_t
+{
+    L2Request,  //!< core -> home L2 bank (control, 1 flit)
+    L2Response, //!< L2 bank -> core (data, 4 flits)
+    MemRequest, //!< L2 bank -> memory controller (control, 1 flit)
+    MemResponse //!< memory controller -> L2 bank (data, 4 flits)
+};
+
+struct Message
+{
+    MsgType type = MsgType::L2Request;
+    std::uint32_t srcTile = 0;
+    std::uint32_t dstTile = 0;
+    /** Tile of the core whose miss started this chain. */
+    std::uint32_t requesterTile = 0;
+    /** Home L2 bank tile of the accessed block. */
+    std::uint32_t homeTile = 0;
+    /** Core-local transaction id (MSHR slot). */
+    std::uint32_t txnId = 0;
+    /** Whether the original miss stalls the core until data returns. */
+    bool blocking = false;
+    /** Whether the L2 lookup for this chain hits (decided at miss
+     *  generation time from the benchmark's L2 hit rate). */
+    bool l2Hit = true;
+
+    std::uint32_t
+    lenFlits() const
+    {
+        return (type == MsgType::L2Response ||
+                type == MsgType::MemResponse)
+                   ? 4u
+                   : 1u;
+    }
+};
+
+} // namespace hirise::cmp
+
+#endif // HIRISE_CMP_MESSAGE_HH

@@ -1,0 +1,105 @@
+#include "cmp/msg_switch.hh"
+
+namespace hirise::cmp {
+
+MsgSwitch::MsgSwitch(const SwitchSpec &spec, std::uint32_t num_vcs,
+                     DeliverFn deliver)
+    : spec_(spec), fabric_(fabric::makeFabric(spec)),
+      deliver_(std::move(deliver))
+{
+    ports_.resize(spec.radix);
+    for (auto &p : ports_)
+        p.vcs.resize(num_vcs);
+}
+
+void
+MsgSwitch::send(const Message &m)
+{
+    sim_assert(m.srcTile < spec_.radix && m.dstTile < spec_.radix,
+               "message endpoints out of range");
+    sim_assert(m.srcTile != m.dstTile,
+               "tile-local traffic must not enter the switch");
+    Port &p = ports_[m.srcTile];
+    // Join the shortest VC queue (stable for equal lengths).
+    std::size_t best = 0;
+    for (std::size_t v = 1; v < p.vcs.size(); ++v) {
+        if (p.vcs[v].size() < p.vcs[best].size())
+            best = v;
+    }
+    p.vcs[best].push_back(m);
+}
+
+std::uint64_t
+MsgSwitch::backlogMessages() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : ports_)
+        for (const auto &vc : p.vcs)
+            n += vc.size();
+    return n;
+}
+
+void
+MsgSwitch::step()
+{
+    const std::uint32_t n = spec_.radix;
+
+    // Arbitration for idle ports.
+    std::vector<std::uint32_t> req(n, fabric::kNoRequest);
+    std::vector<std::uint32_t> cand(n, ~0u);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Port &p = ports_[i];
+        if (p.conn.active)
+            continue;
+        const std::uint32_t vcs = static_cast<std::uint32_t>(
+            p.vcs.size());
+        for (std::uint32_t k = 0; k < vcs; ++k) {
+            std::uint32_t v = (p.rr + k) % vcs;
+            if (p.vcs[v].empty())
+                continue;
+            std::uint32_t dst = p.vcs[v].front().dstTile;
+            if (fabric_->outputBusy(dst))
+                continue;
+            cand[i] = v;
+            req[i] = dst;
+            p.rr = (v + 1) % vcs;
+            break;
+        }
+    }
+    auto grant = fabric_->arbitrate(req);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (!grant[i])
+            continue;
+        Port &p = ports_[i];
+        p.conn.active = true;
+        p.conn.justGranted = true;
+        p.conn.vc = cand[i];
+        p.conn.output = req[i];
+        p.conn.flitsLeft = p.vcs[cand[i]].front().lenFlits();
+    }
+
+    // Data transfer for connections granted in earlier cycles.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Port &p = ports_[i];
+        if (!p.conn.active)
+            continue;
+        if (p.conn.justGranted) {
+            p.conn.justGranted = false;
+            continue;
+        }
+        ++flitsDelivered_;
+        if (--p.conn.flitsLeft == 0) {
+            Message m = p.vcs[p.conn.vc].front();
+            p.vcs[p.conn.vc].pop_front();
+            fabric_->release(i, p.conn.output);
+            p.conn.active = false;
+            ++delivered_;
+            deliver_(m);
+        }
+    }
+
+    ++cycles_;
+    backlogAccum_ += static_cast<double>(backlogMessages());
+}
+
+} // namespace hirise::cmp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Closed-loop message transport over one switch fabric: the central
+ * interconnect of the 64-core system. Same timing contract as the
+ * open-loop NetworkSim (connection-held, one arbitration cycle, one
+ * flit per data cycle), but fed by tile events and delivering whole
+ * messages to a callback.
+ */
+
+#ifndef HIRISE_CMP_MSG_SWITCH_HH
+#define HIRISE_CMP_MSG_SWITCH_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cmp/transport.hh"
+#include "fabric/fabric.hh"
+
+namespace hirise::cmp {
+
+class MsgSwitch : public Transport
+{
+  public:
+    MsgSwitch(const SwitchSpec &spec, std::uint32_t num_vcs,
+              DeliverFn deliver);
+
+    /** Enqueue @p m at its source tile's input port. */
+    void send(const Message &m) override;
+
+    /** Advance one switch cycle. */
+    void step() override;
+
+    std::uint64_t flitsDelivered() const { return flitsDelivered_; }
+    std::uint64_t
+    messagesDelivered() const override
+    {
+        return delivered_;
+    }
+    std::uint64_t backlogMessages() const;
+
+    /** Mean over time of the total queued messages (congestion). */
+    double avgBacklog() const
+    {
+        return cycles_ ? backlogAccum_ / double(cycles_) : 0.0;
+    }
+
+  private:
+    struct Connection
+    {
+        bool active = false;
+        bool justGranted = false;
+        std::uint32_t vc = 0;
+        std::uint32_t flitsLeft = 0;
+        std::uint32_t output = 0;
+    };
+
+    struct Port
+    {
+        std::vector<std::deque<Message>> vcs;
+        Connection conn;
+        std::uint32_t rr = 0;
+    };
+
+    SwitchSpec spec_;
+    std::unique_ptr<fabric::Fabric> fabric_;
+    DeliverFn deliver_;
+    std::vector<Port> ports_;
+
+    std::uint64_t delivered_ = 0;
+    std::uint64_t flitsDelivered_ = 0;
+    std::uint64_t cycles_ = 0;
+    double backlogAccum_ = 0.0;
+};
+
+} // namespace hirise::cmp
+
+#endif // HIRISE_CMP_MSG_SWITCH_HH

@@ -1,0 +1,278 @@
+#include "cmp/system.hh"
+
+#include "common/logging.hh"
+
+namespace hirise::cmp {
+
+CmpSystem::CmpSystem(const TransportFactory &make_net,
+                     const SystemConfig &cfg,
+                     std::vector<Benchmark> per_core)
+    : cfg_(cfg), rng_(cfg.seed), l2FreeAt_(cfg.numTiles, 0),
+      mcFreeAt_(cfg.numMemCtrls, 0)
+{
+    net_ = make_net([this](const Message &m) { onMessage(m); });
+    sim_assert(per_core.size() == cfg.numTiles,
+               "one benchmark per tile required");
+    cores_.resize(cfg.numTiles);
+    for (std::uint32_t c = 0; c < cfg.numTiles; ++c) {
+        cores_[c].bench = per_core[c];
+        cores_[c].txns.resize(cfg.mshrsPerCore);
+    }
+}
+
+CmpSystem::CmpSystem(const SwitchSpec &switch_spec,
+                     const SystemConfig &cfg,
+                     std::vector<Benchmark> per_core)
+    : CmpSystem(
+          [&](Transport::DeliverFn deliver) {
+              sim_assert(switch_spec.radix == cfg.numTiles,
+                         "switch radix must match tile count");
+              return std::make_unique<MsgSwitch>(
+                  switch_spec, cfg.switchVcs, std::move(deliver));
+          },
+          cfg, std::move(per_core))
+{
+}
+
+std::uint32_t
+CmpSystem::pickMcTile()
+{
+    std::uint32_t idx = static_cast<std::uint32_t>(
+        rng_.below(cfg_.numMemCtrls));
+    return idx * (cfg_.numTiles / cfg_.numMemCtrls);
+}
+
+void
+CmpSystem::coreCycleOne(std::uint32_t c)
+{
+    Core &core = cores_[c];
+    if (core.blockedOn != kNoTxn) {
+        if (counting_)
+            ++core.stallCycles;
+        return;
+    }
+    double miss_prob = core.bench.mpki / 1000.0;
+    for (std::uint32_t slot = 0; slot < cfg_.issueWidth; ++slot) {
+        if (core.outstanding >= cfg_.maxOutstanding) {
+            if (counting_)
+                ++core.stallCycles;
+            return; // window full: no further retire this cycle
+        }
+        if (counting_)
+            ++core.retired;
+        if (!rng_.bernoulli(miss_prob))
+            continue;
+
+        // L1 miss: allocate a transaction (MSHR slot).
+        std::uint32_t id = kNoTxn;
+        for (std::uint32_t t = 0; t < core.txns.size(); ++t) {
+            if (!core.txns[t].inUse) {
+                id = t;
+                break;
+            }
+        }
+        sim_assert(id != kNoTxn, "outstanding < MSHRs but none free");
+        Txn &txn = core.txns[id];
+        txn.inUse = true;
+        txn.blocking = rng_.bernoulli(cfg_.blockingFraction);
+        txn.l2Hit = rng_.bernoulli(core.bench.l2HitRate);
+        txn.startCoreCycle = coreCycle_;
+        ++core.outstanding;
+        if (counting_)
+            ++core.misses;
+
+        Message m;
+        m.type = MsgType::L2Request;
+        m.requesterTile = c;
+        m.txnId = id;
+        m.blocking = txn.blocking;
+        m.l2Hit = txn.l2Hit;
+        m.homeTile = static_cast<std::uint32_t>(
+            rng_.below(cfg_.numTiles));
+        m.srcTile = c;
+        m.dstTile = m.homeTile;
+        if (m.homeTile == c)
+            l2Access(m); // bank co-located with the requester
+        else
+            net_->send(m);
+
+        if (txn.blocking) {
+            core.blockedOn = id;
+            return; // demand load: the core waits for the data
+        }
+    }
+}
+
+void
+CmpSystem::stepCores()
+{
+    for (std::uint32_t c = 0; c < cfg_.numTiles; ++c)
+        coreCycleOne(c);
+}
+
+void
+CmpSystem::l2Access(const Message &m)
+{
+    std::uint32_t tile = m.homeTile;
+    std::uint64_t start = std::max(l2FreeAt_[tile], coreCycle_);
+    std::uint64_t done = start + cfg_.l2AccessCycles;
+    l2FreeAt_[tile] = done;
+    events_.push({done, Event::Kind::L2Done, m});
+}
+
+void
+CmpSystem::l2Done(const Message &m)
+{
+    if (m.l2Hit) {
+        l2Respond(m);
+        return;
+    }
+    // L2 miss: go to a memory controller.
+    Message req = m;
+    req.type = MsgType::MemRequest;
+    req.srcTile = m.homeTile;
+    req.dstTile = pickMcTile();
+    if (req.dstTile == req.srcTile)
+        memAccess(req);
+    else
+        net_->send(req);
+}
+
+void
+CmpSystem::memAccess(const Message &m)
+{
+    std::uint32_t mc_idx =
+        m.dstTile / (cfg_.numTiles / cfg_.numMemCtrls);
+    double cycles_per_ns = cfg_.coreFreqGhz;
+    auto service = static_cast<std::uint64_t>(
+        cfg_.memServiceNs * cycles_per_ns);
+    auto latency = static_cast<std::uint64_t>(
+        cfg_.memLatencyNs * cycles_per_ns);
+    std::uint64_t start = std::max(mcFreeAt_[mc_idx], coreCycle_);
+    mcFreeAt_[mc_idx] = start + service;
+    events_.push({start + latency, Event::Kind::MemDone, m});
+}
+
+void
+CmpSystem::memDone(const Message &m)
+{
+    // DRAM data arrives at the MC; ship it back to the home L2 bank.
+    if (m.dstTile == m.homeTile) {
+        l2Respond(m);
+        return;
+    }
+    Message resp = m;
+    resp.type = MsgType::MemResponse;
+    resp.srcTile = m.dstTile; // the MC tile
+    resp.dstTile = m.homeTile;
+    net_->send(resp);
+}
+
+void
+CmpSystem::l2Respond(const Message &m)
+{
+    // Data is at the home bank; return it to the requesting core.
+    if (m.homeTile == m.requesterTile) {
+        finishTxn(m);
+        return;
+    }
+    Message resp = m;
+    resp.type = MsgType::L2Response;
+    resp.srcTile = m.homeTile;
+    resp.dstTile = m.requesterTile;
+    net_->send(resp);
+}
+
+void
+CmpSystem::finishTxn(const Message &m)
+{
+    Core &core = cores_[m.requesterTile];
+    Txn &txn = core.txns[m.txnId];
+    sim_assert(txn.inUse, "completion for idle transaction");
+    txn.inUse = false;
+    sim_assert(core.outstanding > 0, "outstanding underflow");
+    --core.outstanding;
+    if (core.blockedOn == m.txnId)
+        core.blockedOn = kNoTxn;
+    if (counting_) {
+        missLatAccumCycles_ += coreCycle_ - txn.startCoreCycle;
+        ++missLatCount_;
+    }
+}
+
+void
+CmpSystem::onMessage(const Message &m)
+{
+    switch (m.type) {
+      case MsgType::L2Request:
+        l2Access(m);
+        break;
+      case MsgType::MemRequest:
+        memAccess(m);
+        break;
+      case MsgType::MemResponse:
+        l2Respond(m);
+        break;
+      case MsgType::L2Response:
+        finishTxn(m);
+        break;
+    }
+}
+
+void
+CmpSystem::dispatchEvents()
+{
+    while (!events_.empty() &&
+           events_.top().coreCycle <= coreCycle_) {
+        Event e = events_.top();
+        events_.pop();
+        if (e.kind == Event::Kind::L2Done)
+            l2Done(e.msg);
+        else
+            memDone(e.msg);
+    }
+}
+
+SystemResult
+CmpSystem::run(std::uint64_t warmup, std::uint64_t core_cycles)
+{
+    double core_period_ps = 1000.0 / cfg_.coreFreqGhz;
+    double switch_period_ps = 1000.0 / cfg_.switchFreqGhz;
+    double t_core = 0.0, t_switch = 0.0;
+
+    std::uint64_t end = warmup + core_cycles;
+    std::uint64_t msg_base = 0;
+    while (coreCycle_ < end) {
+        if (coreCycle_ == warmup && !counting_) {
+            counting_ = true;
+            msg_base = net_->messagesDelivered();
+        }
+        if (t_core <= t_switch) {
+            dispatchEvents();
+            stepCores();
+            ++coreCycle_;
+            t_core += core_period_ps;
+        } else {
+            net_->step();
+            t_switch += switch_period_ps;
+        }
+    }
+
+    SystemResult r;
+    r.cores.reserve(cores_.size());
+    double cycles = static_cast<double>(core_cycles);
+    for (const auto &c : cores_) {
+        r.cores.push_back({c.retired, c.misses, c.stallCycles});
+        r.totalIpc += static_cast<double>(c.retired) / cycles;
+    }
+    r.avgMissLatencyNs =
+        missLatCount_
+            ? (static_cast<double>(missLatAccumCycles_) /
+               missLatCount_) /
+                  cfg_.coreFreqGhz
+            : 0.0;
+    r.networkMessages = net_->messagesDelivered() - msg_base;
+    return r;
+}
+
+} // namespace hirise::cmp

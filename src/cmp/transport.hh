@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Interconnect abstraction for the 64-core system: the central
+ * switch (MsgSwitch) and routed topologies (GraphTransport over a
+ * noc::Topology) both move Messages between tiles, so the CMP model
+ * can compare Hi-Rise against mesh / flattened-butterfly networks
+ * (paper section VI-E discussion).
+ */
+
+#ifndef HIRISE_CMP_TRANSPORT_HH
+#define HIRISE_CMP_TRANSPORT_HH
+
+#include <functional>
+#include <memory>
+
+#include "cmp/message.hh"
+
+namespace hirise::cmp {
+
+/** Closed-loop message mover clocked by the system. */
+class Transport
+{
+  public:
+    using DeliverFn = std::function<void(const Message &)>;
+
+    virtual ~Transport() = default;
+
+    virtual void send(const Message &m) = 0;
+    virtual void step() = 0;
+    virtual std::uint64_t messagesDelivered() const = 0;
+};
+
+} // namespace hirise::cmp
+
+#endif // HIRISE_CMP_TRANSPORT_HH

@@ -1,0 +1,118 @@
+#include "cmp/workload.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hirise::cmp {
+
+namespace {
+
+/** Representative L1+L2 MPKI magnitudes and L2 hit rates for the
+ *  benchmarks appearing in Table VI. */
+const Benchmark kBenchmarks[] = {
+    // SPEC CPU2006 / SPLASH / commercial, ordered alphabetically.
+    {"Gems", 70.0, 0.35},    {"applu", 20.0, 0.55},
+    {"art", 60.0, 0.70},     {"astar", 18.0, 0.50},
+    {"barnes", 10.0, 0.60},  {"deal", 12.0, 0.60},
+    {"gcc", 12.0, 0.55},     {"gromacs", 8.0, 0.65},
+    {"hmmer", 4.0, 0.70},    {"lbm", 65.0, 0.30},
+    {"leslie", 40.0, 0.55},  {"libquantum", 50.0, 0.25},
+    {"mcf", 90.0, 0.30},     {"milc", 55.0, 0.30},
+    {"namd", 4.0, 0.70},     {"ocean", 45.0, 0.40},
+    {"omnet", 35.0, 0.60},   {"povray", 2.0, 0.75},
+    {"sap", 30.0, 0.50},     {"sjas", 28.0, 0.60},
+    {"sjbb", 25.0, 0.60},    {"sjeng", 5.0, 0.65},
+    {"soplex", 50.0, 0.40},
+    {"swim", 45.0, 0.50},    {"tonto", 6.0, 0.65},
+    {"tpcw", 35.0, 0.55},    {"xalan", 22.0, 0.60},
+};
+
+} // namespace
+
+const Benchmark &
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : kBenchmarks) {
+        if (name == b.name)
+            return b;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+const std::vector<Mix> &
+paperMixes()
+{
+    static const std::vector<Mix> mixes = {
+        {"Mix1",
+         {{"milc", 11}, {"applu", 11}, {"astar", 10}, {"sjeng", 11},
+          {"tonto", 11}, {"hmmer", 10}},
+         15.0},
+        {"Mix2",
+         {{"sjas", 11}, {"gcc", 11}, {"sjbb", 11}, {"gromacs", 11},
+          {"sjeng", 10}, {"xalan", 10}},
+         21.3},
+        {"Mix3",
+         {{"milc", 11}, {"libquantum", 10}, {"astar", 11},
+          {"barnes", 11}, {"tpcw", 11}, {"povray", 10}},
+         33.3},
+        {"Mix4",
+         {{"astar", 11}, {"swim", 11}, {"leslie", 10}, {"omnet", 10},
+          {"sjas", 11}, {"art", 11}},
+         38.4},
+        {"Mix5",
+         {{"mcf", 11}, {"ocean", 10}, {"gromacs", 10}, {"lbm", 11},
+          {"deal", 11}, {"sap", 11}},
+         52.2},
+        {"Mix6",
+         {{"mcf", 10}, {"namd", 11}, {"hmmer", 11}, {"tpcw", 11},
+          {"omnet", 10}, {"swim", 11}},
+         58.4},
+        {"Mix7",
+         {{"Gems", 10}, {"sjbb", 11}, {"sjas", 11}, {"mcf", 10},
+          {"xalan", 11}, {"sap", 10}},
+         66.9},
+        {"Mix8",
+         {{"milc", 11}, {"tpcw", 10}, {"Gems", 11}, {"mcf", 11},
+          {"sjas", 11}, {"soplex", 10}},
+         76.0},
+    };
+    return mixes;
+}
+
+std::vector<Benchmark>
+assignMix(const Mix &mix, std::uint32_t cores)
+{
+    std::vector<Benchmark> out;
+    out.reserve(cores);
+    for (const auto &e : mix.entries) {
+        const Benchmark &b = findBenchmark(e.benchmark);
+        for (std::uint32_t i = 0; i < e.instances; ++i)
+            out.push_back(b);
+    }
+    // The paper's Mix7 instance counts sum to 63 (an off-by-one in
+    // Table VI); pad short mixes with their first benchmark.
+    while (out.size() < cores)
+        out.push_back(findBenchmark(mix.entries.front().benchmark));
+    if (out.size() != cores)
+        fatal("mix %s has %zu instances for %u cores", mix.name,
+              out.size(), cores);
+
+    // Interleave so same-benchmark instances spread across layers.
+    std::vector<Benchmark> inter;
+    inter.reserve(cores);
+    std::uint32_t stride = 7; // coprime with 64
+    for (std::uint32_t i = 0; i < cores; ++i)
+        inter.push_back(out[(i * stride) % cores]);
+
+    // Scale MPKI so the average matches the paper's column.
+    double sum = 0.0;
+    for (const auto &b : inter)
+        sum += b.mpki;
+    double scale = mix.paperAvgMpki / (sum / cores);
+    for (auto &b : inter)
+        b.mpki *= scale;
+    return inter;
+}
+
+} // namespace hirise::cmp

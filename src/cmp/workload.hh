@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Application workloads for the 64-core system experiments (paper
+ * section VI-D, Table VI).
+ *
+ * Substitution note (DESIGN.md section 2): the paper replays Pin
+ * traces of SPEC CPU2006 and four commercial workloads. Those traces
+ * are not redistributable, so each benchmark is modeled by a
+ * synthetic memory-reference generator parameterized by its
+ * misses-per-kilo-instruction (network load) and L2 hit rate. The
+ * per-benchmark MPKI values are representative magnitudes; each mix
+ * is then scaled so its per-core average MPKI matches the paper's
+ * Table VI column exactly.
+ */
+
+#ifndef HIRISE_CMP_WORKLOAD_HH
+#define HIRISE_CMP_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hirise::cmp {
+
+/** Memory behaviour of one application. */
+struct Benchmark
+{
+    const char *name;
+    double mpki;      //!< L1-MPKI + L2-MPKI per core (network load)
+    double l2HitRate; //!< fraction of L1 misses that hit in the L2
+};
+
+/** Look up a benchmark by name; fatal() if unknown. */
+const Benchmark &findBenchmark(const std::string &name);
+
+/** One application slot in a mix: benchmark + instance count. */
+struct MixEntry
+{
+    const char *benchmark;
+    std::uint32_t instances;
+};
+
+/** A multi-programmed workload (one row of Table VI). */
+struct Mix
+{
+    const char *name;
+    std::vector<MixEntry> entries;
+    double paperAvgMpki; //!< Table VI "avg. MPKI" column
+};
+
+/** The paper's eight mixes. */
+const std::vector<Mix> &paperMixes();
+
+/** Per-core assignment of a mix to @p cores cores. Entries are
+ *  interleaved across cores (allocation is random/oblivious in the
+ *  paper; interleaving is the deterministic equivalent). The MPKI of
+ *  every core is scaled so the mix average equals paperAvgMpki. */
+std::vector<Benchmark> assignMix(const Mix &mix, std::uint32_t cores);
+
+} // namespace hirise::cmp
+
+#endif // HIRISE_CMP_WORKLOAD_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  -- unrecoverable condition caused by the user (bad config);
+ *             exits with status 1.
+ * panic()  -- unrecoverable condition caused by a simulator bug; aborts.
+ * warn()   -- something is suspicious but simulation continues.
+ * inform() -- plain status message.
+ */
+
+#ifndef HIRISE_COMMON_LOGGING_HH
+#define HIRISE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hirise {
+
+namespace detail {
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace hirise
+
+#define fatal(...)                                                        \
+    ::hirise::detail::fatalImpl(__FILE__, __LINE__,                       \
+                                ::hirise::detail::format(__VA_ARGS__))
+
+#define panic(...)                                                        \
+    ::hirise::detail::panicImpl(__FILE__, __LINE__,                       \
+                                ::hirise::detail::format(__VA_ARGS__))
+
+#define warn(...)                                                         \
+    ::hirise::detail::warnImpl(__FILE__, __LINE__,                        \
+                               ::hirise::detail::format(__VA_ARGS__))
+
+#define inform(...)                                                       \
+    ::hirise::detail::informImpl(::hirise::detail::format(__VA_ARGS__))
+
+/**
+ * Invariant check that stays enabled in release builds. Use for checks
+ * whose failure indicates a simulator bug.
+ */
+#define sim_assert(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::hirise::detail::panicImpl(                                  \
+                __FILE__, __LINE__,                                       \
+                std::string("assertion failed: " #cond " -- ") +          \
+                    ::hirise::detail::format(__VA_ARGS__));               \
+        }                                                                 \
+    } while (0)
+
+#endif // HIRISE_COMMON_LOGGING_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal fork-join helper for embarrassingly parallel experiment
+ * sweeps (each simulation run is independent and self-seeded, so load
+ * sweeps and seed sweeps parallelize trivially).
+ */
+
+#ifndef HIRISE_COMMON_PARALLEL_HH
+#define HIRISE_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hirise {
+
+/**
+ * Apply @p fn to every element of @p items on up to @p max_threads
+ * worker threads (0 = hardware concurrency) and return the results in
+ * order. @p fn must be safe to call concurrently on distinct items.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &items, Fn fn,
+            unsigned max_threads = 0)
+    -> std::vector<std::invoke_result_t<Fn, const T &>>
+{
+    using R = std::invoke_result_t<Fn, const T &>;
+    std::vector<R> out(items.size());
+    if (items.empty())
+        return out;
+
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned n_threads = max_threads ? max_threads : (hw ? hw : 1);
+    n_threads = std::min<unsigned>(
+        n_threads, static_cast<unsigned>(items.size()));
+    if (n_threads <= 1) {
+        for (std::size_t i = 0; i < items.size(); ++i)
+            out[i] = fn(items[i]);
+        return out;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= items.size())
+                return;
+            out[i] = fn(items[i]);
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    return out;
+}
+
+} // namespace hirise
+
+#endif // HIRISE_COMMON_PARALLEL_HH

@@ -1,0 +1,84 @@
+#include "common/spec.hh"
+
+namespace hirise {
+
+const char *
+toString(Topology t)
+{
+    switch (t) {
+      case Topology::Flat2D: return "2D";
+      case Topology::Folded3D: return "3D-Folded";
+      case Topology::HiRise: return "HiRise";
+    }
+    return "?";
+}
+
+const char *
+toString(ArbScheme a)
+{
+    switch (a) {
+      case ArbScheme::Lrg: return "LRG";
+      case ArbScheme::LayerLrg: return "L-2-L LRG";
+      case ArbScheme::Wlrg: return "WLRG";
+      case ArbScheme::Clrg: return "CLRG";
+    }
+    return "?";
+}
+
+const char *
+toString(ChannelAlloc a)
+{
+    switch (a) {
+      case ChannelAlloc::InputBinned: return "input-binned";
+      case ChannelAlloc::OutputBinned: return "output-binned";
+      case ChannelAlloc::Priority: return "priority";
+    }
+    return "?";
+}
+
+std::string
+SwitchSpec::name() const
+{
+    std::string out = toString(topo);
+    out += " r" + std::to_string(radix);
+    if (topo != Topology::Flat2D) {
+        out += " L" + std::to_string(layers);
+        if (topo == Topology::HiRise)
+            out += " c" + std::to_string(channels);
+    }
+    out += std::string(" ") + toString(arb);
+    return out;
+}
+
+void
+SwitchSpec::validate() const
+{
+    if (radix < 2)
+        fatal("radix must be >= 2 (got %u)", radix);
+    if (flitBits == 0)
+        fatal("flitBits must be > 0");
+    if (topo == Topology::Flat2D) {
+        if (arb != ArbScheme::Lrg)
+            fatal("a flat 2D switch only supports flat LRG arbitration");
+        return;
+    }
+    if (layers < 2)
+        fatal("3D topologies need >= 2 layers (got %u)", layers);
+    if (topo == Topology::Folded3D && arb != ArbScheme::Lrg)
+        fatal("the folded 3D switch uses flat LRG arbitration");
+    if (topo == Topology::HiRise) {
+        if (channels < 1)
+            fatal("channel multiplicity must be >= 1");
+        if (arb == ArbScheme::Lrg)
+            fatal("HiRise needs a two-phase scheme "
+                  "(LayerLrg, Wlrg, or Clrg)");
+        std::uint32_t ppl = portsPerLayer();
+        if (alloc == ChannelAlloc::InputBinned && channels > ppl)
+            fatal("more channels (%u) than inputs per layer (%u)",
+                  channels, ppl);
+        if (clrgMaxCount < 1)
+            fatal("CLRG needs at least 2 classes (maxCount >= 1)");
+    }
+}
+
+} // namespace hirise

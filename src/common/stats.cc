@@ -1,0 +1,21 @@
+#include "common/stats.hh"
+
+namespace hirise {
+
+double
+jainFairness(const std::vector<double> &alloc)
+{
+    if (alloc.empty())
+        return 1.0;
+    double sum = 0.0, sum_sq = 0.0;
+    for (double a : alloc) {
+        sum += a;
+        sum_sq += a * a;
+    }
+    if (sum_sq == 0.0)
+        return 1.0;
+    double n = static_cast<double>(alloc.size());
+    return (sum * sum) / (n * sum_sq);
+}
+
+} // namespace hirise

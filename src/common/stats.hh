@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used throughout the simulators.
+ */
+
+#ifndef HIRISE_COMMON_STATS_HH
+#define HIRISE_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hirise {
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    void
+    reset()
+    {
+        *this = RunningStat();
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram with overflow bin; supports quantile queries.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bin_width  width of each bin
+     * @param num_bins   number of regular bins (values beyond go to the
+     *                   overflow bin)
+     */
+    explicit Histogram(double bin_width = 1.0, std::size_t num_bins = 1024)
+        : binWidth_(bin_width), bins_(num_bins + 1, 0)
+    {}
+
+    void
+    add(double x)
+    {
+        ++n_;
+        auto idx = static_cast<std::size_t>(x / binWidth_);
+        if (idx >= bins_.size() - 1)
+            idx = bins_.size() - 1;
+        ++bins_[idx];
+    }
+
+    std::uint64_t count() const { return n_; }
+
+    /** Value below which fraction q of the samples fall (bin upper edge). */
+    double
+    quantile(double q) const
+    {
+        if (n_ == 0)
+            return 0.0;
+        auto target = static_cast<std::uint64_t>(
+            q * static_cast<double>(n_));
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < bins_.size(); ++i) {
+            acc += bins_[i];
+            if (acc > target)
+                return binWidth_ * static_cast<double>(i + 1);
+        }
+        return binWidth_ * static_cast<double>(bins_.size());
+    }
+
+  private:
+    double binWidth_;
+    std::uint64_t n_ = 0;
+    std::vector<std::uint64_t> bins_;
+};
+
+/**
+ * Jain's fairness index over a vector of per-client allocations.
+ * 1.0 == perfectly fair; 1/n == maximally unfair.
+ */
+double jainFairness(const std::vector<double> &alloc);
+
+} // namespace hirise
+
+#endif // HIRISE_COMMON_STATS_HH

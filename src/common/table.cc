@@ -1,0 +1,100 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace hirise {
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::integer(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i >= widths.size())
+                widths.resize(i + 1, 0);
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i]
+                                                    : std::string();
+            std::printf("%-*s  ", static_cast<int>(widths[i]), c.c_str());
+        }
+        std::printf("\n");
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &r : rows_)
+        emit(r);
+    std::fflush(stdout);
+}
+
+std::string
+Table::csv() const
+{
+    auto join = [](const std::vector<std::string> &cells) {
+        std::string out;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out += ',';
+            out += cells[i];
+        }
+        out += '\n';
+        return out;
+    };
+    std::string out = join(header_);
+    for (const auto &r : rows_)
+        out += join(r);
+    return out;
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot open %s for writing", path.c_str());
+    f << csv();
+}
+
+} // namespace hirise

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Console table / CSV emission used by the benchmark harness to print
+ * paper-vs-measured result rows.
+ */
+
+#ifndef HIRISE_COMMON_TABLE_HH
+#define HIRISE_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hirise {
+
+/**
+ * Simple column-aligned table with an optional title, printable to
+ * stdout, and exportable as CSV.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void header(std::vector<std::string> cols);
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+    static std::string integer(long long v);
+
+    /** Render aligned to stdout. */
+    void print() const;
+
+    /** Render as CSV (header + rows). */
+    std::string csv() const;
+
+    /** Write CSV to a file; fatal() on failure. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hirise
+
+#endif // HIRISE_COMMON_TABLE_HH

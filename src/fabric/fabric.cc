@@ -1,0 +1,21 @@
+#include "fabric/fabric.hh"
+
+#include "fabric/flat2d.hh"
+#include "fabric/hirise.hh"
+
+namespace hirise::fabric {
+
+std::unique_ptr<Fabric>
+makeFabric(const SwitchSpec &spec)
+{
+    switch (spec.topo) {
+      case Topology::Flat2D:
+      case Topology::Folded3D:
+        return std::make_unique<Flat2dFabric>(spec);
+      case Topology::HiRise:
+        return std::make_unique<HiRiseFabric>(spec);
+    }
+    panic("unknown topology");
+}
+
+} // namespace hirise::fabric

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Abstract switch-fabric interface: single-cycle arbitration over a
+ * set of per-input output requests, with connections held for the
+ * packet duration (Swizzle-Switch semantics: a port either arbitrates
+ * or transfers in a given cycle, never both).
+ */
+
+#ifndef HIRISE_FABRIC_FABRIC_HH
+#define HIRISE_FABRIC_FABRIC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/spec.hh"
+
+namespace hirise::fabric {
+
+constexpr std::uint32_t kNoRequest = ~0u;
+
+/**
+ * One switch datapath + its built-in arbitration state.
+ *
+ * Contract with the simulator:
+ *  - arbitrate() is called once per cycle with req[i] = desired output
+ *    of input i, or kNoRequest when input i is idle or mid-transfer.
+ *    Requests from inputs holding a connection are invalid.
+ *  - a granted input owns the path to its output until release().
+ *  - requests to outputs that are busy simply lose (no queueing inside
+ *    the fabric; the input re-arbitrates next cycle, matching the
+ *    retry behaviour of the real switch).
+ */
+class Fabric
+{
+  public:
+    explicit Fabric(const SwitchSpec &spec) : spec_(spec)
+    {
+        spec_.validate();
+    }
+    virtual ~Fabric() = default;
+
+    const SwitchSpec &spec() const { return spec_; }
+    std::uint32_t radix() const { return spec_.radix; }
+
+    /**
+     * Run one arbitration cycle.
+     * @return grant[i] == true iff input i won an end-to-end path.
+     */
+    virtual std::vector<bool>
+    arbitrate(const std::vector<std::uint32_t> &req) = 0;
+
+    /** Tear down the connection input -> output (tail flit sent). */
+    virtual void release(std::uint32_t input, std::uint32_t output) = 0;
+
+    virtual bool outputBusy(std::uint32_t output) const = 0;
+
+    /** Input currently connected to @p output, or kNoRequest. */
+    virtual std::uint32_t outputHolder(std::uint32_t output) const = 0;
+
+  protected:
+    SwitchSpec spec_;
+};
+
+/** Build the fabric matching spec.topo / spec.arb. */
+std::unique_ptr<Fabric> makeFabric(const SwitchSpec &spec);
+
+} // namespace hirise::fabric
+
+#endif // HIRISE_FABRIC_FABRIC_HH

@@ -1,0 +1,69 @@
+#include "fabric/flat2d.hh"
+
+namespace hirise::fabric {
+
+Flat2dFabric::Flat2dFabric(const SwitchSpec &spec)
+    : Fabric(spec),
+      outputArb_(spec.radix, arb::MatrixArbiter(spec.radix)),
+      holder_(spec.radix, kNoRequest)
+{
+    sim_assert(spec.topo == Topology::Flat2D ||
+                   spec.topo == Topology::Folded3D,
+               "Flat2dFabric models 2D and folded switches only");
+}
+
+std::vector<bool>
+Flat2dFabric::arbitrate(const std::vector<std::uint32_t> &req)
+{
+    sim_assert(req.size() == spec_.radix, "bad request vector");
+    std::vector<bool> grant(spec_.radix, false);
+
+    // Group requests per output column.
+    std::vector<std::vector<bool>> want(
+        spec_.radix, std::vector<bool>());
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        std::uint32_t o = req[i];
+        if (o == kNoRequest)
+            continue;
+        sim_assert(o < spec_.radix, "request to bad output %u", o);
+        if (holder_[o] != kNoRequest)
+            continue; // busy output: request loses this cycle
+        if (want[o].empty())
+            want[o].assign(spec_.radix, false);
+        want[o][i] = true;
+    }
+
+    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+        if (want[o].empty())
+            continue;
+        std::uint32_t w = outputArb_[o].pick(want[o]);
+        if (w == arb::MatrixArbiter::kNone)
+            continue;
+        outputArb_[o].update(w);
+        holder_[o] = w;
+        grant[w] = true;
+    }
+    return grant;
+}
+
+void
+Flat2dFabric::release(std::uint32_t input, std::uint32_t output)
+{
+    sim_assert(output < spec_.radix && holder_[output] == input,
+               "release of unheld connection %u->%u", input, output);
+    holder_[output] = kNoRequest;
+}
+
+bool
+Flat2dFabric::outputBusy(std::uint32_t output) const
+{
+    return holder_[output] != kNoRequest;
+}
+
+std::uint32_t
+Flat2dFabric::outputHolder(std::uint32_t output) const
+{
+    return holder_[output];
+}
+
+} // namespace hirise::fabric

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Flat 2D Swizzle-Switch fabric (paper section II-A): a single N x N
+ * matrix crossbar with per-output LRG priority vectors. Also models
+ * the 3D folded baseline (section II-B), which is logically the same
+ * switch redistributed over layers; only its physical model differs.
+ */
+
+#ifndef HIRISE_FABRIC_FLAT2D_HH
+#define HIRISE_FABRIC_FLAT2D_HH
+
+#include "arb/matrix_arbiter.hh"
+#include "fabric/fabric.hh"
+
+namespace hirise::fabric {
+
+class Flat2dFabric : public Fabric
+{
+  public:
+    explicit Flat2dFabric(const SwitchSpec &spec);
+
+    std::vector<bool>
+    arbitrate(const std::vector<std::uint32_t> &req) override;
+    void release(std::uint32_t input, std::uint32_t output) override;
+    bool outputBusy(std::uint32_t output) const override;
+    std::uint32_t outputHolder(std::uint32_t output) const override;
+
+  private:
+    /** One LRG arbiter per output column (the crosspoint priority
+     *  vectors of that column). */
+    std::vector<arb::MatrixArbiter> outputArb_;
+    std::vector<std::uint32_t> holder_; //!< per output; kNoRequest=free
+};
+
+} // namespace hirise::fabric
+
+#endif // HIRISE_FABRIC_FLAT2D_HH

@@ -1,0 +1,350 @@
+#include "fabric/hirise.hh"
+
+namespace hirise::fabric {
+
+HiRiseFabric::HiRiseFabric(const SwitchSpec &spec)
+    : Fabric(spec), ppl_(spec.portsPerLayer()), nlay_(spec.layers),
+      chan_(spec.channels), ports_(spec.incomingChannels() + 1),
+      holder_(spec.radix, kNoRequest),
+      heldChan_(spec.radix, kNoRequest),
+      chanBusy_(std::size_t(nlay_) * nlay_ * chan_, false),
+      chanFailed_(chanBusy_.size(), false)
+{
+    sim_assert(spec.topo == Topology::HiRise, "wrong topology");
+
+    interArb_.assign(spec.radix, arb::MatrixArbiter(ppl_));
+    chanArb_.assign(std::size_t(nlay_) * nlay_ * chan_,
+                    arb::MatrixArbiter(ppl_));
+    subArb_.reserve(spec.radix);
+    for (std::uint32_t o = 0; o < spec.radix; ++o) {
+        subArb_.push_back(arb::makeSubBlockArbiter(
+            spec.arb, ports_, spec.radix, spec.clrgMaxCount));
+    }
+    interCol_.resize(spec.radix);
+    chanCol_.resize(chanBusy_.size());
+    stats_.chanGrants.assign(chanBusy_.size(), 0);
+    stats_.chanBusyCycles.assign(chanBusy_.size(), 0);
+}
+
+double
+HiRiseFabric::channelUtilization(std::uint32_t s, std::uint32_t d,
+                                 std::uint32_t k) const
+{
+    if (arbitrateCalls_ == 0)
+        return 0.0;
+    return static_cast<double>(stats_.chanBusyCycles[chanId(s, d, k)]) /
+           static_cast<double>(arbitrateCalls_);
+}
+
+std::uint32_t
+HiRiseFabric::channelFor(std::uint32_t input, std::uint32_t output) const
+{
+    std::uint32_t k0;
+    switch (spec_.alloc) {
+      case ChannelAlloc::InputBinned:
+        k0 = localIdx(input) % chan_;
+        break;
+      case ChannelAlloc::OutputBinned:
+        k0 = localIdx(output) % chan_;
+        break;
+      case ChannelAlloc::Priority:
+        return kNoRequest; // chosen dynamically in phase 1
+      default:
+        return kNoRequest;
+    }
+    // Remap around failed channels: probe the bin's channel first,
+    // then the next surviving channel of the same layer pair.
+    std::uint32_t s = layerOf(input), d = layerOf(output);
+    for (std::uint32_t i = 0; i < chan_; ++i) {
+        std::uint32_t k = (k0 + i) % chan_;
+        if (!chanFailed_[chanId(s, d, k)])
+            return k;
+    }
+    return kNoRequest;
+}
+
+void
+HiRiseFabric::failChannel(std::uint32_t src_layer,
+                          std::uint32_t dst_layer, std::uint32_t k)
+{
+    sim_assert(src_layer != dst_layer && src_layer < nlay_ &&
+                   dst_layer < nlay_ && k < chan_,
+               "bad channel (%u,%u,%u)", src_layer, dst_layer, k);
+    std::uint32_t id = chanId(src_layer, dst_layer, k);
+    sim_assert(!chanBusy_[id], "cannot fail a channel mid-transfer");
+    chanFailed_[id] = true;
+}
+
+bool
+HiRiseFabric::channelBusy(std::uint32_t s, std::uint32_t d,
+                          std::uint32_t k) const
+{
+    return chanBusy_[chanId(s, d, k)];
+}
+
+std::uint32_t
+HiRiseFabric::subPort(std::uint32_t d, std::uint32_t s,
+                      std::uint32_t k) const
+{
+    // Source layers in increasing order, skipping the local layer.
+    std::uint32_t s_rank = s < d ? s : s - 1;
+    return s_rank * chan_ + k;
+}
+
+void
+HiRiseFabric::subPortOrigin(std::uint32_t d, std::uint32_t port,
+                            std::uint32_t &s, std::uint32_t &k) const
+{
+    sim_assert(port + 1 < ports_, "local port has no L2LC origin");
+    std::uint32_t s_rank = port / chan_;
+    k = port % chan_;
+    s = s_rank < d ? s_rank : s_rank + 1;
+}
+
+void
+HiRiseFabric::resetScratch()
+{
+    for (auto &c : interCol_) {
+        c.mask.clear();
+        c.winner = arb::MatrixArbiter::kNone;
+        c.weight = 0;
+    }
+    for (auto &c : chanCol_) {
+        c.mask.clear();
+        c.winner = arb::MatrixArbiter::kNone;
+        c.weight = 0;
+    }
+}
+
+void
+HiRiseFabric::collectRequests(const std::vector<std::uint32_t> &req)
+{
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        std::uint32_t o = req[i];
+        if (o == kNoRequest)
+            continue;
+        sim_assert(o < spec_.radix, "request to bad output %u", o);
+        std::uint32_t s = layerOf(i);
+        std::uint32_t d = layerOf(o);
+
+        if (d == s) {
+            // Same-layer: contend for the dedicated intermediate
+            // output column. The column is in use iff the output is
+            // held through it.
+            if (holder_[o] != kNoRequest &&
+                heldChan_[o] == kNoRequest &&
+                layerOf(holder_[o]) == d)
+                continue;
+            auto &col = interCol_[o];
+            if (col.mask.empty())
+                col.mask.assign(ppl_, false);
+            col.mask[localIdx(i)] = true;
+            ++col.weight;
+            continue;
+        }
+
+        if (spec_.alloc == ChannelAlloc::Priority) {
+            // Pool request: mark interest on every channel (s,d,*);
+            // phase1 serializes the choice across free channels.
+            for (std::uint32_t k = 0; k < chan_; ++k) {
+                auto &col = chanCol_[chanId(s, d, k)];
+                if (col.mask.empty())
+                    col.mask.assign(ppl_, false);
+                col.mask[localIdx(i)] = true;
+            }
+            // weight counted once per input on channel 0's column
+            ++chanCol_[chanId(s, d, 0)].weight;
+            continue;
+        }
+
+        std::uint32_t k = channelFor(i, o);
+        if (k == kNoRequest)
+            continue; // every channel to that layer has failed
+        if (chanBusy_[chanId(s, d, k)])
+            continue; // channel mid-transfer: retry next cycle
+        auto &col = chanCol_[chanId(s, d, k)];
+        if (col.mask.empty())
+            col.mask.assign(ppl_, false);
+        col.mask[localIdx(i)] = true;
+        ++col.weight;
+    }
+}
+
+void
+HiRiseFabric::phase1()
+{
+    // Intermediate-output columns: plain pick, update deferred to the
+    // end-to-end win (back-propagated priority update).
+    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+        auto &col = interCol_[o];
+        if (col.mask.empty())
+            continue;
+        col.winner = interArb_[o].pick(col.mask);
+        col.winnerDst = o;
+    }
+
+    if (spec_.alloc != ChannelAlloc::Priority) {
+        for (std::uint32_t id = 0; id < chanCol_.size(); ++id) {
+            auto &col = chanCol_[id];
+            if (col.mask.empty())
+                continue;
+            col.winner = chanArb_[id].pick(col.mask);
+        }
+        return;
+    }
+
+    // Priority allocation: for each (s,d) pair walk the channels in
+    // order; each free channel picks from the remaining requestors.
+    for (std::uint32_t s = 0; s < nlay_; ++s) {
+        for (std::uint32_t d = 0; d < nlay_; ++d) {
+            if (s == d)
+                continue;
+            // Pool lives on channel 0's mask.
+            auto &pool = chanCol_[chanId(s, d, 0)];
+            if (pool.mask.empty())
+                continue;
+            std::vector<bool> remaining = pool.mask;
+            std::uint32_t weight = pool.weight;
+            for (std::uint32_t k = 0; k < chan_; ++k) {
+                std::uint32_t id = chanId(s, d, k);
+                if (chanBusy_[id] || chanFailed_[id])
+                    continue;
+                std::uint32_t w = chanArb_[id].pick(remaining);
+                if (w == arb::MatrixArbiter::kNone)
+                    break;
+                auto &col = chanCol_[id];
+                col.winner = w;
+                col.weight = weight;
+                remaining[w] = false;
+            }
+        }
+    }
+}
+
+void
+HiRiseFabric::phase2(std::vector<bool> &grant)
+{
+    std::vector<arb::SubBlockRequest> reqs(ports_);
+    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+        if (holder_[o] != kNoRequest)
+            continue;
+        std::uint32_t d = layerOf(o);
+        bool any = false;
+        for (auto &r : reqs)
+            r.valid = false;
+
+        // Incoming L2LC ports.
+        for (std::uint32_t s = 0; s < nlay_; ++s) {
+            if (s == d)
+                continue;
+            for (std::uint32_t k = 0; k < chan_; ++k) {
+                const auto &col = chanCol_[chanId(s, d, k)];
+                if (col.winner == arb::MatrixArbiter::kNone)
+                    continue;
+                std::uint32_t in = s * ppl_ + col.winner;
+                // The L2LC ships the winner's request vector; it only
+                // contends at the sub-block it targets.
+                if (col.winnerDst != o)
+                    continue;
+                auto &r = reqs[subPort(d, s, k)];
+                r.valid = true;
+                r.primaryInput = in;
+                r.weight = std::max(1u, col.weight);
+                any = true;
+            }
+        }
+        // Local intermediate port.
+        const auto &icol = interCol_[o];
+        if (icol.winner != arb::MatrixArbiter::kNone) {
+            auto &r = reqs[ports_ - 1];
+            r.valid = true;
+            r.primaryInput = d * ppl_ + icol.winner;
+            r.weight = std::max(1u, icol.weight);
+            any = true;
+        }
+        if (!any)
+            continue;
+
+        std::uint32_t p = subArb_[o]->arbitrate(reqs);
+        sim_assert(p != arb::SubBlockArbiter::kNone,
+                   "sub-block with valid requests granted nothing");
+
+        std::uint32_t winner_in = reqs[p].primaryInput;
+        holder_[o] = winner_in;
+        grant[winner_in] = true;
+
+        if (p + 1 == ports_) {
+            // Local path: back-propagate the LRG update to the
+            // intermediate-output column.
+            heldChan_[o] = kNoRequest;
+            interArb_[o].update(localIdx(winner_in));
+            ++stats_.grantsLocal;
+        } else {
+            std::uint32_t s, k;
+            subPortOrigin(d, p, s, k);
+            std::uint32_t id = chanId(s, d, k);
+            heldChan_[o] = id;
+            chanBusy_[id] = true;
+            chanArb_[id].update(localIdx(winner_in));
+            ++stats_.grantsCross;
+            ++stats_.chanGrants[id];
+        }
+    }
+}
+
+std::vector<bool>
+HiRiseFabric::arbitrate(const std::vector<std::uint32_t> &req)
+{
+    sim_assert(req.size() == spec_.radix, "bad request vector");
+    std::vector<bool> grant(spec_.radix, false);
+    ++arbitrateCalls_;
+    for (std::uint32_t id = 0; id < chanBusy_.size(); ++id)
+        stats_.chanBusyCycles[id] += chanBusy_[id] ? 1 : 0;
+    resetScratch();
+    collectRequests(req);
+
+    // Record each channel winner's destination before phase 2.
+    phase1();
+    for (std::uint32_t s = 0; s < nlay_; ++s) {
+        for (std::uint32_t d = 0; d < nlay_; ++d) {
+            if (s == d)
+                continue;
+            for (std::uint32_t k = 0; k < chan_; ++k) {
+                auto &col = chanCol_[chanId(s, d, k)];
+                if (col.winner == arb::MatrixArbiter::kNone)
+                    continue;
+                std::uint32_t in = s * ppl_ + col.winner;
+                col.winnerDst = req[in];
+            }
+        }
+    }
+
+    phase2(grant);
+    return grant;
+}
+
+void
+HiRiseFabric::release(std::uint32_t input, std::uint32_t output)
+{
+    sim_assert(output < spec_.radix && holder_[output] == input,
+               "release of unheld connection %u->%u", input, output);
+    holder_[output] = kNoRequest;
+    if (heldChan_[output] != kNoRequest) {
+        chanBusy_[heldChan_[output]] = false;
+        heldChan_[output] = kNoRequest;
+    }
+}
+
+bool
+HiRiseFabric::outputBusy(std::uint32_t output) const
+{
+    return holder_[output] != kNoRequest;
+}
+
+std::uint32_t
+HiRiseFabric::outputHolder(std::uint32_t output) const
+{
+    return holder_[output];
+}
+
+} // namespace hirise::fabric

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The Hi-Rise hierarchical 3D switch fabric (paper section III).
+ *
+ * Per layer: a local switch (N/L inputs x [N/L intermediate outputs +
+ * c*(L-1) outgoing L2LCs]) and an inter-layer switch of N/L sub-blocks
+ * (each (c*(L-1)+1) x 1). Arbitration is two-phase within a single
+ * cycle: phase 1 resolves each local-switch column, phase 2 resolves
+ * each sub-block; an input only holds resources on an end-to-end win,
+ * and local LRG state is updated only when the inter-layer stage
+ * confirms the win (back-propagated update, section III-B1).
+ */
+
+#ifndef HIRISE_FABRIC_HIRISE_HH
+#define HIRISE_FABRIC_HIRISE_HH
+
+#include <memory>
+
+#include "arb/matrix_arbiter.hh"
+#include "arb/sub_block_arbiter.hh"
+#include "fabric/fabric.hh"
+
+namespace hirise::fabric {
+
+class HiRiseFabric : public Fabric
+{
+  public:
+    explicit HiRiseFabric(const SwitchSpec &spec);
+
+    std::vector<bool>
+    arbitrate(const std::vector<std::uint32_t> &req) override;
+    void release(std::uint32_t input, std::uint32_t output) override;
+    bool outputBusy(std::uint32_t output) const override;
+    std::uint32_t outputHolder(std::uint32_t output) const override;
+
+    // -- topology helpers (also used by tests) -----------------------
+    std::uint32_t layerOf(std::uint32_t port) const
+    {
+        return port / ppl_;
+    }
+    std::uint32_t localIdx(std::uint32_t port) const
+    {
+        return port % ppl_;
+    }
+
+    /** L2LC chosen by the allocation policy for input -> output,
+     *  after remapping around failed channels; kNoRequest when no
+     *  usable channel survives (binned policies only). */
+    std::uint32_t channelFor(std::uint32_t input,
+                             std::uint32_t output) const;
+
+    /**
+     * Permanently disable the L2LC (src layer, dst layer, k), e.g. a
+     * failed TSV bundle. Binned traffic remaps to the next surviving
+     * channel of the same layer pair; the priority allocator skips
+     * failed channels natively. Extension beyond the paper (TSV
+     * yield tolerance).
+     */
+    void failChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
+                     std::uint32_t k);
+
+    bool channelFailed(std::uint32_t src_layer,
+                       std::uint32_t dst_layer, std::uint32_t k) const
+    {
+        return chanFailed_[chanId(src_layer, dst_layer, k)];
+    }
+
+    /** Is the L2LC (src layer, dst layer, k) held by a connection? */
+    bool channelBusy(std::uint32_t src_layer, std::uint32_t dst_layer,
+                     std::uint32_t k) const;
+
+    /** The sub-block arbiter of a final output (test introspection). */
+    const arb::SubBlockArbiter &subArbiter(std::uint32_t output) const
+    {
+        return *subArb_[output];
+    }
+
+    /** Observability counters since construction. */
+    struct Stats
+    {
+        std::uint64_t grantsLocal = 0; //!< same-layer connections
+        std::uint64_t grantsCross = 0; //!< connections over an L2LC
+        /** Grants carried per L2LC, indexed by chanId order
+         *  (src_layer * layers + dst_layer) * channels + k. */
+        std::vector<std::uint64_t> chanGrants;
+        /** Cycles each L2LC spent held by a connection. */
+        std::vector<std::uint64_t> chanBusyCycles;
+    };
+    const Stats &stats() const { return stats_; }
+
+    /** Utilization of L2LC (s,d,k): busy cycles / arbitrate calls. */
+    double channelUtilization(std::uint32_t s, std::uint32_t d,
+                              std::uint32_t k) const;
+
+  private:
+    // -- static shape -------------------------------------------------
+    std::uint32_t ppl_;   //!< ports per layer
+    std::uint32_t nlay_;  //!< layers
+    std::uint32_t chan_;  //!< channel multiplicity c
+    std::uint32_t ports_; //!< sub-block ports: c*(L-1)+1
+
+    std::uint32_t
+    chanId(std::uint32_t s, std::uint32_t d, std::uint32_t k) const
+    {
+        return (s * nlay_ + d) * chan_ + k;
+    }
+
+    /** Sub-block port index of the L2LC from layer s, channel k, at
+     *  destination layer d; the last port is the local intermediate. */
+    std::uint32_t subPort(std::uint32_t d, std::uint32_t s,
+                          std::uint32_t k) const;
+    /** Inverse of subPort for ports below ports_-1. */
+    void subPortOrigin(std::uint32_t d, std::uint32_t port,
+                       std::uint32_t &s, std::uint32_t &k) const;
+
+    // -- arbitration state --------------------------------------------
+    /** Phase-1 LRG per local intermediate-output column, indexed by
+     *  global output id. */
+    std::vector<arb::MatrixArbiter> interArb_;
+    /** Phase-1 LRG per L2LC column, indexed by chanId. */
+    std::vector<arb::MatrixArbiter> chanArb_;
+    /** Phase-2 arbiter per final output. */
+    std::vector<std::unique_ptr<arb::SubBlockArbiter>> subArb_;
+
+    // -- connection state ----------------------------------------------
+    std::vector<std::uint32_t> holder_;   //!< per output
+    std::vector<std::uint32_t> heldChan_; //!< per output; kNoRequest
+    std::vector<bool> chanBusy_;          //!< per chanId
+    std::vector<bool> chanFailed_;        //!< per chanId
+
+    // -- per-cycle scratch (members to avoid reallocation) -------------
+    struct ColumnState
+    {
+        std::vector<bool> mask;   //!< requesting local inputs
+        std::uint32_t winner;     //!< local index or kNone
+        std::uint32_t weight;     //!< requestor count (WLRG)
+        std::uint32_t winnerDst;  //!< global dst of the winner
+    };
+    std::vector<ColumnState> interCol_; //!< by global output id
+    std::vector<ColumnState> chanCol_;  //!< by chanId
+
+    void resetScratch();
+    void collectRequests(const std::vector<std::uint32_t> &req);
+    void phase1();
+    void phase2(std::vector<bool> &grant);
+
+    Stats stats_;
+    std::uint64_t arbitrateCalls_ = 0;
+};
+
+} // namespace hirise::fabric
+
+#endif // HIRISE_FABRIC_HIRISE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Methodology ablations beyond the paper's figures: buffer
+ * architecture sensitivity and seed sensitivity (error bars) for the
+ * headline throughput numbers.
+ */
+
+#include "harness/experiments.hh"
+
+#include <cmath>
+
+#include "phys/model.hh"
+#include "traffic/pattern.hh"
+
+namespace hirise::harness {
+
+Table
+ablateBuffers(const ExperimentOptions &opt)
+{
+    Table t("Ablation: VC count x buffer depth (paper section V uses "
+            "4 VCs x 4 flits) - UR saturation in flits/cycle");
+    t.header({"VCs", "Depth", "2D", "HiRise c4 CLRG"});
+
+    auto uniform = [] {
+        return std::make_shared<traffic::UniformRandom>(64);
+    };
+    for (std::uint32_t vcs : {1u, 2u, 4u, 8u}) {
+        for (std::uint32_t depth : {2u, 4u, 8u}) {
+            sim::SimConfig cfg = opt.simConfig();
+            cfg.numVcs = vcs;
+            cfg.vcDepth = depth;
+            double flat = sim::saturationFlitsPerCycle(
+                spec2d(), cfg, uniform);
+            double hr = sim::saturationFlitsPerCycle(
+                specHiRise(4, ArbScheme::Clrg), cfg, uniform);
+            t.row({Table::integer(vcs), Table::integer(depth),
+                   Table::num(flat, 2), Table::num(hr, 2)});
+        }
+    }
+    return t;
+}
+
+Table
+seedSensitivity(const ExperimentOptions &opt)
+{
+    Table t("Seed sensitivity: UR saturation throughput (Tbps), "
+            "mean +- stddev over 5 seeds");
+    t.header({"Design", "Mean", "Stddev", "Paper"});
+
+    struct Entry
+    {
+        const char *label;
+        SwitchSpec spec;
+        double paper;
+    };
+    const Entry entries[] = {
+        {"2D", spec2d(), 9.24},
+        {"3D Folded", specFolded(), 8.86},
+        {"3D 4-Ch CLRG", specHiRise(4, ArbScheme::Clrg), 10.65},
+        {"3D 2-Ch CLRG", specHiRise(2, ArbScheme::Clrg), 7.65},
+        {"3D 1-Ch CLRG", specHiRise(1, ArbScheme::Clrg), 4.27},
+    };
+    for (const auto &e : entries) {
+        RunningStat s;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            ExperimentOptions o = opt;
+            o.seed = seed;
+            s.add(uniformSaturationTbps(e.spec, o));
+        }
+        t.row({e.label, Table::num(s.mean(), 2),
+               Table::num(std::sqrt(s.variance()), 3),
+               Table::num(e.paper, 2)});
+    }
+    return t;
+}
+
+} // namespace hirise::harness

@@ -1,0 +1,40 @@
+#include "harness/bench_main.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hirise::harness {
+
+int
+benchMain(int argc, char **argv,
+          const std::vector<NamedExperiment> &experiments)
+{
+    ExperimentOptions opt;
+    std::string csv_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.quick = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0 &&
+                   i + 1 < argc) {
+            csv_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            fatal("unknown argument '%s' (use --quick, --csv <dir>, "
+                  "--seed <n>)",
+                  argv[i]);
+        }
+    }
+
+    for (const auto &e : experiments) {
+        Table t = e.fn(opt);
+        t.print();
+        if (!csv_dir.empty())
+            t.writeCsv(csv_dir + "/" + e.name + ".csv");
+    }
+    return 0;
+}
+
+} // namespace hirise::harness

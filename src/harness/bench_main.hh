@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared main() for the per-table/per-figure bench binaries.
+ * Supports:
+ *   --quick        shorter simulations (CI-friendly)
+ *   --csv <dir>    also write each table as CSV into <dir>
+ *   --seed <n>     change the simulation seed
+ */
+
+#ifndef HIRISE_HARNESS_BENCH_MAIN_HH
+#define HIRISE_HARNESS_BENCH_MAIN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.hh"
+
+namespace hirise::harness {
+
+using ExperimentFn = std::function<Table(const ExperimentOptions &)>;
+
+struct NamedExperiment
+{
+    std::string name; //!< used for the CSV file name
+    ExperimentFn fn;
+};
+
+/** Parse flags, run every experiment, print (and optionally CSV). */
+int benchMain(int argc, char **argv,
+              const std::vector<NamedExperiment> &experiments);
+
+} // namespace hirise::harness
+
+#endif // HIRISE_HARNESS_BENCH_MAIN_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Section VI-E study: a kilo-core-scale 2D mesh of 3D Hi-Rise
+ * switches (Fig 13) versus a mesh of flat 2D Swizzle-Switch routers
+ * at equal concentration (48 nodes/router, 768 nodes total on a 4x4
+ * mesh). XY dimension-ordered routing between routers; the Hi-Rise
+ * routers additionally provide adaptive Z (layer) routing and one
+ * mesh port per layer per direction.
+ */
+
+#include "harness/experiments.hh"
+
+#include "noc/mesh.hh"
+#include "phys/model.hh"
+
+namespace hirise::harness {
+
+Table
+kiloCore(const ExperimentOptions &opt)
+{
+    Table t("Section VI-E: 4x4 mesh of switches, 768 nodes, uniform "
+            "random (latency ns / accepted packets-per-ns; 'sat' = "
+            "offered load not sustained)");
+    t.header({"Load(p/node/ns)", "HiRise-mesh lat", "HiRise-mesh "
+              "acc", "2D-mesh lat", "2D-mesh acc"});
+
+    noc::MeshConfig hr;
+    hr.width = 4;
+    hr.height = 4;
+    hr.router.topo = Topology::HiRise;
+    hr.router.radix = 64;
+    hr.router.layers = 4;
+    hr.router.channels = 4;
+    hr.router.arb = ArbScheme::Clrg;
+
+    noc::MeshConfig flat;
+    flat.width = 4;
+    flat.height = 4;
+    flat.router.topo = Topology::Flat2D;
+    flat.router.radix = 52; // 48 local + 4 mesh ports
+    flat.router.arb = ArbScheme::Lrg;
+
+    phys::PhysModel model;
+    double f_hr = model.evaluate(hr.router).freqGhz;
+    double f_flat = model.evaluate(flat.router).freqGhz;
+
+    net::Cycle warm = opt.quick ? 1000 : 4000;
+    net::Cycle meas = opt.quick ? 4000 : 16000;
+
+    auto cell = [](const noc::MeshResult &r, double f,
+                   std::vector<std::string> &row) {
+        bool sat = r.acceptedPktsPerCycle <
+                   0.95 * r.offeredPktsPerCycle;
+        row.push_back(sat ? "sat"
+                          : Table::num(r.avgLatencyCycles / f, 2));
+        row.push_back(Table::num(r.acceptedPktsPerCycle * f, 1));
+    };
+
+    for (double load_pns = 0.005; load_pns <= 0.0551;
+         load_pns += 0.005) {
+        std::vector<std::string> row{Table::num(load_pns, 3)};
+        noc::MeshConfig hr_run = hr;
+        hr_run.seed = opt.seed;
+        noc::MeshNoc m1(hr_run);
+        cell(m1.run(load_pns / f_hr, warm, meas), f_hr, row);
+
+        noc::MeshConfig flat_run = flat;
+        flat_run.seed = opt.seed;
+        noc::MeshNoc m2(flat_run);
+        cell(m2.run(load_pns / f_flat, warm, meas), f_flat, row);
+        t.row(row);
+    }
+    return t;
+}
+
+} // namespace hirise::harness

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Published numbers from the Hi-Rise paper (MICRO 2014), used by the
+ * benchmark harness to print paper-vs-measured comparisons and by the
+ * regression tests to pin the model.
+ */
+
+#ifndef HIRISE_HARNESS_PAPER_DATA_HH
+#define HIRISE_HARNESS_PAPER_DATA_HH
+
+#include <cstdint>
+
+namespace hirise::harness {
+
+/** One row of paper Table I / IV / V. */
+struct PaperCostRow
+{
+    const char *design;
+    const char *configuration;
+    double areaMm2;
+    double freqGhz;
+    double energyPj;
+    double throughputTbps;
+    std::uint64_t numTsvs;
+};
+
+/** Table IV (superset of Table I). */
+inline constexpr PaperCostRow kPaperTable4[] = {
+    {"2D", "64x64", 0.672, 1.69, 71.0, 9.24, 0},
+    {"3D Folded", "[16x64]x4", 0.705, 1.58, 73.0, 8.86, 8192},
+    {"3D 4-Channel", "[(16x28), 16*(13x1)]x4", 0.451, 2.24, 42.0,
+     10.97, 6144},
+    {"3D 2-Channel", "[(16x22), 16*(7x1)]x4", 0.315, 2.46, 39.0, 7.65,
+     3072},
+    {"3D 1-Channel", "[(16x19), 16*(4x1)]x4", 0.247, 2.64, 37.0, 4.27,
+     1536},
+};
+
+/** Table V (arbitration variants; WLRG omitted as infeasible). */
+inline constexpr PaperCostRow kPaperTable5[] = {
+    {"2D", "64x64", 0.672, 1.69, 71.0, 9.24, 0},
+    {"3D L-2-L LRG", "[(16x28), 16*(13x1)]x4", 0.451, 2.24, 42.0,
+     10.97, 6144},
+    {"3D CLRG", "[(16x28), 16*(13x1)]x4", 0.451, 2.2, 44.0, 10.65,
+     6144},
+};
+
+/** Headline abstract claims (Hi-Rise CLRG vs 2D). */
+struct PaperHeadline
+{
+    double throughputTbps = 10.65;    //!< 64-radix 4-layer CLRG, UR
+    double throughputGainPct = 15.0;  //!< vs 2D
+    double areaReductionPct = 33.0;
+    double latencyReductionPct = 20.0;
+    double energyReductionPct = 38.0;
+};
+
+/** Table VI: workload mixes. MPKI is the paper's per-core average
+ *  (L1-MPKI + L2-MPKI); speedup is Hi-Rise over 2D. */
+struct PaperMixRow
+{
+    const char *name;
+    double avgMpki;
+    double speedup;
+};
+
+inline constexpr PaperMixRow kPaperTable6[] = {
+    {"Mix1", 15.0, 1.02}, {"Mix2", 21.3, 1.04}, {"Mix3", 33.3, 1.06},
+    {"Mix4", 38.4, 1.06}, {"Mix5", 52.2, 1.08}, {"Mix6", 58.4, 1.09},
+    {"Mix7", 66.9, 1.16}, {"Mix8", 76.0, 1.15},
+};
+
+} // namespace hirise::harness
+
+#endif // HIRISE_HARNESS_PAPER_DATA_HH

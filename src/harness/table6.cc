@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table VI runner: application-workload speedups of Hi-Rise (CLRG)
+ * over the 2D Swizzle-Switch on the 64-core system.
+ */
+
+#include "harness/experiments.hh"
+
+#include "cmp/system.hh"
+#include "harness/paper_data.hh"
+#include "phys/model.hh"
+
+namespace hirise::harness {
+
+namespace {
+
+double
+runMixIpc(const SwitchSpec &spec, const cmp::Mix &mix,
+          const ExperimentOptions &opt)
+{
+    phys::PhysModel model;
+    cmp::SystemConfig cfg;
+    cfg.switchFreqGhz = model.evaluate(spec).freqGhz;
+    cfg.seed = opt.seed;
+    auto per_core = cmp::assignMix(mix, cfg.numTiles);
+    cmp::CmpSystem sys(spec, cfg, std::move(per_core));
+    std::uint64_t warmup = opt.quick ? 5000 : 20000;
+    std::uint64_t cycles = opt.quick ? 30000 : 150000;
+    return sys.run(warmup, cycles).totalIpc;
+}
+
+} // namespace
+
+Table
+table6(const ExperimentOptions &opt)
+{
+    Table t("Table VI: workload speedup of Hi-Rise (4-channel CLRG) "
+            "over 2D, 64-core system ((p)aper vs (m)easured)");
+    t.header({"Mix", "avg MPKI", "Speedup(p)", "Speedup(m)",
+              "IPC 2D", "IPC Hi-Rise"});
+
+    const auto &mixes = cmp::paperMixes();
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        double ipc_2d = runMixIpc(spec2d(), mixes[i], opt);
+        double ipc_hr =
+            runMixIpc(specHiRise(4, ArbScheme::Clrg), mixes[i], opt);
+        t.row({mixes[i].name, Table::num(mixes[i].paperAvgMpki, 1),
+               Table::num(kPaperTable6[i].speedup, 2),
+               Table::num(ipc_hr / ipc_2d, 2), Table::num(ipc_2d, 1),
+               Table::num(ipc_hr, 1)});
+    }
+    return t;
+}
+
+} // namespace hirise::harness

@@ -1,0 +1,79 @@
+#include "net/input_port.hh"
+
+#include "common/logging.hh"
+
+namespace hirise::net {
+
+void
+InputPort::fillCycle()
+{
+    if (sourceQueue_.empty())
+        return;
+
+    // Continue streaming the current packet into its VC.
+    if (fillVc_ != kNoVc) {
+        VirtualChannel &vc = vcs_[fillVc_];
+        if (vc.full())
+            return; // backpressure: wait for the crossbar to drain it
+        const Packet &p = sourceQueue_.front();
+        vc.pushFlit(p.flit(fillIdx_));
+        ++fillIdx_;
+        if (fillIdx_ == p.lenFlits) {
+            sourceQueue_.pop_front();
+            fillVc_ = kNoVc;
+            fillIdx_ = 0;
+        }
+        return;
+    }
+
+    // Allocate a free VC (idle, empty) for the next packet.
+    for (std::uint32_t v = 0; v < vcs_.size(); ++v) {
+        if (!vcs_[v].busy() && vcs_[v].empty()) {
+            fillVc_ = v;
+            fillIdx_ = 0;
+            const Packet &p = sourceQueue_.front();
+            vcs_[v].pushFlit(p.flit(0));
+            fillIdx_ = 1;
+            if (fillIdx_ == p.lenFlits) {
+                sourceQueue_.pop_front();
+                fillVc_ = kNoVc;
+                fillIdx_ = 0;
+            }
+            return;
+        }
+    }
+}
+
+std::uint32_t
+InputPort::pickCandidateVc(const std::vector<bool> *dst_free)
+{
+    sim_assert(!connected(), "busy input must not arbitrate");
+    const std::uint32_t n = static_cast<std::uint32_t>(vcs_.size());
+    for (std::uint32_t k = 0; k < n; ++k) {
+        std::uint32_t v = (rrNext_ + k) % n;
+        if (!vcs_[v].headReady())
+            continue;
+        if (dst_free && !(*dst_free)[vcs_[v].front().dst])
+            continue;
+        rrNext_ = (v + 1) % n;
+        return v;
+    }
+    return kNoVc;
+}
+
+std::uint64_t
+InputPort::backlogFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &vc : vcs_)
+        n += vc.size();
+    for (const auto &p : sourceQueue_)
+        n += p.lenFlits;
+    // The packet currently streaming sits in both the source queue
+    // and (partially) a VC; discount the flits counted twice.
+    if (fillVc_ != kNoVc)
+        n -= fillIdx_;
+    return n;
+}
+
+} // namespace hirise::net

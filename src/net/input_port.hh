@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Input-port model: an unbounded source queue feeding a small set of
+ * virtual channels (paper section V: 4 VCs x 4-flit buffers), with
+ * one flit per cycle of injection bandwidth and round-robin VC
+ * candidate selection for arbitration.
+ */
+
+#ifndef HIRISE_NET_INPUT_PORT_HH
+#define HIRISE_NET_INPUT_PORT_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace hirise::net {
+
+/** One virtual-channel FIFO plus its packet bookkeeping. */
+class VirtualChannel
+{
+  public:
+    explicit VirtualChannel(std::uint32_t depth) : depth_(depth) {}
+
+    bool empty() const { return fifo_.empty(); }
+    bool full() const { return fifo_.size() >= depth_; }
+    std::size_t size() const { return fifo_.size(); }
+
+    /** A packet owns this VC from its head entering until its tail
+     *  leaves; no interleaving of packets within a VC. */
+    bool busy() const { return busy_; }
+
+    void
+    pushFlit(const Flit &f)
+    {
+        fifo_.push_back(f);
+        busy_ = true;
+        if (f.tail)
+            tailQueued_ = true;
+    }
+
+    const Flit &front() const { return fifo_.front(); }
+
+    Flit
+    popFlit()
+    {
+        Flit f = fifo_.front();
+        fifo_.pop_front();
+        if (f.tail) {
+            busy_ = false;
+            tailQueued_ = false;
+        }
+        return f;
+    }
+
+    /** Is the head flit the start of a packet, ready to arbitrate? */
+    bool
+    headReady() const
+    {
+        return !fifo_.empty() && fifo_.front().head;
+    }
+
+    /** Has the current packet's tail already been buffered? */
+    bool tailQueued() const { return tailQueued_; }
+
+  private:
+    std::uint32_t depth_;
+    std::deque<Flit> fifo_;
+    bool busy_ = false;
+    bool tailQueued_ = false;
+};
+
+/**
+ * An input port of the switch: source queue, VCs, the active
+ * connection (if any), and the injection link that serializes one
+ * flit per cycle from the source queue into the VCs.
+ */
+class InputPort
+{
+  public:
+    static constexpr std::uint32_t kNoVc = ~0u;
+
+    InputPort(std::uint32_t num_vcs, std::uint32_t vc_depth)
+        : vcs_(num_vcs, VirtualChannel(vc_depth))
+    {}
+
+    std::deque<Packet> &sourceQueue() { return sourceQueue_; }
+    const std::deque<Packet> &sourceQueue() const { return sourceQueue_; }
+
+    std::vector<VirtualChannel> &vcs() { return vcs_; }
+    const std::vector<VirtualChannel> &vcs() const { return vcs_; }
+
+    /** Move up to one flit from the source queue into the VCs.
+     *  Prefers continuing the packet currently streaming in. */
+    void fillCycle();
+
+    // -- connection state ------------------------------------------
+    bool connected() const { return connVc_ != kNoVc; }
+    std::uint32_t connVc() const { return connVc_; }
+    std::uint32_t connOutput() const { return connOutput_; }
+    std::uint32_t flitsLeft() const { return connFlitsLeft_; }
+
+    void
+    connect(std::uint32_t vc, std::uint32_t output,
+            std::uint32_t len_flits)
+    {
+        connVc_ = vc;
+        connOutput_ = output;
+        connFlitsLeft_ = len_flits;
+        justConnected_ = true;
+    }
+
+    /**
+     * The arbitration cycle occupies the input and output buses
+     * (priority-line reuse), so data moves starting the next cycle.
+     * Returns true exactly once per connection: on the grant cycle.
+     */
+    bool
+    consumeJustConnected()
+    {
+        bool j = justConnected_;
+        justConnected_ = false;
+        return j;
+    }
+
+    /** One flit transferred; returns true when the packet completed. */
+    bool
+    transferOne()
+    {
+        --connFlitsLeft_;
+        if (connFlitsLeft_ == 0) {
+            connVc_ = kNoVc;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * The VC that should arbitrate this cycle (round-robin over VCs
+     * with a ready head flit), or kNoVc. Ports with an active
+     * connection must not arbitrate (the input bus is in use).
+     *
+     * @param dst_free  availability of each destination, observed via
+     *                  the crosspoints' Channel_free lines (Fig 6);
+     *                  VCs headed to busy outputs are skipped. Pass
+     *                  nullptr to consider every ready VC.
+     */
+    std::uint32_t
+    pickCandidateVc(const std::vector<bool> *dst_free = nullptr);
+
+    /** Destination requested by the candidate VC. */
+    std::uint32_t
+    vcDest(std::uint32_t vc) const
+    {
+        return vcs_[vc].front().dst;
+    }
+
+    /** Total flits buffered in VCs plus queued at the source. */
+    std::uint64_t backlogFlits() const;
+
+  private:
+    std::deque<Packet> sourceQueue_;
+    std::vector<VirtualChannel> vcs_;
+
+    /** Injection-side streaming state. */
+    std::uint32_t fillVc_ = kNoVc;   //!< VC receiving the current packet
+    std::uint16_t fillIdx_ = 0;      //!< next flit index to inject
+
+    /** Arbitration round-robin pointer. */
+    std::uint32_t rrNext_ = 0;
+
+    /** Active crossbar connection. */
+    std::uint32_t connVc_ = kNoVc;
+    std::uint32_t connOutput_ = 0;
+    std::uint32_t connFlitsLeft_ = 0;
+    bool justConnected_ = false;
+};
+
+} // namespace hirise::net
+
+#endif // HIRISE_NET_INPUT_PORT_HH

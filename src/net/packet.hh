@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Flit and packet types for the cycle-accurate switch simulator.
+ * Simulations use 4-flit packets of 128-bit flits to match the paper's
+ * methodology (section V), but lengths are configurable.
+ */
+
+#ifndef HIRISE_NET_PACKET_HH
+#define HIRISE_NET_PACKET_HH
+
+#include <cstdint>
+
+namespace hirise::net {
+
+using Cycle = std::uint64_t;
+using PacketId = std::uint64_t;
+
+/** A fixed-size unit of transfer: one bus-width beat. */
+struct Flit
+{
+    PacketId packet = 0;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint16_t index = 0; //!< position within the packet
+    bool head = false;
+    bool tail = false;
+    Cycle genCycle = 0; //!< cycle the parent packet was created
+};
+
+/** A multi-flit message, serialized into flits at the source. */
+struct Packet
+{
+    PacketId id = 0;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint16_t lenFlits = 4;
+    Cycle genCycle = 0;
+
+    Flit
+    flit(std::uint16_t idx) const
+    {
+        Flit f;
+        f.packet = id;
+        f.src = src;
+        f.dst = dst;
+        f.index = idx;
+        f.head = (idx == 0);
+        f.tail = (idx + 1 == lenFlits);
+        f.genCycle = genCycle;
+        return f;
+    }
+};
+
+} // namespace hirise::net
+
+#endif // HIRISE_NET_PACKET_HH

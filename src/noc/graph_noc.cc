@@ -1,0 +1,205 @@
+#include "noc/graph_noc.hh"
+
+#include "common/logging.hh"
+
+namespace hirise::noc {
+
+GraphNoc::GraphNoc(std::shared_ptr<Topology> topo,
+                   std::uint32_t packet_len, std::uint32_t fifo_pkts,
+                   std::uint64_t seed)
+    : topo_(std::move(topo)), packetLen_(packet_len),
+      fifoPkts_(fifo_pkts), rng_(seed)
+{
+    const std::uint32_t radix = topo_->radix();
+    routers_.resize(topo_->numRouters());
+    for (auto &r : routers_) {
+        r.fifo.resize(radix);
+        r.reserved.assign(radix, 0);
+        r.outArb.assign(radix, arb::MatrixArbiter(radix));
+        r.outHolder.assign(radix, kNone);
+        r.conn.resize(radix);
+    }
+    source_.resize(topo_->numNodes());
+}
+
+void
+GraphNoc::sendTagged(std::uint32_t src_node, std::uint32_t dst_node,
+                     std::uint32_t len_flits, std::uint64_t tag)
+{
+    sim_assert(src_node < source_.size() &&
+                   dst_node < topo_->numNodes() &&
+                   src_node != dst_node,
+               "bad tagged send %u -> %u", src_node, dst_node);
+    QPkt p;
+    p.dstNode = dst_node;
+    p.hops = 0;
+    p.lenFlits = static_cast<std::uint16_t>(len_flits);
+    p.genCycle = cycle_;
+    p.tag = tag;
+    source_[src_node].push_back(p);
+}
+
+std::uint32_t
+GraphNoc::routePort(std::uint32_t router, const QPkt &pkt) const
+{
+    PortRef dst = topo_->attach(pkt.dstNode);
+    if (dst.router == router)
+        return dst.port; // ejection
+    return topo_->route(router, dst.router);
+}
+
+void
+GraphNoc::step()
+{
+    const std::uint32_t radix = topo_->radix();
+    const std::uint32_t conc = topo_->concentration();
+    const std::uint32_t nodes = topo_->numNodes();
+
+    // 1. Node injection into the attach port's FIFO.
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+        if (source_[n].empty())
+            continue;
+        PortRef at = topo_->attach(n);
+        Router &r = routers_[at.router];
+        if (r.fifo[at.port].size() + r.reserved[at.port] <
+            fifoPkts_) {
+            r.fifo[at.port].push_back(source_[n].front());
+            source_[n].pop_front();
+        }
+    }
+
+    // 2. Per-router arbitration (one winner per free output).
+    for (std::uint32_t ri = 0; ri < routers_.size(); ++ri) {
+        Router &r = routers_[ri];
+        // Gather requests per output.
+        std::vector<std::vector<bool>> want(radix);
+        for (std::uint32_t in = 0; in < radix; ++in) {
+            if (r.conn[in].active || r.fifo[in].empty())
+                continue;
+            std::uint32_t out = routePort(ri, r.fifo[in].front());
+            if (r.outHolder[out] != kNone)
+                continue; // output mid-transfer
+            if (out >= conc) {
+                // Inter-router hop: need a downstream credit.
+                PortRef far = topo_->link(ri, out);
+                sim_assert(far.valid, "routing into a dead port");
+                const Router &nr = routers_[far.router];
+                if (nr.fifo[far.port].size() +
+                        nr.reserved[far.port] >=
+                    fifoPkts_)
+                    continue;
+            }
+            if (want[out].empty())
+                want[out].assign(radix, false);
+            want[out][in] = true;
+        }
+        for (std::uint32_t out = 0; out < radix; ++out) {
+            if (want[out].empty())
+                continue;
+            std::uint32_t w = r.outArb[out].pick(want[out]);
+            if (w == arb::MatrixArbiter::kNone)
+                continue;
+            r.outArb[out].update(w);
+            r.outHolder[out] = w;
+            auto &c = r.conn[w];
+            c.active = true;
+            c.justGranted = true;
+            c.pkt = r.fifo[w].front();
+            r.fifo[w].pop_front();
+            c.flitsLeft = c.pkt.lenFlits;
+            c.output = out;
+            if (out >= conc) {
+                PortRef far = topo_->link(ri, out);
+                ++routers_[far.router].reserved[far.port];
+            }
+        }
+    }
+
+    // 3. Flit transfer and hand-off.
+    for (std::uint32_t ri = 0; ri < routers_.size(); ++ri) {
+        Router &r = routers_[ri];
+        for (std::uint32_t in = 0; in < radix; ++in) {
+            auto &c = r.conn[in];
+            if (!c.active)
+                continue;
+            if (c.justGranted) {
+                c.justGranted = false;
+                continue;
+            }
+            if (--c.flitsLeft > 0)
+                continue;
+            r.outHolder[c.output] = kNone;
+            c.active = false;
+            if (c.output >= conc) {
+                PortRef far = topo_->link(ri, c.output);
+                Router &nr = routers_[far.router];
+                sim_assert(nr.reserved[far.port] > 0,
+                           "hand-off without reservation");
+                --nr.reserved[far.port];
+                QPkt pkt = c.pkt;
+                ++pkt.hops;
+                pkt.linkMm += static_cast<float>(
+                    topo_->linkLengthMm(ri, c.output));
+                nr.fifo[far.port].push_back(pkt);
+            } else {
+                ++delivered_;
+                if (measuring_) {
+                    latency_.add(static_cast<double>(
+                        cycle_ - c.pkt.genCycle));
+                    hops_.add(static_cast<double>(c.pkt.hops + 1));
+                    linkMm_.add(c.pkt.linkMm);
+                }
+                if (deliverFn_)
+                    deliverFn_(c.pkt.tag);
+            }
+        }
+    }
+
+    ++cycle_;
+}
+
+GraphResult
+GraphNoc::run(double rate, net::Cycle warmup, net::Cycle measure)
+{
+    const std::uint32_t nodes = topo_->numNodes();
+    auto inject = [&]() {
+        for (std::uint32_t n = 0; n < nodes; ++n) {
+            if (!rng_.bernoulli(rate))
+                continue;
+            QPkt p;
+            std::uint32_t d = static_cast<std::uint32_t>(
+                rng_.below(nodes - 1));
+            p.dstNode = d >= n ? d + 1 : d;
+            p.hops = 0;
+            p.lenFlits = static_cast<std::uint16_t>(packetLen_);
+            p.genCycle = cycle_;
+            source_[n].push_back(p);
+            if (measuring_)
+                ++measInjected_;
+        }
+    };
+
+    for (net::Cycle t = 0; t < warmup; ++t) {
+        inject();
+        step();
+    }
+    measuring_ = true;
+    std::uint64_t base = delivered_;
+    for (net::Cycle t = 0; t < measure; ++t) {
+        inject();
+        step();
+    }
+    measuring_ = false;
+
+    GraphResult r;
+    double window = static_cast<double>(measure);
+    r.offeredPktsPerCycle = double(measInjected_) / window;
+    r.acceptedPktsPerCycle = double(delivered_ - base) / window;
+    r.avgLatencyCycles = latency_.mean();
+    r.avgRouterHops = hops_.mean();
+    r.avgLinkMm = linkMm_.mean();
+    r.delivered = latency_.count();
+    return r;
+}
+
+} // namespace hirise::noc

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Generic cycle-level simulator for router-graph topologies (the
+ * low-radix mesh and flattened-butterfly baselines of the paper's
+ * discussion section). Routers are input-queued crossbars with LRG
+ * output arbitration and the same connection-held timing as the rest
+ * of this repository: one arbitration cycle, then one flit per cycle,
+ * with virtual cut-through hand-off between routers.
+ */
+
+#ifndef HIRISE_NOC_GRAPH_NOC_HH
+#define HIRISE_NOC_GRAPH_NOC_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arb/matrix_arbiter.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "net/packet.hh"
+#include "noc/topology.hh"
+
+namespace hirise::noc {
+
+struct GraphResult
+{
+    double offeredPktsPerCycle = 0.0;
+    double acceptedPktsPerCycle = 0.0;
+    double avgLatencyCycles = 0.0;
+    double avgRouterHops = 0.0; //!< routers traversed per packet
+    double avgLinkMm = 0.0;     //!< inter-router wire traversed/packet
+    std::uint64_t delivered = 0;
+};
+
+class GraphNoc
+{
+  public:
+    GraphNoc(std::shared_ptr<Topology> topo,
+             std::uint32_t packet_len = 4,
+             std::uint32_t fifo_pkts = 4, std::uint64_t seed = 1);
+
+    /** Uniform-random open-loop run. */
+    GraphResult run(double rate, net::Cycle warmup,
+                    net::Cycle measure);
+
+    void step();
+
+    const Topology &topology() const { return *topo_; }
+
+    // -- closed-loop API (CMP transport) ------------------------------
+    /** Deliver callback for tagged packets ejected at their node. */
+    void
+    setDeliverFn(std::function<void(std::uint64_t)> fn)
+    {
+        deliverFn_ = std::move(fn);
+    }
+
+    /** Enqueue a tagged packet of explicit length at a source node;
+     *  the tag is handed to the deliver callback at ejection. */
+    void sendTagged(std::uint32_t src_node, std::uint32_t dst_node,
+                    std::uint32_t len_flits, std::uint64_t tag);
+
+    std::uint64_t packetsDelivered() const { return delivered_; }
+
+  private:
+    struct QPkt
+    {
+        std::uint32_t dstNode;
+        std::uint16_t hops;
+        std::uint16_t lenFlits;
+        float linkMm = 0.0f; //!< wire length accumulated so far
+        net::Cycle genCycle;
+        std::uint64_t tag = 0;
+    };
+
+    struct Conn
+    {
+        bool active = false;
+        bool justGranted = false;
+        std::uint32_t flitsLeft = 0;
+        std::uint32_t output = 0;
+        QPkt pkt{};
+    };
+
+    struct Router
+    {
+        std::vector<std::deque<QPkt>> fifo; //!< per input port
+        std::vector<std::uint32_t> reserved;
+        std::vector<arb::MatrixArbiter> outArb;
+        std::vector<std::uint32_t> outHolder; //!< input or kNone
+        std::vector<Conn> conn;
+    };
+
+    static constexpr std::uint32_t kNone = ~0u;
+
+    std::uint32_t routePort(std::uint32_t router,
+                            const QPkt &pkt) const;
+
+    std::shared_ptr<Topology> topo_;
+    std::uint32_t packetLen_;
+    std::uint32_t fifoPkts_;
+    std::vector<Router> routers_;
+    std::vector<std::deque<QPkt>> source_; //!< per node
+    std::function<void(std::uint64_t)> deliverFn_;
+    Rng rng_;
+
+    net::Cycle cycle_ = 0;
+    bool measuring_ = false;
+    std::uint64_t measInjected_ = 0;
+    std::uint64_t delivered_ = 0;
+    RunningStat latency_;
+    RunningStat hops_;
+    RunningStat linkMm_;
+};
+
+} // namespace hirise::noc
+
+#endif // HIRISE_NOC_GRAPH_NOC_HH

@@ -1,0 +1,175 @@
+#include "noc/topology.hh"
+
+#include "common/logging.hh"
+
+namespace hirise::noc {
+
+// ---------------------------------------------------------------------
+// LowRadixMesh
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Mesh inter-router port order after the node ports: N, E, S, W. */
+enum MeshDir : std::uint32_t
+{
+    MN = 0,
+    ME = 1,
+    MS = 2,
+    MW = 3
+};
+
+} // namespace
+
+LowRadixMesh::LowRadixMesh(std::uint32_t k, std::uint32_t concentration,
+                           double tile_mm)
+    : k_(k), conc_(concentration), tileMm_(tile_mm)
+{
+    sim_assert(k >= 2 && concentration >= 1, "bad mesh shape");
+}
+
+PortRef
+LowRadixMesh::link(std::uint32_t router, std::uint32_t port) const
+{
+    PortRef out;
+    if (port < conc_)
+        return out; // node port
+    std::uint32_t d = port - conc_;
+    std::uint32_t x = router % k_, y = router / k_;
+    switch (d) {
+      case MN:
+        if (y == 0)
+            return out;
+        --y;
+        break;
+      case ME:
+        if (x + 1 == k_)
+            return out;
+        ++x;
+        break;
+      case MS:
+        if (y + 1 == k_)
+            return out;
+        ++y;
+        break;
+      case MW:
+        if (x == 0)
+            return out;
+        --x;
+        break;
+      default:
+        return out;
+    }
+    static constexpr std::uint32_t kOpp[4] = {MS, MW, MN, ME};
+    out.router = y * k_ + x;
+    out.port = conc_ + kOpp[d];
+    out.valid = true;
+    return out;
+}
+
+std::uint32_t
+LowRadixMesh::route(std::uint32_t router,
+                    std::uint32_t dst_router) const
+{
+    std::uint32_t x = router % k_, y = router / k_;
+    std::uint32_t dx = dst_router % k_, dy = dst_router / k_;
+    if (x < dx)
+        return conc_ + ME;
+    if (x > dx)
+        return conc_ + MW;
+    if (y < dy)
+        return conc_ + MS;
+    sim_assert(y > dy, "route called at destination router");
+    return conc_ + MN;
+}
+
+// ---------------------------------------------------------------------
+// FlattenedButterfly
+// ---------------------------------------------------------------------
+
+FlattenedButterfly::FlattenedButterfly(std::uint32_t rows,
+                                       std::uint32_t cols,
+                                       std::uint32_t concentration,
+                                       double tile_mm)
+    : rows_(rows), cols_(cols), conc_(concentration), tileMm_(tile_mm)
+{
+    sim_assert(rows >= 2 && cols >= 2 && concentration >= 1,
+               "bad flattened-butterfly shape");
+}
+
+std::uint32_t
+FlattenedButterfly::rowPort(std::uint32_t router,
+                            std::uint32_t dst_col) const
+{
+    std::uint32_t col = router % cols_;
+    sim_assert(dst_col != col, "no self row port");
+    std::uint32_t rank = dst_col < col ? dst_col : dst_col - 1;
+    return conc_ + rank;
+}
+
+std::uint32_t
+FlattenedButterfly::colPort(std::uint32_t router,
+                            std::uint32_t dst_row) const
+{
+    std::uint32_t row = router / cols_;
+    sim_assert(dst_row != row, "no self column port");
+    std::uint32_t rank = dst_row < row ? dst_row : dst_row - 1;
+    return conc_ + (cols_ - 1) + rank;
+}
+
+PortRef
+FlattenedButterfly::link(std::uint32_t router,
+                         std::uint32_t port) const
+{
+    PortRef out;
+    if (port < conc_)
+        return out;
+    std::uint32_t row = router / cols_, col = router % cols_;
+    std::uint32_t d = port - conc_;
+    if (d < cols_ - 1) {
+        // Row link to another column.
+        std::uint32_t dst_col = d < col ? d : d + 1;
+        out.router = row * cols_ + dst_col;
+        out.port = rowPort(out.router, col);
+    } else {
+        std::uint32_t r = d - (cols_ - 1);
+        if (r >= rows_ - 1)
+            return out;
+        std::uint32_t dst_row = r < row ? r : r + 1;
+        out.router = dst_row * cols_ + col;
+        out.port = colPort(out.router, row);
+    }
+    out.valid = true;
+    return out;
+}
+
+std::uint32_t
+FlattenedButterfly::route(std::uint32_t router,
+                          std::uint32_t dst_router) const
+{
+    std::uint32_t col = router % cols_;
+    std::uint32_t dst_row = dst_router / cols_;
+    std::uint32_t dst_col = dst_router % cols_;
+    // Row dimension first, then column: at most two hops.
+    if (dst_col != col)
+        return rowPort(router, dst_col);
+    std::uint32_t row = router / cols_;
+    sim_assert(dst_row != row, "route called at destination router");
+    return colPort(router, dst_row);
+}
+
+double
+FlattenedButterfly::linkLengthMm(std::uint32_t router,
+                                 std::uint32_t port) const
+{
+    PortRef far = link(router, port);
+    if (!far.valid)
+        return 0.0;
+    std::uint32_t row = router / cols_, col = router % cols_;
+    std::uint32_t frow = far.router / cols_, fcol = far.router % cols_;
+    std::uint32_t span = frow > row ? frow - row : row - frow;
+    span += fcol > col ? fcol - col : col - fcol;
+    return span * tileMm_;
+}
+
+} // namespace hirise::noc

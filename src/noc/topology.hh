@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Comparison topologies for the paper's discussion section (VI-E):
+ * a 2D mesh of low-radix routers and a flattened butterfly, the two
+ * networks the Swizzle-Switch line of work (and therefore Hi-Rise)
+ * is measured against. Both are deterministic-routing, router-graph
+ * topologies consumed by GraphNoc.
+ */
+
+#ifndef HIRISE_NOC_TOPOLOGY_HH
+#define HIRISE_NOC_TOPOLOGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace hirise::noc {
+
+/** An inter-router or router-node connection endpoint. */
+struct PortRef
+{
+    std::uint32_t router = 0;
+    std::uint32_t port = 0;
+    bool valid = false;
+};
+
+/**
+ * A router-graph topology with deterministic routing. Port indices
+ * 0..concentration-1 of every router are node (injection/ejection)
+ * ports; the rest are inter-router ports.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    virtual std::string name() const = 0;
+    virtual std::uint32_t numRouters() const = 0;
+    /** Ports per router (node ports + inter-router ports). */
+    virtual std::uint32_t radix() const = 0;
+    virtual std::uint32_t concentration() const = 0;
+
+    std::uint32_t
+    numNodes() const
+    {
+        return numRouters() * concentration();
+    }
+
+    /** Router + port a node attaches to. */
+    PortRef
+    attach(std::uint32_t node) const
+    {
+        PortRef p;
+        p.router = node / concentration();
+        p.port = node % concentration();
+        p.valid = true;
+        return p;
+    }
+
+    /** The far end of an inter-router port; invalid for node ports
+     *  or unused edge ports. */
+    virtual PortRef link(std::uint32_t router,
+                         std::uint32_t port) const = 0;
+
+    /** Deterministic routing: the output port at @p router for a
+     *  packet headed to @p dst_router (== ejection port handled by
+     *  caller when dst_router == router). */
+    virtual std::uint32_t route(std::uint32_t router,
+                                std::uint32_t dst_router) const = 0;
+
+    /** Physical length (mm) of the wire behind an inter-router
+     *  port, for the energy model. */
+    virtual double linkLengthMm(std::uint32_t router,
+                                std::uint32_t port) const = 0;
+};
+
+/**
+ * k x k mesh with one low-radix (concentration + 4)-port router per
+ * tile group; XY dimension-ordered routing. The classic baseline the
+ * paper's introduction argues does not scale.
+ */
+class LowRadixMesh : public Topology
+{
+  public:
+    /**
+     * @param k              routers per edge
+     * @param concentration  nodes per router
+     * @param tile_mm        router-to-router hop length (mm)
+     */
+    LowRadixMesh(std::uint32_t k, std::uint32_t concentration,
+                 double tile_mm);
+
+    std::string name() const override { return "mesh"; }
+    std::uint32_t numRouters() const override { return k_ * k_; }
+    std::uint32_t radix() const override { return conc_ + 4; }
+    std::uint32_t concentration() const override { return conc_; }
+    PortRef link(std::uint32_t router,
+                 std::uint32_t port) const override;
+    std::uint32_t route(std::uint32_t router,
+                        std::uint32_t dst_router) const override;
+    double
+    linkLengthMm(std::uint32_t, std::uint32_t) const override
+    {
+        return tileMm_;
+    }
+
+  private:
+    std::uint32_t k_, conc_;
+    double tileMm_;
+};
+
+/**
+ * Flattened butterfly (Kim et al. [20]): routers on an r x c grid,
+ * each directly linked to every other router in its row and column;
+ * routing takes at most one row hop plus one column hop.
+ */
+class FlattenedButterfly : public Topology
+{
+  public:
+    FlattenedButterfly(std::uint32_t rows, std::uint32_t cols,
+                       std::uint32_t concentration, double tile_mm);
+
+    std::string name() const override { return "flattened-butterfly"; }
+    std::uint32_t numRouters() const override { return rows_ * cols_; }
+    std::uint32_t
+    radix() const override
+    {
+        return conc_ + (rows_ - 1) + (cols_ - 1);
+    }
+    std::uint32_t concentration() const override { return conc_; }
+    PortRef link(std::uint32_t router,
+                 std::uint32_t port) const override;
+    std::uint32_t route(std::uint32_t router,
+                        std::uint32_t dst_router) const override;
+    double linkLengthMm(std::uint32_t router,
+                        std::uint32_t port) const override;
+
+  private:
+    /** Row-direction ports come first after the node ports, ordered
+     *  by ascending destination column (skipping self); then the
+     *  column-direction ports by ascending destination row. */
+    std::uint32_t rowPort(std::uint32_t router,
+                          std::uint32_t dst_col) const;
+    std::uint32_t colPort(std::uint32_t router,
+                          std::uint32_t dst_row) const;
+
+    std::uint32_t rows_, cols_, conc_;
+    double tileMm_;
+};
+
+} // namespace hirise::noc
+
+#endif // HIRISE_NOC_TOPOLOGY_HH

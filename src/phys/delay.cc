@@ -1,0 +1,29 @@
+#include "phys/delay.hh"
+
+namespace hirise::phys {
+
+double
+busCapFf(const TechParams &tech, std::uint32_t n_xp, double xp_side_um,
+         double xp_cap_ff)
+{
+    double len = static_cast<double>(n_xp) * xp_side_um;
+    return len * tech.wireCapPerUm +
+           static_cast<double>(n_xp) * xp_cap_ff;
+}
+
+double
+busDelayPs(const TechParams &tech, double driver_res_ohm,
+           std::uint32_t n_xp, double xp_side_um, double xp_cap_ff,
+           double extra_cap_ff)
+{
+    double len = static_cast<double>(n_xp) * xp_side_um;
+    double c_tot = busCapFf(tech, n_xp, xp_side_um, xp_cap_ff) +
+                   extra_cap_ff;
+    double r_wire = len * tech.wireResPerUm;
+    // fF * ohm = 1e-15 s * 1e0 -> convert to ps via 1e-3.
+    double t_drv = 0.69 * driver_res_ohm * c_tot * 1e-3;
+    double t_wire = 0.38 * r_wire * c_tot * 1e-3;
+    return t_drv + t_wire;
+}
+
+} // namespace hirise::phys

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Elmore-RC delay primitives for crossbar bus segments.
+ */
+
+#ifndef HIRISE_PHYS_DELAY_HH
+#define HIRISE_PHYS_DELAY_HH
+
+#include <cstdint>
+
+#include "phys/tech.hh"
+
+namespace hirise::phys {
+
+/**
+ * Delay (ps) of a driver charging/discharging a distributed-RC bus
+ * that crosses @p n_xp crosspoints of side @p xp_side_um, each adding
+ * @p xp_cap_ff of device load, plus @p extra_cap_ff of lumped load at
+ * the far end (e.g. TSV parasitics).
+ *
+ * t = 0.69 * Rdrv * Ctot + 0.38 * Rwire * Cwire-distributed
+ * (standard Elmore coefficients for a step driver into a distributed
+ * line; see Bakoglu).
+ */
+double busDelayPs(const TechParams &tech, double driver_res_ohm,
+                  std::uint32_t n_xp, double xp_side_um,
+                  double xp_cap_ff, double extra_cap_ff = 0.0);
+
+/** Total capacitance (fF) of the same bus, for the energy model. */
+double busCapFf(const TechParams &tech, std::uint32_t n_xp,
+                double xp_side_um, double xp_cap_ff);
+
+} // namespace hirise::phys
+
+#endif // HIRISE_PHYS_DELAY_HH

@@ -1,0 +1,55 @@
+#include "phys/floorplan.hh"
+
+#include <cmath>
+
+namespace hirise::phys {
+
+double
+SystemEnergyModel::chipEdgeMm(std::uint32_t layers) const
+{
+    double area =
+        fp_.nodes * fp_.tileAreaMm2 / static_cast<double>(layers);
+    return std::sqrt(area);
+}
+
+double
+SystemEnergyModel::linkPjPerMm(std::uint32_t flit_bits) const
+{
+    // fF/um * 1000 um * bits * V^2 -> pJ (1e-3 per fF at 1 V).
+    const TechParams &t = model_.tech();
+    return t.wireCapPerUm * 1000.0 * flit_bits * t.vddV * t.vddV *
+           1e-3;
+}
+
+double
+SystemEnergyModel::centralPjPerFlit(const SwitchSpec &spec) const
+{
+    auto rep = model_.evaluate(spec);
+    std::uint32_t layers =
+        spec.topo == Topology::Flat2D ? 1 : spec.layers;
+    double avg_link =
+        fp_.centralLinkFactor * chipEdgeMm(layers);
+    return rep.energyPerTransPj +
+           2.0 * avg_link * linkPjPerMm(spec.flitBits);
+}
+
+double
+SystemEnergyModel::routedPjPerFlit(const SwitchSpec &router_spec,
+                                   double avg_router_hops,
+                                   double avg_link_mm,
+                                   std::uint32_t concentration) const
+{
+    auto rep = model_.evaluate(router_spec);
+    double buffer_pj =
+        fp_.bufferPjPerBit * router_spec.flitBits;
+    // Node <-> router attach wires: half the router group's edge on
+    // the way in and again on the way out.
+    double group_edge =
+        std::sqrt(fp_.tileAreaMm2 * concentration);
+    double attach_mm = group_edge; // 2 x half edge
+    return avg_router_hops * (rep.energyPerTransPj + buffer_pj) +
+           (avg_link_mm + attach_mm) *
+               linkPjPerMm(router_spec.flitBits);
+}
+
+} // namespace hirise::phys

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Floorplan-level network energy model for the discussion-section
+ * comparison (paper VI-E): energy per flit moved end to end through
+ * (a) a central flat 2D Swizzle-Switch, (b) a central 3D Hi-Rise
+ * switch, (c) a low-radix mesh, and (d) a flattened butterfly, on a
+ * 64-core chip.
+ *
+ * Assumptions (documented here because the paper inherits its
+ * numbers from Sewell et al. [12] without spelling them out):
+ *  - each core tile is tileAreaMm2 of silicon; the 2D chip is a
+ *    square of all tiles, the 3D chip folds the tiles over the
+ *    switch's layer count, shrinking the footprint and therefore
+ *    every global wire;
+ *  - a centralized switch sits mid-die; the average core<->switch
+ *    link is centralLinkFactor x chip edge, traversed once on
+ *    injection and once on ejection;
+ *  - routed topologies pay per traversed router: the router crossbar
+ *    energy (from the calibrated PhysModel) plus an input-buffer
+ *    write+read at bufferPjPerBit (central Swizzle-Switches are
+ *    unbuffered inside, which is exactly the paper's efficiency
+ *    argument);
+ *  - links are repeated global wires at the technology's wire cap.
+ */
+
+#ifndef HIRISE_PHYS_FLOORPLAN_HH
+#define HIRISE_PHYS_FLOORPLAN_HH
+
+#include "common/spec.hh"
+#include "phys/model.hh"
+
+namespace hirise::phys {
+
+struct FloorplanParams
+{
+    std::uint32_t nodes = 64;
+    double tileAreaMm2 = 1.0;
+    /** Average core<->central-switch wire, fraction of chip edge. */
+    double centralLinkFactor = 0.375;
+    /** Buffered-router input buffer energy (write + read), pJ/bit. */
+    double bufferPjPerBit = 0.15;
+};
+
+class SystemEnergyModel
+{
+  public:
+    explicit SystemEnergyModel(FloorplanParams fp = {},
+                               TechParams tech = TechParams::nm32())
+        : fp_(fp), model_(tech)
+    {}
+
+    const FloorplanParams &params() const { return fp_; }
+
+    /** Edge (mm) of the square die holding the tiles, folded over
+     *  @p layers for 3D stacks. */
+    double chipEdgeMm(std::uint32_t layers) const;
+
+    /** Wire energy of one flit over one mm of repeated global link. */
+    double linkPjPerMm(std::uint32_t flit_bits) const;
+
+    /** Energy of one flit through a centralized switch, including
+     *  the two global links. 3D specs use the folded footprint. */
+    double centralPjPerFlit(const SwitchSpec &spec) const;
+
+    /** Energy of one flit through a routed (buffered) topology given
+     *  measured average router hops and link millimetres, plus the
+     *  injection/ejection wires from the node to its router (half
+     *  the router group's edge on each side). */
+    double routedPjPerFlit(const SwitchSpec &router_spec,
+                           double avg_router_hops,
+                           double avg_link_mm,
+                           std::uint32_t concentration) const;
+
+    const PhysModel &physModel() const { return model_; }
+
+  private:
+    FloorplanParams fp_;
+    PhysModel model_;
+};
+
+} // namespace hirise::phys
+
+#endif // HIRISE_PHYS_FLOORPLAN_HH

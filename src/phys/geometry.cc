@@ -1,0 +1,96 @@
+#include "phys/geometry.hh"
+
+#include <algorithm>
+
+namespace hirise::phys {
+
+double
+xpSideUm(const SwitchSpec &spec, const TechParams &tech)
+{
+    double tracks = static_cast<double>(spec.flitBits) /
+                    static_cast<double>(tech.metalLayersPerDir);
+    return tracks * tech.signalPitchUm;
+}
+
+std::uint32_t
+localRows(const SwitchSpec &spec)
+{
+    return spec.portsPerLayer();
+}
+
+std::uint32_t
+localCols(const SwitchSpec &spec)
+{
+    return spec.portsPerLayer() + spec.incomingChannels();
+}
+
+std::uint32_t
+subBlockRows(const SwitchSpec &spec)
+{
+    return spec.incomingChannels() + 1;
+}
+
+std::uint32_t
+subBlocksPerLayer(const SwitchSpec &spec)
+{
+    return spec.portsPerLayer();
+}
+
+std::uint64_t
+totalCrosspoints(const SwitchSpec &spec)
+{
+    switch (spec.topo) {
+      case Topology::Flat2D:
+      case Topology::Folded3D:
+        // The folded switch is still a full N x N matrix, merely
+        // redistributed over layers (paper section II-B).
+        return std::uint64_t(spec.radix) * spec.radix;
+      case Topology::HiRise: {
+        std::uint64_t local = std::uint64_t(localRows(spec)) *
+                              localCols(spec);
+        std::uint64_t inter = std::uint64_t(subBlocksPerLayer(spec)) *
+                              subBlockRows(spec);
+        return (local + inter) * spec.layers;
+      }
+    }
+    return 0;
+}
+
+std::uint64_t
+tsvCount(const SwitchSpec &spec)
+{
+    switch (spec.topo) {
+      case Topology::Flat2D:
+        return 0;
+      case Topology::Folded3D:
+        // Every one of the N output buses must reach every layer.
+        return std::uint64_t(spec.radix) * spec.flitBits;
+      case Topology::HiRise:
+        // L layers, each with c*(L-1) outgoing vertical channels.
+        return std::uint64_t(spec.layers) * spec.channels *
+               (spec.layers - 1) * spec.flitBits;
+    }
+    return 0;
+}
+
+double
+tsvAreaUm2(const TechParams &tech, double pitch_um)
+{
+    double a = tech.tsvAreaA + tech.tsvAreaB * pitch_um +
+               tech.tsvAreaC * pitch_um * pitch_um;
+    return std::max(0.0, a);
+}
+
+double
+areaMm2(const SwitchSpec &spec, const TechParams &tech)
+{
+    double side = xpSideUm(spec, tech);
+    double xp_um2 = side * side;
+    double total_um2 =
+        static_cast<double>(totalCrosspoints(spec)) * xp_um2;
+    total_um2 += static_cast<double>(tsvCount(spec)) *
+                 tsvAreaUm2(tech, tech.tsvPitchUm);
+    return total_um2 * 1e-6;
+}
+
+} // namespace hirise::phys

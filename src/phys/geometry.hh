@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Crosspoint-grid geometry: block dimensions, crosspoint counts, and
+ * TSV counts for each topology. The crossbar is wire-pitch limited
+ * (paper section IV-D): a crosspoint is as wide as the stacked,
+ * double-pitched output bus and as tall as the input bus.
+ */
+
+#ifndef HIRISE_PHYS_GEOMETRY_HH
+#define HIRISE_PHYS_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/spec.hh"
+#include "phys/tech.hh"
+
+namespace hirise::phys {
+
+/**
+ * Side length of one crosspoint in um: bus bits divided over the
+ * stacked metal layers, at double pitch. For 128-bit flits in 32 nm
+ * this is 128/2 * 0.2 um = 12.8 um (matches the paper's areas).
+ */
+double xpSideUm(const SwitchSpec &spec, const TechParams &tech);
+
+/** Rows (inputs) of the Hi-Rise local switch on one layer. */
+std::uint32_t localRows(const SwitchSpec &spec);
+
+/** Columns (intermediate outputs + outgoing L2LCs) of the local
+ *  switch: N/L + c*(L-1). */
+std::uint32_t localCols(const SwitchSpec &spec);
+
+/** Crosspoints in one inter-layer sub-block: c*(L-1) L2LCs + 1 local
+ *  intermediate output. */
+std::uint32_t subBlockRows(const SwitchSpec &spec);
+
+/** Number of sub-blocks per layer (= final outputs per layer). */
+std::uint32_t subBlocksPerLayer(const SwitchSpec &spec);
+
+/** Total crosspoints summed over all layers. */
+std::uint64_t totalCrosspoints(const SwitchSpec &spec);
+
+/**
+ * Number of TSVs, using the paper's accounting (vertical signal lines
+ * times bus width): folded = N * flitBits; Hi-Rise = L * c * (L-1) *
+ * flitBits; 2D = 0. Matches Table I / Table IV exactly.
+ */
+std::uint64_t tsvCount(const SwitchSpec &spec);
+
+/** Silicon area cost of one TSV (keep-out + routing), um^2. */
+double tsvAreaUm2(const TechParams &tech, double pitch_um);
+
+/** Total switch area in mm^2 (all layers), including TSV overhead. */
+double areaMm2(const SwitchSpec &spec, const TechParams &tech);
+
+} // namespace hirise::phys
+
+#endif // HIRISE_PHYS_GEOMETRY_HH

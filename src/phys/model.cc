@@ -1,0 +1,169 @@
+#include "phys/model.hh"
+
+#include "phys/delay.hh"
+#include "phys/geometry.hh"
+
+namespace hirise::phys {
+
+double
+PhysReport::peakTbps(std::uint32_t radix, std::uint32_t flit_bits) const
+{
+    return freqGhz * 1e9 * static_cast<double>(radix) *
+           static_cast<double>(flit_bits) * 1e-12;
+}
+
+double
+PhysModel::tsvCapFf() const
+{
+    return tech_.tsvEffCapFf +
+           tech_.tsvCapPerPitchUm * (tech_.tsvPitchUm - 0.8);
+}
+
+double
+PhysModel::flat2dCyclePs(const SwitchSpec &spec) const
+{
+    double side = xpSideUm(spec, tech_);
+    double t_in = busDelayPs(tech_, tech_.driverResOhm, spec.radix, side,
+                             tech_.xpInputCapFf);
+    double t_out = busDelayPs(tech_, tech_.pulldownResOhm, spec.radix,
+                              side, tech_.xpOutputCapFf);
+    return tech_.fixed2dPs + t_in + t_out;
+}
+
+double
+PhysModel::foldedCyclePs(const SwitchSpec &spec) const
+{
+    // Logically the same N x N matrix; each output bus additionally
+    // crosses L-1 layer boundaries (TSV landings + redistribution).
+    double side = xpSideUm(spec, tech_);
+    double extra = static_cast<double>(spec.layers - 1) * tsvCapFf();
+    double t_in = busDelayPs(tech_, tech_.driverResOhm, spec.radix, side,
+                             tech_.xpInputCapFf);
+    double t_out = busDelayPs(tech_, tech_.pulldownResOhm, spec.radix,
+                              side, tech_.xpOutputCapFf, extra);
+    // Series TSV resistance is tiny (1.5 ohm) but modeled for
+    // completeness: it sees roughly the downstream redistribution cap.
+    double t_tsv_r = 0.69 * static_cast<double>(spec.layers - 1) *
+                     tech_.tsvResOhm * tsvCapFf() * 1e-3;
+    return tech_.fixed2dPs + t_in + t_out + t_tsv_r;
+}
+
+double
+PhysModel::hiRiseCyclePs(const SwitchSpec &spec) const
+{
+    double side = xpSideUm(spec, tech_);
+
+    // Phase 1: local switch evaluates and transmits to the inter-layer
+    // switch inputs (paper Fig 8). Input bus spans all local columns;
+    // the granted output column spans all local rows; then the L2LC
+    // descends the (worst-case L-1) TSV chain and runs across the
+    // destination layer's N/L sub-blocks.
+    double t_in = busDelayPs(tech_, tech_.driverResOhm, localCols(spec),
+                             side, tech_.xpInputCapFf);
+    double t_col = busDelayPs(tech_, tech_.pulldownResOhm,
+                              localRows(spec), side,
+                              tech_.xpOutputCapFf);
+    double chain_cap = static_cast<double>(spec.layers - 1) * tsvCapFf();
+    double t_tsv = 0.69 * tech_.driverResOhm * chain_cap * 1e-3 +
+                   0.69 * static_cast<double>(spec.layers - 1) *
+                       tech_.tsvResOhm * chain_cap * 1e-3;
+    double t_route = busDelayPs(tech_, tech_.driverResOhm,
+                                subBlocksPerLayer(spec), side,
+                                tech_.xpInputCapFf);
+    double p1 = tech_.fixedPhase1Ps + t_in + t_col + t_tsv + t_route;
+    if (spec.alloc == ChannelAlloc::Priority)
+        p1 += tech_.prioAllocDelayPs;
+
+    // Phase 2: the inter-layer sub-block column evaluates.
+    double t_sub = busDelayPs(tech_, tech_.pulldownResOhm,
+                              subBlockRows(spec), side,
+                              tech_.xpOutputCapFf);
+    double p2 = tech_.fixedPhase2Ps + t_sub;
+    if (spec.arb == ArbScheme::Clrg)
+        p2 += tech_.clrgMuxDelayPs;
+
+    return p1 + p2;
+}
+
+double
+PhysModel::cycleTimePs(const SwitchSpec &spec) const
+{
+    switch (spec.topo) {
+      case Topology::Flat2D: return flat2dCyclePs(spec);
+      case Topology::Folded3D: return foldedCyclePs(spec);
+      case Topology::HiRise: return hiRiseCyclePs(spec);
+    }
+    panic("unreachable topology");
+}
+
+double
+PhysModel::energyPerTransPj(const SwitchSpec &spec) const
+{
+    double side = xpSideUm(spec, tech_);
+    double v2 = tech_.vddV * tech_.vddV;
+    double bits = static_cast<double>(spec.flitBits);
+
+    double path_ff = 0.0; // per-bit switched capacitance on the path
+    double tsv_ff = 0.0;  // per-bit TSV/redistribution capacitance
+    double extra_pj = 0.0;
+
+    switch (spec.topo) {
+      case Topology::Flat2D:
+        path_ff = busCapFf(tech_, spec.radix, side, tech_.xpInputCapFf) +
+                  busCapFf(tech_, spec.radix, side, tech_.xpOutputCapFf);
+        break;
+      case Topology::Folded3D:
+        path_ff = busCapFf(tech_, spec.radix, side, tech_.xpInputCapFf) +
+                  busCapFf(tech_, spec.radix, side, tech_.xpOutputCapFf);
+        tsv_ff = static_cast<double>(spec.layers - 1) * tsvCapFf();
+        break;
+      case Topology::HiRise: {
+        double c_in = busCapFf(tech_, localCols(spec), side,
+                               tech_.xpInputCapFf);
+        double c_col = busCapFf(tech_, localRows(spec), side,
+                                tech_.xpOutputCapFf);
+        double c_sub = busCapFf(tech_, subBlockRows(spec), side,
+                                tech_.xpOutputCapFf);
+        // Same-layer transactions take the dedicated intermediate-
+        // output route (~half the inter-layer switch width); cross-
+        // layer ones run the full shared L2LC bus plus TSVs.
+        double c_route_local = busCapFf(
+            tech_, (subBlocksPerLayer(spec) + 1) / 2, side,
+            tech_.xpInputCapFf);
+        double c_route_cross = busCapFf(tech_, subBlocksPerLayer(spec),
+                                        side, tech_.xpInputCapFf);
+        double layers = static_cast<double>(spec.layers);
+        double p_local = 1.0 / layers;
+        double common = c_in + c_col + c_sub;
+        path_ff = common + p_local * c_route_local +
+                  (1.0 - p_local) * c_route_cross;
+        // Average layer distance of cross-layer traffic is (L+1)/3.
+        double avg_cross = (layers + 1.0) / 3.0;
+        tsv_ff = (1.0 - p_local) * avg_cross * tsvCapFf();
+        if (spec.arb == ArbScheme::Clrg)
+            extra_pj += tech_.clrgEnergyPj;
+        break;
+      }
+    }
+
+    double e = bits * v2 *
+               (tech_.energyActivity * path_ff +
+                tech_.tsvEnergyActivity * tsv_ff) *
+               1e-3; // fF * V^2 -> pJ with the 1e-3 scale
+    return e + tech_.energyFixedPj + extra_pj;
+}
+
+PhysReport
+PhysModel::evaluate(const SwitchSpec &spec) const
+{
+    spec.validate();
+    PhysReport r;
+    r.areaMm2 = areaMm2(spec, tech_);
+    r.cycleTimePs = cycleTimePs(spec);
+    r.freqGhz = 1000.0 / r.cycleTimePs;
+    r.energyPerTransPj = energyPerTransPj(spec);
+    r.numTsvs = tsvCount(spec);
+    return r;
+}
+
+} // namespace hirise::phys

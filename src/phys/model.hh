@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Top-level physical model: area / frequency / energy / TSV count for
+ * any SwitchSpec. See DESIGN.md section 4.3 and tech.hh for the
+ * calibration story.
+ */
+
+#ifndef HIRISE_PHYS_MODEL_HH
+#define HIRISE_PHYS_MODEL_HH
+
+#include <cstdint>
+
+#include "common/spec.hh"
+#include "phys/tech.hh"
+
+namespace hirise::phys {
+
+/** Scalar implementation-cost outputs for one switch configuration. */
+struct PhysReport
+{
+    double areaMm2 = 0.0;
+    double freqGhz = 0.0;
+    double cycleTimePs = 0.0;
+    double energyPerTransPj = 0.0; //!< one flitBits-wide transaction
+    std::uint64_t numTsvs = 0;
+
+    /**
+     * Peak bandwidth if the switch moved one flit per output per
+     * cycle; actual throughput multiplies this by the simulated
+     * saturation utilization.
+     */
+    double peakTbps(std::uint32_t radix, std::uint32_t flit_bits) const;
+};
+
+/**
+ * Analytical circuit model of the three switch datapaths.
+ *
+ * Delay composition (buffered Elmore segments, ps):
+ *  - Flat2D:   fixed + inBus(N) + outBus(N)
+ *  - Folded3D: Flat2D with (L-1) TSV landings loading every output bus
+ *  - HiRise:   phase1 [local switch inBus + outBus + TSV chain + route
+ *              across the destination inter-layer switch] +
+ *              phase2 [sub-block column + CLRG mux if enabled]
+ */
+class PhysModel
+{
+  public:
+    explicit PhysModel(TechParams tech = TechParams::nm32())
+        : tech_(tech)
+    {}
+
+    const TechParams &tech() const { return tech_; }
+
+    PhysReport evaluate(const SwitchSpec &spec) const;
+
+    /** Cycle time in ps (validated spec). */
+    double cycleTimePs(const SwitchSpec &spec) const;
+
+    /** Energy per flitBits-wide transaction, pJ. */
+    double energyPerTransPj(const SwitchSpec &spec) const;
+
+  private:
+    double flat2dCyclePs(const SwitchSpec &spec) const;
+    double foldedCyclePs(const SwitchSpec &spec) const;
+    double hiRiseCyclePs(const SwitchSpec &spec) const;
+
+    /** Effective TSV cap per layer crossing at the configured pitch. */
+    double tsvCapFf() const;
+
+    TechParams tech_;
+};
+
+} // namespace hirise::phys
+
+#endif // HIRISE_PHYS_MODEL_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Technology parameters for the analytical circuit model.
+ *
+ * The paper evaluates Hi-Rise with SPICE netlists in a commercial 32 nm
+ * SOI process, verified against 2D Swizzle-Switch silicon. We do not
+ * have that process kit, so this module provides a physically
+ * structured Elmore-RC model whose constants are calibrated against the
+ * paper's published anchor points (Tables I/IV/V, Figs 9/12); see
+ * DESIGN.md section 2. All lengths in micrometers, capacitance in fF,
+ * resistance in ohms, time in ps, energy in pJ.
+ */
+
+#ifndef HIRISE_PHYS_TECH_HH
+#define HIRISE_PHYS_TECH_HH
+
+#include <cstdint>
+
+namespace hirise::phys {
+
+/**
+ * Process + circuit constants. Defaults model the paper's 32 nm SOI
+ * setup (1 V, 27 C, typical corner) with the Tezzaron-style TSV from
+ * Table II (0.8 um pitch, 0.2 fF feed-through, 1.5 ohm).
+ */
+struct TechParams
+{
+    // -- Geometry ---------------------------------------------------
+    /** Signal-to-signal pitch on the crossbar metals. The paper double-
+     *  pitches wires to cut coupling, so this is 2x the raw pitch. */
+    double signalPitchUm = 0.2;
+    /** Metal layers stacked per routing direction (paper: two). */
+    std::uint32_t metalLayersPerDir = 2;
+
+    // -- Wires ------------------------------------------------------
+    double wireCapPerUm = 0.20;  //!< fF/um, double-pitched mid metal
+    double wireResPerUm = 0.365; //!< ohm/um
+
+    // -- Crosspoint loading (per crosspoint, per bit line) ----------
+    double xpInputCapFf = 0.8;   //!< gate load on the input bus
+    double xpOutputCapFf = 1.44; //!< drain/junction load on the output bus
+
+    // -- Drivers / sensing -------------------------------------------
+    double driverResOhm = 1180.0;   //!< input bus driver
+    double pulldownResOhm = 1180.0; //!< output bus pull-down
+
+    /** Fixed per-cycle overhead of a flat (single-stage) switch:
+     *  sense-amp + latch + precharge margin + clock skew. */
+    double fixed2dPs = 156.0;
+    /** Fixed overhead of Hi-Rise phase 1 (no output latch: intermediate
+     *  outputs feed phase 2 directly, Fig 8). */
+    double fixedPhase1Ps = 75.0;
+    /** Fixed overhead of Hi-Rise phase 2 (sense-amp + latch + margin). */
+    double fixedPhase2Ps = 110.5;
+
+    /** Extra phase-2 delay of the CLRG crosspoint (class counter read,
+     *  Mux1/Mux2 and priority-select muxes, Fig 7). */
+    double clrgMuxDelayPs = 8.5;
+    /** Extra phase-1 delay of the priority-based channel allocator
+     *  (serialized arbitration across L2LCs, section III-A). */
+    double prioAllocDelayPs = 35.0;
+
+    // -- TSVs ---------------------------------------------------------
+    double tsvPitchUm = 0.8;
+    double tsvFeedThroughFf = 0.2;
+    double tsvResOhm = 1.5;
+    /** Effective added capacitance per layer crossing including landing
+     *  pads and redistribution routing, at the nominal 0.8 um pitch. */
+    double tsvEffCapFf = 15.0;
+    /** Pitch dependence of the effective TSV capacitance (fF per um of
+     *  pitch beyond nominal): larger TSVs have larger parasitics. */
+    double tsvCapPerPitchUm = 16.25;
+
+    /** Per-TSV silicon area cost (keep-out + routing), calibrated as
+     *  max(0, a + b*pitch + c*pitch^2) in um^2; reproduces the Table
+     *  I/IV area deltas at 0.8 um and the Fig 12 area trend. */
+    double tsvAreaA = -0.522;
+    double tsvAreaB = 3.98;
+    double tsvAreaC = 1.178;
+
+    // -- Energy -------------------------------------------------------
+    double vddV = 1.0;
+    /** Activity/reuse factor: the output lines are exercised both in
+     *  the arbitration phase and the data phase; input lines toggle
+     *  with < 1 activity. Lumped multiplier on path capacitance. */
+    double energyActivity = 1.0448;
+    /** Activity on TSV/redistribution segments (switch only when the
+     *  crossing actually toggles). */
+    double tsvEnergyActivity = 0.5;
+    /** Fixed clock + control energy per transaction (pJ). */
+    double energyFixedPj = 8.0;
+    /** Added energy of CLRG class counters + muxes per transaction. */
+    double clrgEnergyPj = 2.0;
+
+    /** The paper's 32 nm setup. */
+    static TechParams nm32() { return TechParams{}; }
+};
+
+} // namespace hirise::phys
+
+#endif // HIRISE_PHYS_TECH_HH

@@ -1,0 +1,139 @@
+#include "rtl/wired_arbiter.hh"
+
+#include "common/logging.hh"
+
+namespace hirise::rtl {
+
+// ---------------------------------------------------------------------
+// WiredLrgColumn
+// ---------------------------------------------------------------------
+
+WiredLrgColumn::WiredLrgColumn(std::uint32_t n)
+    : n_(n), outranks_(std::size_t(n) * n, false), lines_(n)
+{
+    for (std::uint32_t i = 0; i < n_; ++i)
+        for (std::uint32_t j = i + 1; j < n_; ++j)
+            outranks_[i * n_ + j] = true;
+}
+
+std::uint32_t
+WiredLrgColumn::evaluate(const std::vector<bool> &req)
+{
+    sim_assert(req.size() == n_, "bad request width");
+    lines_.precharge();
+
+    // Evaluate: each requesting cross-point discharges the poll line
+    // of every contender its priority bit dominates. All pull-downs
+    // happen concurrently on the shared wires.
+    for (std::uint32_t i = 0; i < n_; ++i) {
+        if (!req[i])
+            continue;
+        for (std::uint32_t j = 0; j < n_; ++j) {
+            if (j != i && outranks_[i * n_ + j])
+                lines_.pullDown(j);
+        }
+    }
+
+    // Sense: a requestor whose own line survived is the winner.
+    std::uint32_t winner = kNone;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+        if (req[i] && lines_.sense(i)) {
+            sim_assert(winner == kNone,
+                       "priority bits must encode a strict order");
+            winner = i;
+        }
+    }
+    return winner;
+}
+
+void
+WiredLrgColumn::updateLrg(std::uint32_t winner)
+{
+    sim_assert(winner < n_, "winner out of range");
+    for (std::uint32_t j = 0; j < n_; ++j) {
+        if (j == winner)
+            continue;
+        outranks_[winner * n_ + j] = false;
+        outranks_[j * n_ + winner] = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// WiredClrgSubBlock
+// ---------------------------------------------------------------------
+
+WiredClrgSubBlock::WiredClrgSubBlock(std::uint32_t ports,
+                                     std::uint32_t num_inputs,
+                                     std::uint32_t max_count)
+    : ports_(ports), classes_(max_count + 1), maxCount_(max_count),
+      outranks_(std::size_t(ports) * ports, false),
+      counter_(num_inputs, 0), lines_(classes_ * ports)
+{
+    for (std::uint32_t i = 0; i < ports_; ++i)
+        for (std::uint32_t j = i + 1; j < ports_; ++j)
+            outranks_[i * ports_ + j] = true;
+}
+
+std::uint32_t
+WiredClrgSubBlock::arbitrate(
+    const std::vector<arb::SubBlockRequest> &reqs)
+{
+    sim_assert(reqs.size() == ports_, "bad request width");
+    lines_.precharge();
+
+    // Evaluate phase. For each requesting port, Mux1 selects its
+    // primary input's class counter, and the PSMs drive the class
+    // groups (Fig 7): '1' (pull-down) on every line of lower-priority
+    // classes, the LRG priority vector on its own group, '0' on
+    // higher-priority groups.
+    for (std::uint32_t p = 0; p < ports_; ++p) {
+        if (!reqs[p].valid)
+            continue;
+        std::uint32_t cls = counter_[reqs[p].primaryInput];
+        sim_assert(cls < classes_, "counter beyond saturation");
+        for (std::uint32_t lower = cls + 1; lower < classes_;
+             ++lower) {
+            for (std::uint32_t q = 0; q < ports_; ++q)
+                lines_.pullDown(line(lower, q));
+        }
+        for (std::uint32_t q = 0; q < ports_; ++q) {
+            if (q != p && outranks_[p * ports_ + q])
+                lines_.pullDown(line(cls, q));
+        }
+    }
+
+    // Sense phase: Mux2 routes the port's own line within its class
+    // group to the sense-amp-enabled latch (the connectivity bit).
+    std::uint32_t winner = kNone;
+    for (std::uint32_t p = 0; p < ports_; ++p) {
+        if (!reqs[p].valid)
+            continue;
+        std::uint32_t cls = counter_[reqs[p].primaryInput];
+        if (lines_.sense(line(cls, p))) {
+            sim_assert(winner == kNone,
+                       "inhibit network must isolate one winner");
+            winner = p;
+        }
+    }
+    if (winner == kNone)
+        return kNone;
+
+    // Commit: LRG is updated on every grant (paper III-B4), and the
+    // winning primary input's thermometer counter increments, halving
+    // the whole bank first on saturation.
+    for (std::uint32_t q = 0; q < ports_; ++q) {
+        if (q == winner)
+            continue;
+        outranks_[winner * ports_ + q] = false;
+        outranks_[q * ports_ + winner] = true;
+    }
+    std::uint32_t in = reqs[winner].primaryInput;
+    if (counter_[in] == maxCount_) {
+        for (auto &c : counter_)
+            c >>= 1;
+    }
+    ++counter_[in];
+    return winner;
+}
+
+} // namespace hirise::rtl

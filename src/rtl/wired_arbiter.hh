@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Wire-level model of the Swizzle-Switch arbitration circuit
+ * (paper sections II-A and IV, Figs 6-7).
+ *
+ * The behavioral arbiters in src/arb decide with ordinary control
+ * flow; the classes here instead emulate the actual circuit: output
+ * data lines are precharged and reused as priority lines, requestors
+ * pull down the lines polled by lower-priority contenders, and a
+ * sense-amp-enabled latch at each cross-point reads whether its own
+ * line survived. A requestor wins exactly when its polled line is
+ * still high at the end of the evaluate phase - that is what makes
+ * the arbitration single-cycle and area-free.
+ *
+ * The CLRG variant models Fig 7 exactly: priority lines are grouped
+ * per class, Mux1 selects the class counter of the L2LC's winning
+ * primary input, the Priority Select Muxes (PSMs) drive '1' onto all
+ * lines of lower-priority classes, the port's LRG vector onto its own
+ * class group, and '0' onto higher-priority groups, and Mux2 picks
+ * which of the per-class lines feeds the sense amp.
+ *
+ * Equivalence with the behavioral arbiters is asserted by
+ * tests/rtl_test.cc over randomized request streams, validating the
+ * paper's claim that CLRG "allows for single cycle arbitration and
+ * full integration within the switch fabric".
+ */
+
+#ifndef HIRISE_RTL_WIRED_ARBITER_HH
+#define HIRISE_RTL_WIRED_ARBITER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arb/sub_block_arbiter.hh"
+
+namespace hirise::rtl {
+
+/**
+ * A bank of precharged wires with pull-down (wired-NOR) semantics.
+ */
+class PriorityLines
+{
+  public:
+    explicit PriorityLines(std::uint32_t n) : high_(n, true) {}
+
+    /** Precharge phase: every line returns high. */
+    void
+    precharge()
+    {
+        std::fill(high_.begin(), high_.end(), true);
+    }
+
+    /** A cross-point's pull-down transistor discharges line i. */
+    void pullDown(std::uint32_t i) { high_[i] = false; }
+
+    /** Sense-amp read at the end of the evaluate phase. */
+    bool sense(std::uint32_t i) const { return high_[i]; }
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(high_.size());
+    }
+
+  private:
+    std::vector<bool> high_;
+};
+
+/**
+ * Wire-level flat LRG column: N requestors, N priority lines, one
+ * priority bit per cross-point pair. Circuit-equivalent to
+ * arb::MatrixArbiter (asserted by tests).
+ */
+class WiredLrgColumn
+{
+  public:
+    static constexpr std::uint32_t kNone = ~0u;
+
+    explicit WiredLrgColumn(std::uint32_t n);
+
+    /**
+     * One arbitration cycle: precharge, evaluate (requestors pull
+     * down the lines of contenders they outrank), sense. Does not
+     * update priority state (the connect/update step is separate, as
+     * in the hardware where the LRG update is triggered by the win).
+     */
+    std::uint32_t evaluate(const std::vector<bool> &req);
+
+    /** LRG self-update: the winner's priority bits all clear, and
+     *  every other cross-point sets its bit over the winner. */
+    void updateLrg(std::uint32_t winner);
+
+  private:
+    std::uint32_t n_;
+    /** outranks_[i*n+j]: cross-point i holds priority over j. */
+    std::vector<bool> outranks_;
+    PriorityLines lines_;
+};
+
+/**
+ * Wire-level CLRG inter-layer sub-block cross-point group (Fig 7):
+ * P ports (L2LCs + the local intermediate output), K priority
+ * classes, and a thermometer class counter per primary input.
+ */
+class WiredClrgSubBlock
+{
+  public:
+    static constexpr std::uint32_t kNone = ~0u;
+
+    /**
+     * @param ports       cross-points in the sub-block (c*(L-1)+1)
+     * @param num_inputs  primary inputs tracked by counters (radix)
+     * @param max_count   thermometer saturation (classes-1)
+     */
+    WiredClrgSubBlock(std::uint32_t ports, std::uint32_t num_inputs,
+                      std::uint32_t max_count);
+
+    /**
+     * One single-cycle arbitration: returns the winning port (or
+     * kNone) and commits the LRG + counter updates, mirroring the
+     * connect-and-increment behaviour of the latched cross-point.
+     */
+    std::uint32_t
+    arbitrate(const std::vector<arb::SubBlockRequest> &reqs);
+
+    std::uint32_t classOf(std::uint32_t input) const
+    {
+        return counter_[input];
+    }
+
+  private:
+    /** Line index of port p within class group c. */
+    std::uint32_t
+    line(std::uint32_t cls, std::uint32_t port) const
+    {
+        return cls * ports_ + port;
+    }
+
+    std::uint32_t ports_;
+    std::uint32_t classes_;
+    std::uint32_t maxCount_;
+    /** LRG priority bits between ports. */
+    std::vector<bool> outranks_;
+    /** Thermometer counters, one per primary input. */
+    std::vector<std::uint32_t> counter_;
+    /** classes * ports priority lines (class-grouped, Fig 7). */
+    PriorityLines lines_;
+};
+
+} // namespace hirise::rtl
+
+#endif // HIRISE_RTL_WIRED_ARBITER_HH

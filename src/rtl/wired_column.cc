@@ -1,0 +1,49 @@
+#include "rtl/wired_column.hh"
+
+#include "common/logging.hh"
+
+namespace hirise::rtl {
+
+std::uint32_t
+WiredSwitchColumn::arbitrate(const std::vector<bool> &req)
+{
+    sim_assert(!connected(),
+               "the output wires are carrying data this cycle");
+    std::uint32_t w = arb_.evaluate(req);
+    if (w == WiredLrgColumn::kNone)
+        return kNone;
+    // The surviving priority line sets the winner's connectivity bit
+    // through the sense-amp-enabled latch; the priority vector
+    // self-updates at the end of the arbitration phase (II-A).
+    connect_[w] = true;
+    owner_ = w;
+    arb_.updateLrg(w);
+    return w;
+}
+
+std::uint64_t
+WiredSwitchColumn::transfer(const std::vector<std::uint64_t> &in_words)
+{
+    sim_assert(connected(), "no connectivity bit set");
+    sim_assert(in_words.size() == connect_.size(),
+               "one input word per crosspoint");
+    // Precharge-high lines; the connected crosspoint's pull-downs
+    // discharge the zero bits of its input word (active-low sensing
+    // modeled away: the sensed word equals the input word).
+    std::uint64_t sensed = in_words[owner_];
+    for (std::size_t i = 0; i < connect_.size(); ++i) {
+        sim_assert(connect_[i] == (i == owner_),
+                   "multiple connectivity bits set on one column");
+    }
+    return sensed;
+}
+
+void
+WiredSwitchColumn::release()
+{
+    sim_assert(connected(), "release of idle column");
+    connect_[owner_] = false;
+    owner_ = kNone;
+}
+
+} // namespace hirise::rtl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Wire-level model of one complete Swizzle-Switch output column:
+ * arbitration AND data transfer over the same physical wires
+ * (paper section II-A / Fig 6). This is the mechanism behind the
+ * "either arbitrate or transmit data in a single cycle" property:
+ * the output data lines double as priority lines during arbitration,
+ * and the sense-amp-enabled latch that reads the surviving priority
+ * line *is* the connectivity bit that later steers data.
+ */
+
+#ifndef HIRISE_RTL_WIRED_COLUMN_HH
+#define HIRISE_RTL_WIRED_COLUMN_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rtl/wired_arbiter.hh"
+
+namespace hirise::rtl {
+
+/**
+ * One output column with N crosspoints. Each cycle is either an
+ * arbitration cycle (when the column is free and someone requests)
+ * or a data cycle (when a connectivity bit is set); never both,
+ * because both uses need the same wires.
+ */
+class WiredSwitchColumn
+{
+  public:
+    static constexpr std::uint32_t kNone = ~0u;
+
+    explicit WiredSwitchColumn(std::uint32_t n)
+        : arb_(n), connect_(n, false)
+    {}
+
+    /** Is any crosspoint's connectivity bit set? */
+    bool connected() const { return owner_ != kNone; }
+    std::uint32_t owner() const { return owner_; }
+
+    /**
+     * Arbitration cycle: requestors drive the priority lines; the
+     * winner's sense-amp latch captures its connectivity bit.
+     * Returns the winner (kNone if no requests).
+     * @pre the column is idle (the wires are not carrying data).
+     */
+    std::uint32_t arbitrate(const std::vector<bool> &req);
+
+    /**
+     * Data cycle: the connected input's pull-downs drive its word
+     * onto the (precharged) output lines. @pre connected().
+     */
+    std::uint64_t transfer(const std::vector<std::uint64_t> &in_words);
+
+    /** Release: clear the connectivity bit and update the LRG (the
+     *  self-updating priority of the Swizzle-Switch). */
+    void release();
+
+  private:
+    WiredLrgColumn arb_;
+    std::vector<bool> connect_; //!< sense-amp-enabled latches
+    std::uint32_t owner_ = kNone;
+};
+
+} // namespace hirise::rtl
+
+#endif // HIRISE_RTL_WIRED_COLUMN_HH

@@ -1,0 +1,161 @@
+#include "sim/network_sim.hh"
+
+namespace hirise::sim {
+
+NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
+                       std::shared_ptr<traffic::TrafficPattern> pattern)
+    : spec_(spec), cfg_(cfg), pattern_(std::move(pattern)),
+      fabric_(fabric::makeFabric(spec)), rng_(cfg.seed),
+      perInputLatency_(spec.radix), perInputPackets_(spec.radix, 0)
+{
+    ports_.assign(spec.radix,
+                  net::InputPort(cfg.numVcs, cfg.vcDepth));
+}
+
+void
+NetworkSim::injectCycle()
+{
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        if (pattern_->inject(i, cfg_.injectionRate, rng_)) {
+            net::Packet p;
+            p.id = nextId_++;
+            p.src = i;
+            p.dst = pattern_->dest(i, rng_);
+            sim_assert(p.dst < spec_.radix, "pattern dst out of range");
+            p.lenFlits = static_cast<std::uint16_t>(cfg_.packetLen);
+            p.genCycle = cycle_;
+            ports_[i].sourceQueue().push_back(p);
+            ++injected_;
+            if (measuring_)
+                measFlitsOffered_ += p.lenFlits;
+        }
+        ports_[i].fillCycle();
+    }
+}
+
+void
+NetworkSim::arbitrateCycle()
+{
+    std::vector<std::uint32_t> req(spec_.radix, fabric::kNoRequest);
+    std::vector<std::uint32_t> cand_vc(spec_.radix,
+                                       net::InputPort::kNoVc);
+    std::vector<bool> dst_free(spec_.radix);
+    for (std::uint32_t o = 0; o < spec_.radix; ++o)
+        dst_free[o] = !fabric_->outputBusy(o);
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        if (ports_[i].connected())
+            continue; // the input bus is transferring data
+        std::uint32_t v = ports_[i].pickCandidateVc(&dst_free);
+        if (v == net::InputPort::kNoVc)
+            continue;
+        cand_vc[i] = v;
+        req[i] = ports_[i].vcDest(v);
+    }
+
+    std::vector<bool> grant = fabric_->arbitrate(req);
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        if (!grant[i])
+            continue;
+        sim_assert(req[i] != fabric::kNoRequest,
+                   "grant to non-requesting input %u", i);
+        if (measuring_) {
+            const net::Flit &head =
+                ports_[i].vcs()[cand_vc[i]].front();
+            queueing_.add(
+                static_cast<double>(cycle_ - head.genCycle));
+        }
+        ports_[i].connect(cand_vc[i], req[i], cfg_.packetLen);
+    }
+}
+
+void
+NetworkSim::transferCycle()
+{
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        net::InputPort &port = ports_[i];
+        if (!port.connected())
+            continue;
+        if (port.consumeJustConnected())
+            continue; // grant cycle: the buses carried the arbitration
+        net::VirtualChannel &vc = port.vcs()[port.connVc()];
+        if (vc.empty())
+            continue; // bubble: flit not yet streamed in from source
+        net::Flit f = vc.popFlit();
+        std::uint32_t out = port.connOutput();
+        sim_assert(f.dst == out, "flit routed to wrong output");
+        ++flitsDelivered_;
+        if (measuring_)
+            ++measFlitsDelivered_;
+        bool done = port.transferOne();
+        if (done) {
+            sim_assert(f.tail, "connection ended mid-packet");
+            fabric_->release(i, out);
+            ++delivered_;
+            if (measuring_) {
+                double lat = static_cast<double>(cycle_ - f.genCycle);
+                latency_.add(lat);
+                latencyHist_.add(lat);
+                perInputLatency_[f.src].add(lat);
+                ++perInputPackets_[f.src];
+            }
+        }
+    }
+}
+
+void
+NetworkSim::step()
+{
+    injectCycle();
+    arbitrateCycle();
+    transferCycle();
+    ++cycle_;
+}
+
+std::uint64_t
+NetworkSim::backlogFlits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &p : ports_)
+        n += p.backlogFlits();
+    return n;
+}
+
+SimResult
+NetworkSim::run()
+{
+    for (net::Cycle t = 0; t < cfg_.warmupCycles; ++t)
+        step();
+    measuring_ = true;
+    measureStart_ = cycle_;
+    for (net::Cycle t = 0; t < cfg_.measureCycles; ++t)
+        step();
+    measuring_ = false;
+
+    double window = static_cast<double>(cycle_ - measureStart_);
+    SimResult r;
+    r.offeredFlitsPerCycle =
+        static_cast<double>(measFlitsOffered_) / window;
+    r.acceptedFlitsPerCycle =
+        static_cast<double>(measFlitsDelivered_) / window;
+    r.avgLatencyCycles = latency_.mean();
+    r.avgQueueingCycles = queueing_.mean();
+    r.p99LatencyCycles = latencyHist_.quantile(0.99);
+    r.packetsDelivered = latency_.count();
+
+    r.perInputLatency.resize(spec_.radix, 0.0);
+    r.perInputThroughput.resize(spec_.radix, 0.0);
+    std::vector<double> active_tput;
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        r.perInputLatency[i] = perInputLatency_[i].mean();
+        r.perInputThroughput[i] =
+            static_cast<double>(perInputPackets_[i]) / window;
+        if (pattern_->participates(i))
+            active_tput.push_back(r.perInputThroughput[i]);
+    }
+    r.fairness = jainFairness(active_tput);
+
+    sim_assert(delivered_ <= injected_, "conservation violated");
+    return r;
+}
+
+} // namespace hirise::sim

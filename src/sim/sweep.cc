@@ -1,0 +1,64 @@
+#include "sim/sweep.hh"
+
+#include "common/parallel.hh"
+
+namespace hirise::sim {
+
+SimResult
+runAtLoad(const SwitchSpec &spec, const SimConfig &base,
+          const PatternFactory &make, double load)
+{
+    SimConfig cfg = base;
+    cfg.injectionRate = load;
+    NetworkSim sim(spec, cfg, make());
+    return sim.run();
+}
+
+std::vector<SweepPoint>
+loadSweep(const SwitchSpec &spec, const SimConfig &base,
+          const PatternFactory &make, const std::vector<double> &loads)
+{
+    // Each point is an independent, self-seeded simulation.
+    return parallelMap(loads, [&](const double &l) {
+        return SweepPoint{l, runAtLoad(spec, base, make, l)};
+    });
+}
+
+double
+saturationFlitsPerCycle(const SwitchSpec &spec, const SimConfig &base,
+                        const PatternFactory &make)
+{
+    return runAtLoad(spec, base, make, 1.0).acceptedFlitsPerCycle;
+}
+
+double
+saturationLoad(const SwitchSpec &spec, const SimConfig &base,
+               const PatternFactory &make, double lo, double hi,
+               int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        double mid = 0.5 * (lo + hi);
+        SimResult r = runAtLoad(spec, base, make, mid);
+        if (r.acceptedFlitsPerCycle >= 0.98 * r.offeredFlitsPerCycle)
+            lo = mid; // still below saturation
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+toTbps(double flits_per_cycle, double freq_ghz, std::uint32_t flit_bits)
+{
+    return flits_per_cycle * freq_ghz * 1e9 *
+           static_cast<double>(flit_bits) * 1e-12;
+}
+
+double
+toPacketsPerNs(double flits_per_cycle, double freq_ghz,
+               std::uint32_t packet_len)
+{
+    return flits_per_cycle / static_cast<double>(packet_len) * freq_ghz;
+}
+
+} // namespace hirise::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Load sweeps and saturation-throughput measurement built on
+ * NetworkSim; the measurement methodology behind Tables I/IV/V and
+ * Figs 10/11.
+ */
+
+#ifndef HIRISE_SIM_SWEEP_HH
+#define HIRISE_SIM_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/network_sim.hh"
+
+namespace hirise::sim {
+
+/** Factory so every run gets a fresh, independently-seeded pattern. */
+using PatternFactory =
+    std::function<std::shared_ptr<traffic::TrafficPattern>()>;
+
+struct SweepPoint
+{
+    double load = 0.0; //!< packets/input/cycle offered
+    SimResult result;
+};
+
+/** Run one simulation at the given load. */
+SimResult runAtLoad(const SwitchSpec &spec, const SimConfig &base,
+                    const PatternFactory &make, double load);
+
+/** Simulate each load point in sequence. */
+std::vector<SweepPoint>
+loadSweep(const SwitchSpec &spec, const SimConfig &base,
+          const PatternFactory &make, const std::vector<double> &loads);
+
+/**
+ * Saturation throughput in accepted flits/cycle: drive the switch at
+ * the maximum offered load (1 packet/input/cycle) and measure the
+ * accepted rate, which plateaus at saturation for open-loop traffic.
+ */
+double saturationFlitsPerCycle(const SwitchSpec &spec,
+                               const SimConfig &base,
+                               const PatternFactory &make);
+
+/**
+ * Saturation offered load (packets/input/cycle): smallest load whose
+ * accepted rate falls below 98% of offered, found by bisection. Used
+ * for "80% of saturation" style experiments (Fig 11a).
+ */
+double saturationLoad(const SwitchSpec &spec, const SimConfig &base,
+                      const PatternFactory &make, double lo = 0.0,
+                      double hi = 1.0, int iters = 12);
+
+/** Convert flits/cycle to Tbps at the given clock and flit width. */
+double toTbps(double flits_per_cycle, double freq_ghz,
+              std::uint32_t flit_bits);
+
+/** Convert flits/cycle to packets/ns. */
+double toPacketsPerNs(double flits_per_cycle, double freq_ghz,
+                      std::uint32_t packet_len);
+
+} // namespace hirise::sim
+
+#endif // HIRISE_SIM_SWEEP_HH

@@ -1,0 +1,126 @@
+#include "traffic/pattern.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hirise::traffic {
+
+// ---------------------------------------------------------------------
+// Bursty
+// ---------------------------------------------------------------------
+
+bool
+Bursty::inject(std::uint32_t src, double rate, Rng &rng)
+{
+    if (state_[src] > 0) {
+        --state_[src];
+        return true;
+    }
+    // Start a new burst with probability chosen so the long-run mean
+    // injection equals `rate`: bursts of mean length B injected each
+    // cycle need a start probability of rate/B on idle cycles.
+    // Solving the renewal equation: p = rate / (B * (1 - rate) + rate)
+    // ~= rate/B for small rates; use the exact form.
+    double b = meanBurst_;
+    double p = rate >= 1.0 ? 1.0 : rate / (b * (1.0 - rate) + rate);
+    if (rng.bernoulli(p)) {
+        // Geometric burst length with mean B (>= 1).
+        std::uint32_t len =
+            1 + static_cast<std::uint32_t>(rng.geometric(1.0 / b));
+        burstDst_[src] = static_cast<std::uint32_t>(
+            rng.below(radix_ - 1));
+        if (burstDst_[src] >= src)
+            ++burstDst_[src];
+        state_[src] = len - 1;
+        return true;
+    }
+    return false;
+}
+
+std::uint32_t
+Bursty::dest(std::uint32_t src, Rng &)
+{
+    return burstDst_[src];
+}
+
+// ---------------------------------------------------------------------
+// Adversarial
+// ---------------------------------------------------------------------
+
+Adversarial::Adversarial(std::vector<std::uint32_t> sources,
+                         std::uint32_t dst, std::uint32_t radix)
+    : active_(radix, false), numActive_(0), dst_(dst)
+{
+    for (auto s : sources) {
+        sim_assert(s < radix, "source %u out of range", s);
+        if (!active_[s]) {
+            active_[s] = true;
+            ++numActive_;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// InterLayerOnly
+// ---------------------------------------------------------------------
+
+InterLayerOnly::InterLayerOnly(std::uint32_t ports_per_layer,
+                               std::uint32_t channels,
+                               std::uint32_t src_layer,
+                               std::uint32_t dst_layer)
+    : ppl_(ports_per_layer), channels_(channels), srcLayer_(src_layer),
+      dstLayer_(dst_layer)
+{
+    sim_assert(src_layer != dst_layer, "pattern must cross layers");
+}
+
+bool
+InterLayerOnly::participates(std::uint32_t src) const
+{
+    // The worst case of section VI-B: the inputs sharing channel 0
+    // (input-binned: local index % c == 0) all send cross-layer.
+    if (src / ppl_ != srcLayer_)
+        return false;
+    return (src % ppl_) % channels_ == 0;
+}
+
+double
+InterLayerOnly::activeFraction() const
+{
+    // participating inputs: ceil(ppl/channels) on one layer.
+    double n = (ppl_ + channels_ - 1) / channels_;
+    return n / double(ppl_); // fraction of one layer's inputs
+}
+
+std::uint32_t
+InterLayerOnly::dest(std::uint32_t src, Rng &)
+{
+    // Each participating input targets a distinct output on the
+    // destination layer so only the shared L2LC is the bottleneck.
+    std::uint32_t k = (src % ppl_) / channels_;
+    return dstLayer_ * ppl_ + (k % ppl_);
+}
+
+// ---------------------------------------------------------------------
+// Transpose
+// ---------------------------------------------------------------------
+
+Transpose::Transpose(std::uint32_t radix) : perm_(radix)
+{
+    // Matrix-transpose permutation on the nearest square grid;
+    // leftovers map to themselves + 1 (mod radix).
+    std::uint32_t side = 1;
+    while ((side + 1) * (side + 1) <= radix)
+        ++side;
+    for (std::uint32_t s = 0; s < radix; ++s) {
+        if (s < side * side) {
+            std::uint32_t r = s / side, c = s % side;
+            perm_[s] = c * side + r;
+        } else {
+            perm_[s] = (s + 1) % radix;
+        }
+    }
+}
+
+} // namespace hirise::traffic

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Synthetic traffic patterns (paper section V): uniform random,
+ * hotspot, bursty, the adversarial pattern of section III-B, the
+ * inter-layer-only pathological pattern of section VI-B, and the
+ * standard permutation patterns, plus trace replay.
+ */
+
+#ifndef HIRISE_TRAFFIC_PATTERN_HH
+#define HIRISE_TRAFFIC_PATTERN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace hirise::traffic {
+
+/**
+ * A traffic pattern decides which inputs inject and where packets go.
+ * Patterns may keep per-input state (e.g. burst phases) and must be
+ * deterministic given the Rng.
+ */
+class TrafficPattern
+{
+  public:
+    virtual ~TrafficPattern() = default;
+
+    /** Does @p src generate a new packet this cycle at @p rate
+     *  (packets/input/cycle)? Default: Bernoulli draw. */
+    virtual bool
+    inject(std::uint32_t src, double rate, Rng &rng)
+    {
+        return participates(src) && rng.bernoulli(rate);
+    }
+
+    /** Destination for a new packet from @p src. */
+    virtual std::uint32_t dest(std::uint32_t src, Rng &rng) = 0;
+
+    /** Inputs outside the pattern never inject (adversarial cases). */
+    virtual bool participates(std::uint32_t) const { return true; }
+
+    /** Fraction of inputs that inject (for load accounting). */
+    virtual double activeFraction() const { return 1.0; }
+
+    virtual std::string name() const = 0;
+};
+
+/** Uniform random over all outputs except self. */
+class UniformRandom : public TrafficPattern
+{
+  public:
+    explicit UniformRandom(std::uint32_t radix) : radix_(radix) {}
+    std::uint32_t
+    dest(std::uint32_t src, Rng &rng) override
+    {
+        std::uint32_t d = static_cast<std::uint32_t>(
+            rng.below(radix_ - 1));
+        return d >= src ? d + 1 : d;
+    }
+    std::string name() const override { return "uniform-random"; }
+
+  private:
+    std::uint32_t radix_;
+};
+
+/** Every participating input targets one output (paper Fig 11a). */
+class Hotspot : public TrafficPattern
+{
+  public:
+    Hotspot(std::uint32_t radix, std::uint32_t hot)
+        : radix_(radix), hot_(hot)
+    {}
+    std::uint32_t dest(std::uint32_t, Rng &) override { return hot_; }
+    bool
+    participates(std::uint32_t src) const override
+    {
+        return src != hot_; // the hot output's own input stays silent
+    }
+    double
+    activeFraction() const override
+    {
+        return double(radix_ - 1) / double(radix_);
+    }
+    std::string name() const override { return "hotspot"; }
+
+  private:
+    std::uint32_t radix_;
+    std::uint32_t hot_;
+};
+
+/**
+ * Markov on/off uniform-random traffic: geometric burst and idle
+ * period lengths; within a burst the input injects every cycle to a
+ * per-burst destination. Mean offered load matches the requested rate.
+ */
+class Bursty : public TrafficPattern
+{
+  public:
+    Bursty(std::uint32_t radix, double mean_burst_len)
+        : radix_(radix), meanBurst_(mean_burst_len),
+          state_(radix), burstDst_(radix, 0)
+    {}
+
+    bool inject(std::uint32_t src, double rate, Rng &rng) override;
+    std::uint32_t dest(std::uint32_t src, Rng &rng) override;
+    std::string name() const override { return "bursty"; }
+
+  private:
+    std::uint32_t radix_;
+    double meanBurst_;
+    std::vector<std::uint32_t> state_; //!< remaining flits in burst
+    std::vector<std::uint32_t> burstDst_;
+};
+
+/**
+ * The paper's adversarial example (III-B2 / Fig 11c): inputs
+ * {3,7,11,15} on layer 1 and {20} on layer 2 all request output 63.
+ */
+class Adversarial : public TrafficPattern
+{
+  public:
+    Adversarial(std::vector<std::uint32_t> sources, std::uint32_t dst,
+                std::uint32_t radix);
+    std::uint32_t dest(std::uint32_t, Rng &) override { return dst_; }
+    bool
+    participates(std::uint32_t src) const override
+    {
+        return src < active_.size() && active_[src];
+    }
+    double
+    activeFraction() const override
+    {
+        return double(numActive_) / double(active_.size());
+    }
+    std::string name() const override { return "adversarial"; }
+
+  private:
+    std::vector<bool> active_;
+    std::uint32_t numActive_;
+    std::uint32_t dst_;
+};
+
+/**
+ * Pathological inter-layer pattern (section VI-B): a group of inputs
+ * that share one L2LC all send to distinct outputs on another layer,
+ * so throughput is capped by the single vertical channel.
+ */
+class InterLayerOnly : public TrafficPattern
+{
+  public:
+    /**
+     * @param ports_per_layer N/L
+     * @param channels       c (inputs 0..c-1 groups share channels)
+     * @param src_layer      the sending layer
+     * @param dst_layer      the receiving layer
+     */
+    InterLayerOnly(std::uint32_t ports_per_layer, std::uint32_t channels,
+                   std::uint32_t src_layer, std::uint32_t dst_layer);
+    std::uint32_t dest(std::uint32_t src, Rng &rng) override;
+    bool participates(std::uint32_t src) const override;
+    double activeFraction() const override;
+    std::string name() const override { return "inter-layer-only"; }
+
+  private:
+    std::uint32_t ppl_, channels_, srcLayer_, dstLayer_;
+};
+
+/** Bit-reversal-style permutations for coverage. */
+class Transpose : public TrafficPattern
+{
+  public:
+    explicit Transpose(std::uint32_t radix);
+    std::uint32_t
+    dest(std::uint32_t src, Rng &) override
+    {
+        return perm_[src];
+    }
+    std::string name() const override { return "transpose"; }
+
+  private:
+    std::vector<std::uint32_t> perm_;
+};
+
+class BitComplement : public TrafficPattern
+{
+  public:
+    explicit BitComplement(std::uint32_t radix) : radix_(radix) {}
+    std::uint32_t
+    dest(std::uint32_t src, Rng &) override
+    {
+        return (radix_ - 1) - src;
+    }
+    std::string name() const override { return "bit-complement"; }
+
+  private:
+    std::uint32_t radix_;
+};
+
+} // namespace hirise::traffic
+
+#endif // HIRISE_TRAFFIC_PATTERN_HH

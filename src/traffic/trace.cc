@@ -1,0 +1,84 @@
+#include "traffic/trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hirise::traffic {
+
+TraceReplay::TraceReplay(std::vector<TraceRecord> records,
+                         std::uint32_t radix)
+    : perSrc_(radix), srcCycle_(radix, 0)
+{
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.cycle < b.cycle;
+                     });
+    for (const auto &r : records) {
+        if (r.src >= radix || r.dst >= radix)
+            fatal("trace record (%llu, %u, %u) outside radix %u",
+                  static_cast<unsigned long long>(r.cycle), r.src,
+                  r.dst, radix);
+        if (r.src == r.dst)
+            fatal("trace record with src == dst == %u", r.src);
+        perSrc_[r.src].push_back(r);
+        ++pending_;
+    }
+}
+
+TraceReplay
+TraceReplay::fromFile(const std::string &path, std::uint32_t radix)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open trace file %s", path.c_str());
+    std::vector<TraceRecord> records;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(f, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream is(line);
+        TraceRecord r;
+        if (!(is >> r.cycle))
+            continue; // blank / comment-only line
+        if (!(is >> r.src >> r.dst))
+            fatal("%s:%llu: expected 'cycle src dst'", path.c_str(),
+                  static_cast<unsigned long long>(lineno));
+        records.push_back(r);
+    }
+    return TraceReplay(std::move(records), radix);
+}
+
+bool
+TraceReplay::inject(std::uint32_t src, double /*rate*/, Rng &)
+{
+    std::uint64_t now = srcCycle_[src]++;
+    auto &q = perSrc_[src];
+    if (q.empty() || q.front().cycle > now)
+        return false;
+    return true; // dest() pops the record
+}
+
+std::uint32_t
+TraceReplay::dest(std::uint32_t src, Rng &)
+{
+    auto &q = perSrc_[src];
+    sim_assert(!q.empty(), "dest() without a due record");
+    std::uint32_t d = q.front().dst;
+    q.pop_front();
+    --pending_;
+    return d;
+}
+
+bool
+TraceReplay::participates(std::uint32_t src) const
+{
+    return !perSrc_[src].empty();
+}
+
+} // namespace hirise::traffic

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the arbitration library: matrix LRG, class counters, and
+ * the three sub-block arbiter schemes, including the paper's worked
+ * examples from sections III-B2 (Fig 4) and III-B4 (Fig 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "arb/class_counter.hh"
+#include "arb/matrix_arbiter.hh"
+#include "arb/sub_block_arbiter.hh"
+#include "common/random.hh"
+
+using namespace hirise;
+using namespace hirise::arb;
+
+// ---------------------------------------------------------------------
+// MatrixArbiter
+// ---------------------------------------------------------------------
+
+TEST(MatrixArbiter, EmptyRequestGrantsNone)
+{
+    MatrixArbiter a(4);
+    EXPECT_EQ(a.pick(std::vector<bool>(4, false)), MatrixArbiter::kNone);
+}
+
+TEST(MatrixArbiter, SingleRequestorAlwaysWins)
+{
+    MatrixArbiter a(4);
+    std::vector<bool> req(4, false);
+    req[2] = true;
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(a.pick(req), 2u);
+        a.update(2);
+    }
+}
+
+TEST(MatrixArbiter, InitialOrderIsByIndex)
+{
+    MatrixArbiter a(5);
+    std::vector<bool> req(5, true);
+    EXPECT_EQ(a.pick(req), 0u);
+    EXPECT_TRUE(a.outranks(1, 3));
+    EXPECT_FALSE(a.outranks(3, 1));
+}
+
+TEST(MatrixArbiter, GrantDemotesWinnerBelowEveryone)
+{
+    MatrixArbiter a(4);
+    std::vector<bool> req(4, true);
+    EXPECT_EQ(a.pick(req), 0u);
+    a.update(0);
+    for (std::uint32_t j = 1; j < 4; ++j)
+        EXPECT_TRUE(a.outranks(j, 0));
+    EXPECT_EQ(a.pick(req), 1u);
+}
+
+TEST(MatrixArbiter, LrgRotatesThroughPersistentRequestors)
+{
+    MatrixArbiter a(6);
+    std::vector<bool> req(6, true);
+    std::vector<std::uint32_t> seq;
+    for (int i = 0; i < 12; ++i) {
+        auto w = a.pick(req);
+        a.update(w);
+        seq.push_back(w);
+    }
+    // Two full rotations of 0..5.
+    for (int i = 0; i < 12; ++i)
+        EXPECT_EQ(seq[i], static_cast<std::uint32_t>(i % 6));
+}
+
+TEST(MatrixArbiter, OrderIsAlwaysAStrictTotalOrder)
+{
+    // Property: after arbitrary grant sequences, order() is a
+    // permutation and outranks() is consistent with it.
+    MatrixArbiter a(8);
+    Rng rng(99);
+    for (int it = 0; it < 200; ++it) {
+        a.update(static_cast<std::uint32_t>(rng.below(8)));
+        auto ord = a.order();
+        ASSERT_EQ(ord.size(), 8u);
+        std::vector<bool> seen(8, false);
+        for (auto v : ord) {
+            ASSERT_LT(v, 8u);
+            ASSERT_FALSE(seen[v]);
+            seen[v] = true;
+        }
+        for (std::size_t i = 0; i < ord.size(); ++i)
+            for (std::size_t j = i + 1; j < ord.size(); ++j)
+                EXPECT_TRUE(a.outranks(ord[i], ord[j]));
+    }
+}
+
+TEST(MatrixArbiter, NoStarvationUnderRandomRequests)
+{
+    MatrixArbiter a(8);
+    Rng rng(5);
+    std::vector<std::uint32_t> wins(8, 0);
+    std::vector<bool> req(8);
+    for (int it = 0; it < 4000; ++it) {
+        bool any = false;
+        for (int i = 0; i < 8; ++i) {
+            req[i] = rng.bernoulli(0.5);
+            any |= req[i];
+        }
+        if (!any)
+            continue;
+        auto w = a.pick(req);
+        ASSERT_NE(w, MatrixArbiter::kNone);
+        ASSERT_TRUE(req[w]);
+        a.update(w);
+        ++wins[w];
+    }
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GT(wins[i], 300u) << "port " << i << " starved";
+}
+
+// ---------------------------------------------------------------------
+// ClassCounterBank
+// ---------------------------------------------------------------------
+
+TEST(ClassCounter, StartsInHighestClass)
+{
+    ClassCounterBank b(8, 2);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(b.classOf(i), 0u);
+}
+
+TEST(ClassCounter, WinLowersPriorityClass)
+{
+    ClassCounterBank b(4, 2);
+    b.onWin(1);
+    EXPECT_EQ(b.classOf(1), 1u);
+    EXPECT_EQ(b.classOf(0), 0u);
+}
+
+TEST(ClassCounter, SaturationHalvesWholeBank)
+{
+    ClassCounterBank b(4, 2);
+    b.onWin(0);            // 1
+    b.onWin(0);            // 2 (saturated value)
+    b.onWin(1);            // input1 -> 1
+    EXPECT_EQ(b.classOf(0), 2u);
+    EXPECT_EQ(b.classOf(1), 1u);
+    b.onWin(0);            // saturates: halve all, then increment
+    EXPECT_EQ(b.classOf(0), 2u);
+    EXPECT_EQ(b.classOf(1), 0u);
+}
+
+TEST(ClassCounter, HalvingPreservesRelativeOrder)
+{
+    ClassCounterBank b(3, 7);
+    for (int i = 0; i < 3; ++i)
+        b.onWin(0);
+    for (int i = 0; i < 6; ++i)
+        b.onWin(1);
+    EXPECT_LT(b.classOf(2), b.classOf(0));
+    EXPECT_LT(b.classOf(0), b.classOf(1));
+    for (int i = 0; i < 2; ++i)
+        b.onWin(1); // trigger saturation + halving
+    EXPECT_LE(b.classOf(1), 7u);
+    EXPECT_LT(b.classOf(2), b.classOf(0));
+    EXPECT_LT(b.classOf(0), b.classOf(1));
+}
+
+// ---------------------------------------------------------------------
+// Sub-block arbiters: paper examples
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Emulates the paper's section III-B example: inputs {3,7,11,15} on
+ * layer 1 share the L2LC C1,4 (port 0); input {20} on layer 2 owns
+ * C2,4 (port 1); 4 ports total (c=1, 4 layers) all competing for
+ * output 63. The local switch is emulated with a MatrixArbiter whose
+ * priority is only updated when its winner wins the sub-block
+ * (back-propagated update).
+ */
+class PaperExample
+{
+  public:
+    explicit PaperExample(SubBlockArbiter &sub)
+        : sub_(sub), localL1_(16)
+    {}
+
+    /** Run one arbitration cycle; returns the winning primary input. */
+    std::uint32_t
+    cycle()
+    {
+        std::vector<bool> l1req(16, false);
+        for (auto i : {3, 7, 11, 15})
+            l1req[i] = true;
+        std::uint32_t l1win = localL1_.pick(l1req);
+
+        std::vector<SubBlockRequest> reqs(4);
+        reqs[0] = {true, l1win, 4};  // C1,4 carries 4 requestors
+        reqs[1] = {true, 20, 1};     // C2,4 carries input 20
+        std::uint32_t p = sub_.arbitrate(reqs);
+        if (p == 0)
+            localL1_.update(l1win);
+        return reqs[p].primaryInput;
+    }
+
+  private:
+    SubBlockArbiter &sub_;
+    MatrixArbiter localL1_;
+};
+
+std::map<std::uint32_t, int>
+winHistogram(PaperExample &ex, int cycles)
+{
+    std::map<std::uint32_t, int> h;
+    for (int i = 0; i < cycles; ++i)
+        ++h[ex.cycle()];
+    return h;
+}
+
+} // namespace
+
+TEST(SubBlockArb, LayerLrgIsUnfairInPaperExample)
+{
+    // Paper Fig 4: with L-2-L LRG the lone input 20 alternates with
+    // the four L1 inputs, taking ~1/2 of the output instead of 1/5.
+    LrgSubArbiter sub(4);
+    PaperExample ex(sub);
+    auto h = winHistogram(ex, 200);
+    EXPECT_NEAR(h[20], 100, 2);
+    for (auto i : {3u, 7u, 11u, 15u})
+        EXPECT_NEAR(h[i], 25, 2);
+}
+
+TEST(SubBlockArb, ClrgRestoresFlatLrgFairness)
+{
+    // Paper Fig 5: with CLRG every requesting input gets 1/5.
+    ClrgSubArbiter sub(4, 64, 2);
+    PaperExample ex(sub);
+    auto h = winHistogram(ex, 500);
+    for (auto i : {3u, 7u, 11u, 15u, 20u})
+        EXPECT_NEAR(h[i], 100, 3) << "input " << i;
+}
+
+TEST(SubBlockArb, ClrgSteadyStateRotation)
+{
+    // After the initial transient, each window of 5 grants contains
+    // each of the five inputs exactly once (flat-LRG pattern).
+    ClrgSubArbiter sub(4, 64, 2);
+    PaperExample ex(sub);
+    for (int i = 0; i < 25; ++i)
+        ex.cycle();
+    for (int w = 0; w < 10; ++w) {
+        std::map<std::uint32_t, int> h;
+        for (int i = 0; i < 5; ++i)
+            ++h[ex.cycle()];
+        for (auto i : {3u, 7u, 11u, 15u, 20u})
+            EXPECT_EQ(h[i], 1) << "window " << w;
+    }
+}
+
+TEST(SubBlockArb, WlrgAlsoResolvesPaperExample)
+{
+    WlrgSubArbiter sub(4);
+    PaperExample ex(sub);
+    auto h = winHistogram(ex, 500);
+    for (auto i : {3u, 7u, 11u, 15u, 20u})
+        EXPECT_NEAR(h[i], 100, 10) << "input " << i;
+}
+
+TEST(SubBlockArb, NoValidRequestsGrantsNone)
+{
+    LrgSubArbiter lrg(4);
+    WlrgSubArbiter wlrg(4);
+    ClrgSubArbiter clrg(4, 64, 2);
+    std::vector<SubBlockRequest> none(4);
+    EXPECT_EQ(lrg.arbitrate(none), SubBlockArbiter::kNone);
+    EXPECT_EQ(wlrg.arbitrate(none), SubBlockArbiter::kNone);
+    EXPECT_EQ(clrg.arbitrate(none), SubBlockArbiter::kNone);
+}
+
+TEST(SubBlockArb, ClrgPrefersLowerClassRegardlessOfLrg)
+{
+    ClrgSubArbiter sub(2, 8, 2);
+    std::vector<SubBlockRequest> reqs(2);
+    reqs[0] = {true, 0, 1};
+    reqs[1] = {true, 1, 1};
+    // Tie in class 0: LRG decides, port 0 initially outranks port 1.
+    EXPECT_EQ(sub.arbitrate(reqs), 0u);
+    // Now input 0 is class 1, input 1 class 0 -> class decides.
+    EXPECT_EQ(sub.arbitrate(reqs), 1u);
+    EXPECT_EQ(sub.counters().classOf(0), 1u);
+    EXPECT_EQ(sub.counters().classOf(1), 1u);
+}
+
+TEST(SubBlockArb, FactoryMakesMatchingSchemes)
+{
+    EXPECT_NE(dynamic_cast<LrgSubArbiter *>(
+                  makeSubBlockArbiter(ArbScheme::LayerLrg, 4, 64, 2)
+                      .get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<WlrgSubArbiter *>(
+                  makeSubBlockArbiter(ArbScheme::Wlrg, 4, 64, 2).get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<ClrgSubArbiter *>(
+                  makeSubBlockArbiter(ArbScheme::Clrg, 4, 64, 2).get()),
+              nullptr);
+}

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG, statistics, tables, spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/parallel.hh"
+#include "common/random.hh"
+#include "common/spec.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace hirise;
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool differs = false;
+    for (int i = 0; i < 64; ++i) {
+        auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.below(13);
+        ASSERT_LT(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 13u); // all values reachable
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(1);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(3);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(hits / double(n), 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(5);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(0.25));
+    // mean failures before success = (1-p)/p = 3
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+// ---------------------------------------------------------------------
+// RunningStat / Histogram / fairness
+// ---------------------------------------------------------------------
+
+TEST(RunningStat, Moments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsSafe)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, QuantileApproximation)
+{
+    Histogram h(1.0, 128);
+    for (int i = 1; i <= 100; ++i)
+        h.add(i);
+    EXPECT_NEAR(h.quantile(0.5), 51.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.99), 100.0, 2.0);
+}
+
+TEST(Histogram, OverflowBinCatchesLargeValues)
+{
+    Histogram h(1.0, 8);
+    h.add(1e9);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.quantile(0.99), 8.0);
+}
+
+TEST(Fairness, JainIndex)
+{
+    EXPECT_DOUBLE_EQ(jainFairness({1, 1, 1, 1}), 1.0);
+    EXPECT_NEAR(jainFairness({1, 0, 0, 0}), 0.25, 1e-12);
+    EXPECT_DOUBLE_EQ(jainFairness({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainFairness({0, 0}), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    t.row({"1", "x"});
+    t.row({"2", "y"});
+    EXPECT_EQ(t.csv(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(10.0, 0), "10");
+    EXPECT_EQ(Table::integer(8192), "8192");
+}
+
+// ---------------------------------------------------------------------
+// parallelMap
+// ---------------------------------------------------------------------
+
+TEST(ParallelMap, PreservesOrderAndCoversAllItems)
+{
+    std::vector<int> items(200);
+    for (int i = 0; i < 200; ++i)
+        items[i] = i;
+    auto out = parallelMap(items, [](const int &x) { return x * x; });
+    ASSERT_EQ(out.size(), 200u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, EmptyAndSingleThread)
+{
+    std::vector<int> none;
+    EXPECT_TRUE(parallelMap(none, [](const int &x) { return x; })
+                    .empty());
+    std::vector<int> one{7};
+    auto out = parallelMap(
+        one, [](const int &x) { return x + 1; }, 1);
+    EXPECT_EQ(out[0], 8);
+}
+
+// ---------------------------------------------------------------------
+// SwitchSpec
+// ---------------------------------------------------------------------
+
+TEST(SwitchSpec, PortsPerLayer)
+{
+    SwitchSpec s;
+    s.topo = Topology::HiRise;
+    s.radix = 64;
+    s.layers = 4;
+    EXPECT_EQ(s.portsPerLayer(), 16u);
+    s.layers = 7;
+    EXPECT_EQ(s.portsPerLayer(), 10u);
+    s.topo = Topology::Flat2D;
+    EXPECT_EQ(s.portsPerLayer(), 64u);
+}
+
+TEST(SwitchSpec, Names)
+{
+    SwitchSpec s;
+    s.topo = Topology::HiRise;
+    s.radix = 64;
+    s.layers = 4;
+    s.channels = 4;
+    s.arb = ArbScheme::Clrg;
+    EXPECT_EQ(s.name(), "HiRise r64 L4 c4 CLRG");
+
+    SwitchSpec f;
+    f.topo = Topology::Flat2D;
+    f.arb = ArbScheme::Lrg;
+    f.radix = 64;
+    EXPECT_EQ(f.name(), "2D r64 LRG");
+}
+
+TEST(SwitchSpec, ValidateAcceptsPaperConfigs)
+{
+    SwitchSpec s;
+    s.topo = Topology::HiRise;
+    s.radix = 64;
+    s.layers = 4;
+    s.channels = 4;
+    s.arb = ArbScheme::Clrg;
+    s.validate(); // must not die
+
+    SwitchSpec f;
+    f.topo = Topology::Flat2D;
+    f.arb = ArbScheme::Lrg;
+    f.validate();
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tests for the error/status reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace hirise;
+
+TEST(Logging, FormatHandlesTypesAndLongStrings)
+{
+    EXPECT_EQ(detail::format("plain"), "plain");
+    EXPECT_EQ(detail::format("%d-%s-%.1f", 7, "x", 2.5), "7-x-2.5");
+    std::string big(500, 'a');
+    EXPECT_EQ(detail::format("%s", big.c_str()), big);
+}
+
+TEST(Logging, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config %d", 42),
+                ::testing::ExitedWithCode(1), "bad config 42");
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("simulator bug"), "simulator bug");
+}
+
+TEST(Logging, SimAssertPassesAndFails)
+{
+    sim_assert(1 + 1 == 2, "arithmetic holds");
+    EXPECT_DEATH(sim_assert(false, "value was %d", 3),
+                 "assertion failed.*value was 3");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning %s", "w");
+    inform("status %d", 1);
+    SUCCEED();
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the network primitives: flits, VC buffers, input ports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/input_port.hh"
+#include "net/packet.hh"
+
+using namespace hirise::net;
+
+namespace {
+
+Packet
+makePacket(PacketId id, std::uint32_t src, std::uint32_t dst,
+           std::uint16_t len = 4, Cycle gen = 0)
+{
+    Packet p;
+    p.id = id;
+    p.src = src;
+    p.dst = dst;
+    p.lenFlits = len;
+    p.genCycle = gen;
+    return p;
+}
+
+} // namespace
+
+TEST(Packet, FlitFraming)
+{
+    Packet p = makePacket(7, 3, 9, 4, 100);
+    Flit f0 = p.flit(0);
+    EXPECT_TRUE(f0.head);
+    EXPECT_FALSE(f0.tail);
+    EXPECT_EQ(f0.dst, 9u);
+    EXPECT_EQ(f0.genCycle, 100u);
+    Flit f3 = p.flit(3);
+    EXPECT_FALSE(f3.head);
+    EXPECT_TRUE(f3.tail);
+    // Single-flit packet is both head and tail.
+    Packet s = makePacket(8, 0, 1, 1);
+    EXPECT_TRUE(s.flit(0).head);
+    EXPECT_TRUE(s.flit(0).tail);
+}
+
+TEST(VirtualChannel, PacketOwnershipLifecycle)
+{
+    VirtualChannel vc(4);
+    EXPECT_TRUE(vc.empty());
+    EXPECT_FALSE(vc.busy());
+
+    Packet p = makePacket(1, 0, 5);
+    vc.pushFlit(p.flit(0));
+    EXPECT_TRUE(vc.busy());
+    EXPECT_TRUE(vc.headReady());
+    EXPECT_FALSE(vc.tailQueued());
+
+    for (std::uint16_t i = 1; i < 4; ++i)
+        vc.pushFlit(p.flit(i));
+    EXPECT_TRUE(vc.full());
+    EXPECT_TRUE(vc.tailQueued());
+
+    for (int i = 0; i < 3; ++i) {
+        Flit f = vc.popFlit();
+        EXPECT_FALSE(f.tail);
+        EXPECT_TRUE(vc.busy()); // still owned until the tail leaves
+    }
+    EXPECT_FALSE(vc.headReady()); // mid-packet head is not a head flit
+    Flit tail = vc.popFlit();
+    EXPECT_TRUE(tail.tail);
+    EXPECT_FALSE(vc.busy());
+    EXPECT_TRUE(vc.empty());
+}
+
+TEST(InputPort, FillStreamsOneFlitPerCycle)
+{
+    InputPort port(4, 4);
+    port.sourceQueue().push_back(makePacket(1, 0, 5));
+    for (int i = 0; i < 4; ++i)
+        port.fillCycle();
+    EXPECT_TRUE(port.sourceQueue().empty());
+    EXPECT_EQ(port.vcs()[0].size(), 4u);
+    EXPECT_TRUE(port.vcs()[0].tailQueued());
+}
+
+TEST(InputPort, SecondPacketTakesAnotherVc)
+{
+    InputPort port(4, 4);
+    port.sourceQueue().push_back(makePacket(1, 0, 5));
+    port.sourceQueue().push_back(makePacket(2, 0, 6));
+    for (int i = 0; i < 8; ++i)
+        port.fillCycle();
+    EXPECT_EQ(port.vcs()[0].size(), 4u);
+    EXPECT_EQ(port.vcs()[1].size(), 4u);
+    EXPECT_EQ(port.vcs()[0].front().dst, 5u);
+    EXPECT_EQ(port.vcs()[1].front().dst, 6u);
+}
+
+TEST(InputPort, FullVcBackpressuresFill)
+{
+    InputPort port(1, 2); // one VC, two flits deep
+    port.sourceQueue().push_back(makePacket(1, 0, 5));
+    for (int i = 0; i < 10; ++i)
+        port.fillCycle();
+    // Only 2 of 4 flits fit; the packet is still at the source.
+    EXPECT_EQ(port.vcs()[0].size(), 2u);
+    ASSERT_FALSE(port.sourceQueue().empty());
+    // Draining one flit lets one more in.
+    port.vcs()[0].popFlit();
+    port.fillCycle();
+    EXPECT_EQ(port.vcs()[0].size(), 2u);
+}
+
+TEST(InputPort, CandidateSelectionRoundRobins)
+{
+    InputPort port(4, 4);
+    port.sourceQueue().push_back(makePacket(1, 0, 5));
+    port.sourceQueue().push_back(makePacket(2, 0, 6));
+    for (int i = 0; i < 8; ++i)
+        port.fillCycle();
+    std::uint32_t v1 = port.pickCandidateVc();
+    std::uint32_t v2 = port.pickCandidateVc();
+    EXPECT_NE(v1, InputPort::kNoVc);
+    EXPECT_NE(v2, InputPort::kNoVc);
+    EXPECT_NE(v1, v2); // round-robin moves past the first candidate
+    EXPECT_EQ(port.vcDest(v1) + port.vcDest(v2), 11u);
+}
+
+TEST(InputPort, NoCandidateWhenEmpty)
+{
+    InputPort port(4, 4);
+    EXPECT_EQ(port.pickCandidateVc(), InputPort::kNoVc);
+}
+
+TEST(InputPort, ConnectionLifecycle)
+{
+    InputPort port(4, 4);
+    port.sourceQueue().push_back(makePacket(1, 0, 5));
+    for (int i = 0; i < 4; ++i)
+        port.fillCycle();
+    std::uint32_t v = port.pickCandidateVc();
+    port.connect(v, 5, 4);
+    EXPECT_TRUE(port.connected());
+    EXPECT_EQ(port.connOutput(), 5u);
+    for (int i = 0; i < 3; ++i) {
+        port.vcs()[v].popFlit();
+        EXPECT_FALSE(port.transferOne());
+    }
+    port.vcs()[v].popFlit();
+    EXPECT_TRUE(port.transferOne());
+    EXPECT_FALSE(port.connected());
+}
+
+TEST(InputPort, BacklogCountsQueueAndVcsOnce)
+{
+    InputPort port(4, 4);
+    port.sourceQueue().push_back(makePacket(1, 0, 5));
+    port.sourceQueue().push_back(makePacket(2, 0, 6));
+    EXPECT_EQ(port.backlogFlits(), 8u);
+    port.fillCycle(); // one flit moves into a VC
+    EXPECT_EQ(port.backlogFlits(), 8u);
+    for (int i = 0; i < 3; ++i)
+        port.fillCycle();
+    EXPECT_EQ(port.backlogFlits(), 8u);
+    port.vcs()[0].popFlit();
+    EXPECT_EQ(port.backlogFlits(), 7u);
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parameterized property sweeps of the physical model over the whole
+ * configuration space: orderings and monotonicities that must hold
+ * for every radix/layers/channels combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/geometry.hh"
+#include "phys/model.hh"
+
+using namespace hirise;
+using namespace hirise::phys;
+
+namespace {
+
+struct Shape
+{
+    std::uint32_t radix;
+    std::uint32_t layers;
+    std::uint32_t channels;
+};
+
+SwitchSpec
+hirise(const Shape &s, ArbScheme arb = ArbScheme::LayerLrg)
+{
+    SwitchSpec spec;
+    spec.topo = Topology::HiRise;
+    spec.radix = s.radix;
+    spec.layers = s.layers;
+    spec.channels = s.channels;
+    spec.arb = arb;
+    return spec;
+}
+
+class PhysSweep : public ::testing::TestWithParam<Shape>
+{
+};
+
+} // namespace
+
+TEST_P(PhysSweep, ReportIsPhysicallySane)
+{
+    PhysModel m;
+    auto spec = hirise(GetParam());
+    auto r = m.evaluate(spec);
+    EXPECT_GT(r.areaMm2, 0.0);
+    EXPECT_GT(r.freqGhz, 0.1);
+    EXPECT_LT(r.freqGhz, 10.0);
+    EXPECT_GT(r.energyPerTransPj, 1.0);
+    EXPECT_EQ(r.numTsvs, std::uint64_t(spec.layers) * spec.channels *
+                             (spec.layers - 1) * spec.flitBits);
+    EXPECT_NEAR(r.freqGhz * r.cycleTimePs, 1000.0, 1e-6);
+}
+
+TEST_P(PhysSweep, ClrgCostsDelayAndEnergyButNoArea)
+{
+    PhysModel m;
+    auto base = m.evaluate(hirise(GetParam(), ArbScheme::LayerLrg));
+    auto clrg = m.evaluate(hirise(GetParam(), ArbScheme::Clrg));
+    EXPECT_LT(clrg.freqGhz, base.freqGhz);
+    EXPECT_GT(clrg.energyPerTransPj, base.energyPerTransPj);
+    EXPECT_DOUBLE_EQ(clrg.areaMm2, base.areaMm2);
+}
+
+TEST_P(PhysSweep, MoreChannelsCostAreaAndDelay)
+{
+    const Shape s = GetParam();
+    if (s.channels >= 4)
+        return;
+    PhysModel m;
+    Shape wider = s;
+    wider.channels = s.channels + 1;
+    auto narrow = m.evaluate(hirise(s));
+    auto wide = m.evaluate(hirise(wider));
+    EXPECT_GT(wide.areaMm2, narrow.areaMm2);
+    EXPECT_GT(wide.cycleTimePs, narrow.cycleTimePs);
+    EXPECT_GT(wide.numTsvs, narrow.numTsvs);
+}
+
+TEST_P(PhysSweep, CrosspointAccountingConsistent)
+{
+    auto spec = hirise(GetParam());
+    std::uint64_t local =
+        std::uint64_t(localRows(spec)) * localCols(spec);
+    std::uint64_t inter =
+        std::uint64_t(subBlocksPerLayer(spec)) * subBlockRows(spec);
+    EXPECT_EQ(totalCrosspoints(spec),
+              (local + inter) * spec.layers);
+    // Hi-Rise always needs fewer crosspoints than the flat N x N.
+    EXPECT_LT(totalCrosspoints(spec),
+              std::uint64_t(spec.radix) * spec.radix +
+                  std::uint64_t(spec.layers) * spec.radix);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PhysSweep,
+    ::testing::Values(Shape{32, 2, 1}, Shape{32, 4, 2},
+                      Shape{48, 3, 2}, Shape{64, 4, 1},
+                      Shape{64, 4, 4}, Shape{64, 8, 2},
+                      Shape{96, 4, 4}, Shape{96, 6, 2},
+                      Shape{128, 4, 4}, Shape{128, 8, 4},
+                      Shape{144, 6, 4}, Shape{24, 3, 1}),
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        const Shape &s = info.param;
+        return "r" + std::to_string(s.radix) + "l" +
+               std::to_string(s.layers) + "c" +
+               std::to_string(s.channels);
+    });

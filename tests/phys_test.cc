@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit + regression tests for the physical model. The regression
+ * tests pin the model to the paper's published anchors (Tables I, IV,
+ * V; Figs 9, 12) within tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "phys/geometry.hh"
+#include "phys/model.hh"
+
+using namespace hirise;
+using namespace hirise::phys;
+
+namespace {
+
+SwitchSpec
+spec2d(std::uint32_t radix = 64)
+{
+    SwitchSpec s;
+    s.topo = Topology::Flat2D;
+    s.radix = radix;
+    s.arb = ArbScheme::Lrg;
+    return s;
+}
+
+SwitchSpec
+specFolded(std::uint32_t radix = 64, std::uint32_t layers = 4)
+{
+    SwitchSpec s;
+    s.topo = Topology::Folded3D;
+    s.radix = radix;
+    s.layers = layers;
+    s.arb = ArbScheme::Lrg;
+    return s;
+}
+
+SwitchSpec
+specHiRise(std::uint32_t channels, ArbScheme arb = ArbScheme::LayerLrg,
+           std::uint32_t radix = 64, std::uint32_t layers = 4)
+{
+    SwitchSpec s;
+    s.topo = Topology::HiRise;
+    s.radix = radix;
+    s.layers = layers;
+    s.channels = channels;
+    s.arb = arb;
+    return s;
+}
+
+void
+expectNear(double value, double paper, double tol_frac)
+{
+    EXPECT_NEAR(value, paper, paper * tol_frac)
+        << "paper=" << paper << " model=" << value;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------
+
+TEST(Geometry, CrosspointSideMatchesWirePitch)
+{
+    // 128 bits / 2 metal layers * 0.2 um = 12.8 um (paper sec IV-D).
+    EXPECT_DOUBLE_EQ(xpSideUm(spec2d(), TechParams::nm32()), 12.8);
+}
+
+TEST(Geometry, HiRiseBlockDimensionsMatchTableIV)
+{
+    // Table IV configuration column:
+    // c=4: [(16x28), 16*(13x1)]x4 ; c=2: [(16x22), 16*(7x1)]x4 ;
+    // c=1: [(16x19), 16*(4x1)]x4
+    auto s4 = specHiRise(4);
+    EXPECT_EQ(localRows(s4), 16u);
+    EXPECT_EQ(localCols(s4), 28u);
+    EXPECT_EQ(subBlockRows(s4), 13u);
+    EXPECT_EQ(subBlocksPerLayer(s4), 16u);
+
+    auto s2 = specHiRise(2);
+    EXPECT_EQ(localCols(s2), 22u);
+    EXPECT_EQ(subBlockRows(s2), 7u);
+
+    auto s1 = specHiRise(1);
+    EXPECT_EQ(localCols(s1), 19u);
+    EXPECT_EQ(subBlockRows(s1), 4u);
+}
+
+TEST(Geometry, TsvCountsMatchPaperTables)
+{
+    EXPECT_EQ(tsvCount(spec2d()), 0u);
+    EXPECT_EQ(tsvCount(specFolded()), 8192u);
+    EXPECT_EQ(tsvCount(specHiRise(4)), 6144u);
+    EXPECT_EQ(tsvCount(specHiRise(2)), 3072u);
+    EXPECT_EQ(tsvCount(specHiRise(1)), 1536u);
+}
+
+TEST(Geometry, CrosspointCounts)
+{
+    EXPECT_EQ(totalCrosspoints(spec2d()), 4096u);
+    EXPECT_EQ(totalCrosspoints(specFolded()), 4096u);
+    // 4 layers x (16*28 local + 16*13 inter-layer)
+    EXPECT_EQ(totalCrosspoints(specHiRise(4)), 4u * (448u + 208u));
+}
+
+TEST(Geometry, UnevenLayerSplitRoundsUp)
+{
+    auto s = specHiRise(4, ArbScheme::LayerLrg, 64, 7);
+    EXPECT_EQ(localRows(s), 10u); // ceil(64/7)
+}
+
+// ---------------------------------------------------------------------
+// Regression vs paper Table I / IV / V (area, frequency, energy)
+// ---------------------------------------------------------------------
+
+TEST(PhysRegression, TableIV_Area)
+{
+    PhysModel m;
+    expectNear(m.evaluate(spec2d()).areaMm2, 0.672, 0.02);
+    expectNear(m.evaluate(specFolded()).areaMm2, 0.705, 0.02);
+    expectNear(m.evaluate(specHiRise(4)).areaMm2, 0.451, 0.02);
+    expectNear(m.evaluate(specHiRise(2)).areaMm2, 0.315, 0.02);
+    expectNear(m.evaluate(specHiRise(1)).areaMm2, 0.247, 0.02);
+}
+
+TEST(PhysRegression, TableIV_Frequency)
+{
+    PhysModel m;
+    expectNear(m.evaluate(spec2d()).freqGhz, 1.69, 0.03);
+    expectNear(m.evaluate(specFolded()).freqGhz, 1.58, 0.03);
+    expectNear(m.evaluate(specHiRise(4)).freqGhz, 2.24, 0.03);
+    expectNear(m.evaluate(specHiRise(2)).freqGhz, 2.46, 0.03);
+    expectNear(m.evaluate(specHiRise(1)).freqGhz, 2.64, 0.04);
+}
+
+TEST(PhysRegression, TableV_ClrgCosts)
+{
+    PhysModel m;
+    auto clrg = m.evaluate(specHiRise(4, ArbScheme::Clrg));
+    expectNear(clrg.freqGhz, 2.2, 0.03);
+    // CLRG fits under the wires: same area as L-2-L LRG (Table V).
+    EXPECT_DOUBLE_EQ(clrg.areaMm2,
+                     m.evaluate(specHiRise(4)).areaMm2);
+    expectNear(clrg.energyPerTransPj, 44.0, 0.08);
+}
+
+TEST(PhysRegression, TableIV_Energy)
+{
+    PhysModel m;
+    expectNear(m.evaluate(spec2d()).energyPerTransPj, 71.0, 0.08);
+    expectNear(m.evaluate(specFolded()).energyPerTransPj, 73.0, 0.08);
+    expectNear(m.evaluate(specHiRise(4)).energyPerTransPj, 42.0, 0.08);
+    expectNear(m.evaluate(specHiRise(2)).energyPerTransPj, 39.0, 0.08);
+    expectNear(m.evaluate(specHiRise(1)).energyPerTransPj, 37.0, 0.08);
+}
+
+// ---------------------------------------------------------------------
+// Shape properties (Figs 9a/9b/9c, 12)
+// ---------------------------------------------------------------------
+
+TEST(PhysShape, Fig9a_2dFasterAtLowRadixCrossoverNear32)
+{
+    PhysModel m;
+    EXPECT_GT(m.evaluate(spec2d(16)).freqGhz,
+              m.evaluate(specHiRise(4, ArbScheme::LayerLrg, 16)).freqGhz);
+    // Beyond radix 32, all 3D configurations beat 2D (paper VI-A).
+    for (std::uint32_t r : {48u, 64u, 96u, 128u}) {
+        for (std::uint32_t c : {1u, 2u, 4u}) {
+            EXPECT_GT(
+                m.evaluate(specHiRise(c, ArbScheme::LayerLrg, r)).freqGhz,
+                m.evaluate(spec2d(r)).freqGhz)
+                << "radix " << r << " c " << c;
+        }
+    }
+}
+
+TEST(PhysShape, Fig9a_ChannelMultiplicityMattersLessAtHighRadix)
+{
+    PhysModel m;
+    auto gap = [&](std::uint32_t r) {
+        return m.evaluate(specHiRise(1, ArbScheme::LayerLrg, r)).freqGhz -
+               m.evaluate(specHiRise(4, ArbScheme::LayerLrg, r)).freqGhz;
+    };
+    EXPECT_GT(gap(32), gap(128));
+}
+
+TEST(PhysShape, Fig9b_LayerCountHasInteriorOptimum)
+{
+    PhysModel m;
+    // For radix 64 the frequency peaks for 3..5 layers (paper VI-A).
+    double best_f = 0.0;
+    std::uint32_t best_l = 0;
+    for (std::uint32_t l = 2; l <= 7; ++l) {
+        double f =
+            m.evaluate(specHiRise(4, ArbScheme::LayerLrg, 64, l)).freqGhz;
+        if (f > best_f) {
+            best_f = f;
+            best_l = l;
+        }
+    }
+    EXPECT_GE(best_l, 3u);
+    EXPECT_LE(best_l, 5u);
+}
+
+TEST(PhysShape, Fig9b_OptimalLayersShiftUpWithRadix)
+{
+    PhysModel m;
+    auto best_layers = [&](std::uint32_t radix) {
+        double best_f = 0.0;
+        std::uint32_t best_l = 0;
+        for (std::uint32_t l = 2; l <= 8; ++l) {
+            double f = m.evaluate(specHiRise(4, ArbScheme::LayerLrg,
+                                             radix, l))
+                           .freqGhz;
+            if (f > best_f) {
+                best_f = f;
+                best_l = l;
+            }
+        }
+        return best_l;
+    };
+    EXPECT_LE(best_layers(48), best_layers(128));
+}
+
+TEST(PhysShape, Fig9c_EnergyGrowsMoreGentlyFor3d)
+{
+    PhysModel m;
+    auto slope = [&](auto make) {
+        return m.evaluate(make(128)).energyPerTransPj -
+               m.evaluate(make(32)).energyPerTransPj;
+    };
+    double s2d = slope([](std::uint32_t r) { return spec2d(r); });
+    double s3d = slope([](std::uint32_t r) {
+        return specHiRise(4, ArbScheme::LayerLrg, r);
+    });
+    EXPECT_GT(s2d, s3d);
+}
+
+TEST(PhysShape, ScalabilityClaim_Radix96HiRiseAtLeast2dRadix64Speed)
+{
+    // Paper: "extends scalability to radix 96 from ... 64 ... at the
+    // same operating frequency".
+    PhysModel m;
+    EXPECT_GE(m.evaluate(specHiRise(4, ArbScheme::Clrg, 96)).freqGhz,
+              m.evaluate(spec2d(64)).freqGhz);
+}
+
+TEST(PhysShape, Fig12_TsvPitchSensitivity)
+{
+    // +25% pitch: area up by ~1.67%, frequency down by ~1.8%
+    // (paper VI-C). Allow generous tolerance on these tiny deltas.
+    TechParams t = TechParams::nm32();
+    PhysModel nominal(t);
+    auto base = nominal.evaluate(specHiRise(4, ArbScheme::Clrg));
+
+    t.tsvPitchUm = 1.0;
+    PhysModel wide(t);
+    auto w = wide.evaluate(specHiRise(4, ArbScheme::Clrg));
+
+    double area_up = w.areaMm2 / base.areaMm2 - 1.0;
+    double freq_down = 1.0 - w.freqGhz / base.freqGhz;
+    EXPECT_GT(area_up, 0.005);
+    EXPECT_LT(area_up, 0.03);
+    EXPECT_GT(freq_down, 0.005);
+    EXPECT_LT(freq_down, 0.03);
+
+    // Monotonic degradation out to 5 um.
+    double prev_f = base.freqGhz;
+    double prev_a = base.areaMm2;
+    for (double pitch = 1.0; pitch <= 5.0; pitch += 0.5) {
+        t.tsvPitchUm = pitch;
+        auto r = PhysModel(t).evaluate(specHiRise(4, ArbScheme::Clrg));
+        EXPECT_LT(r.freqGhz, prev_f);
+        EXPECT_GT(r.areaMm2, prev_a);
+        prev_f = r.freqGhz;
+        prev_a = r.areaMm2;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Misc model behaviour
+// ---------------------------------------------------------------------
+
+TEST(PhysModel, PriorityAllocSlowerThanBinned)
+{
+    PhysModel m;
+    auto s = specHiRise(4);
+    double binned = m.cycleTimePs(s);
+    s.alloc = ChannelAlloc::Priority;
+    EXPECT_GT(m.cycleTimePs(s), binned);
+}
+
+TEST(PhysModel, PeakBandwidth)
+{
+    PhysReport r;
+    r.freqGhz = 2.0;
+    // 64 outputs x 128 bits x 2 GHz = 16.384 Tbps
+    EXPECT_NEAR(r.peakTbps(64, 128), 16.384, 1e-9);
+}
+
+TEST(PhysModel, MonotonicInRadix)
+{
+    PhysModel m;
+    double prev_t = 0.0, prev_a = 0.0, prev_e = 0.0;
+    for (std::uint32_t r = 16; r <= 160; r += 16) {
+        auto rep = m.evaluate(specHiRise(4, ArbScheme::Clrg, r));
+        EXPECT_GT(rep.cycleTimePs, prev_t);
+        EXPECT_GT(rep.areaMm2, prev_a);
+        EXPECT_GT(rep.energyPerTransPj, prev_e);
+        prev_t = rep.cycleTimePs;
+        prev_a = rep.areaMm2;
+        prev_e = rep.energyPerTransPj;
+    }
+}
+
+TEST(PhysModel, ValidationRejectsBadSpecs)
+{
+    SwitchSpec s;
+    s.topo = Topology::HiRise;
+    s.arb = ArbScheme::Lrg; // flat LRG invalid for HiRise
+    EXPECT_DEATH(s.validate(), "two-phase");
+
+    SwitchSpec f;
+    f.topo = Topology::Flat2D;
+    f.arb = ArbScheme::Clrg;
+    EXPECT_DEATH(f.validate(), "flat");
+}

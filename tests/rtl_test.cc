@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Equivalence proofs (by randomized co-simulation) between the
+ * wire-level arbitration circuit models and the behavioral arbiters:
+ * the priority-line inhibit network of Figs 6-7 must produce exactly
+ * the decisions of MatrixArbiter / ClrgSubArbiter on every cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arb/matrix_arbiter.hh"
+#include "arb/sub_block_arbiter.hh"
+#include "common/random.hh"
+#include "fabric/flat2d.hh"
+#include "rtl/wired_arbiter.hh"
+#include "rtl/wired_column.hh"
+
+using namespace hirise;
+using hirise::fabric::Flat2dFabric;
+
+TEST(WiredLrg, SingleRequestorSurvives)
+{
+    rtl::WiredLrgColumn col(8);
+    std::vector<bool> req(8, false);
+    req[5] = true;
+    EXPECT_EQ(col.evaluate(req), 5u);
+}
+
+TEST(WiredLrg, NoRequestNoWinner)
+{
+    rtl::WiredLrgColumn col(8);
+    EXPECT_EQ(col.evaluate(std::vector<bool>(8, false)),
+              rtl::WiredLrgColumn::kNone);
+}
+
+TEST(WiredLrg, InhibitNetworkIsolatesHighestPriority)
+{
+    rtl::WiredLrgColumn col(4);
+    std::vector<bool> req(4, true);
+    EXPECT_EQ(col.evaluate(req), 0u);
+    col.updateLrg(0);
+    EXPECT_EQ(col.evaluate(req), 1u);
+}
+
+TEST(WiredLrg, EquivalentToBehavioralMatrixArbiter)
+{
+    // Co-simulate 5000 random cycles at several widths.
+    for (std::uint32_t n : {2u, 5u, 13u, 16u}) {
+        rtl::WiredLrgColumn circuit(n);
+        arb::MatrixArbiter model(n);
+        Rng rng(1000 + n);
+        for (int t = 0; t < 5000; ++t) {
+            std::vector<bool> req(n);
+            for (std::uint32_t i = 0; i < n; ++i)
+                req[i] = rng.bernoulli(0.4);
+            std::uint32_t wc = circuit.evaluate(req);
+            std::uint32_t wm = model.pick(req);
+            ASSERT_EQ(wc, wm) << "n=" << n << " cycle " << t;
+            // Update on a random subset of wins (the back-propagated
+            // local update is conditional in Hi-Rise).
+            if (wm != arb::MatrixArbiter::kNone &&
+                rng.bernoulli(0.7)) {
+                circuit.updateLrg(wm);
+                model.update(wm);
+            }
+        }
+    }
+}
+
+TEST(WiredClrg, SingleCycleClassInhibit)
+{
+    // Port 0's input is in a lower-priority class: port 1 must win
+    // even though port 0 outranks it in LRG.
+    rtl::WiredClrgSubBlock circuit(2, 8, 2);
+    std::vector<arb::SubBlockRequest> reqs(2);
+    reqs[0] = {true, 0, 1};
+    reqs[1] = {true, 1, 1};
+    EXPECT_EQ(circuit.arbitrate(reqs), 0u); // tie in class, LRG
+    EXPECT_EQ(circuit.classOf(0), 1u);
+    EXPECT_EQ(circuit.arbitrate(reqs), 1u); // class decides
+}
+
+TEST(WiredClrg, EquivalentToBehavioralClrgSubArbiter)
+{
+    // The paper's configuration: 13 ports, 64 primary inputs, 3
+    // classes. Ports are bound to random primary inputs each cycle
+    // (like local-switch winners riding the L2LCs).
+    const std::uint32_t ports = 13, inputs = 64, max_count = 2;
+    rtl::WiredClrgSubBlock circuit(ports, inputs, max_count);
+    arb::ClrgSubArbiter model(ports, inputs, max_count);
+    Rng rng(99);
+    for (int t = 0; t < 20000; ++t) {
+        std::vector<arb::SubBlockRequest> reqs(ports);
+        for (std::uint32_t p = 0; p < ports; ++p) {
+            reqs[p].valid = rng.bernoulli(0.35);
+            reqs[p].primaryInput =
+                static_cast<std::uint32_t>(rng.below(inputs));
+        }
+        std::uint32_t wc = circuit.arbitrate(reqs);
+        std::uint32_t wm = model.arbitrate(reqs);
+        ASSERT_EQ(wc, wm) << "cycle " << t;
+        if (wm != arb::SubBlockArbiter::kNone) {
+            ASSERT_EQ(circuit.classOf(reqs[wm].primaryInput),
+                      model.counters().classOf(reqs[wm].primaryInput))
+                << "cycle " << t;
+        }
+    }
+}
+
+TEST(WiredClrg, CountersTrackEveryInputOutputPair)
+{
+    rtl::WiredClrgSubBlock circuit(4, 16, 2);
+    std::vector<arb::SubBlockRequest> reqs(4);
+    reqs[2] = {true, 9, 1};
+    for (int i = 0; i < 2; ++i)
+        EXPECT_EQ(circuit.arbitrate(reqs), 2u);
+    EXPECT_EQ(circuit.classOf(9), 2u);
+    EXPECT_EQ(circuit.classOf(8), 0u);
+    // Saturation: bank halves, then the increment lands.
+    EXPECT_EQ(circuit.arbitrate(reqs), 2u);
+    EXPECT_EQ(circuit.classOf(9), 2u);
+}
+
+TEST(WiredColumn, ArbitrationThenDataOnTheSameWires)
+{
+    rtl::WiredSwitchColumn col(4);
+    std::vector<bool> req(4, false);
+    req[2] = true;
+    EXPECT_EQ(col.arbitrate(req), 2u);
+    EXPECT_TRUE(col.connected());
+
+    std::vector<std::uint64_t> words{0xAA, 0xBB, 0xCC, 0xDD};
+    EXPECT_EQ(col.transfer(words), 0xCCu);
+    words[2] = 0x1234;
+    EXPECT_EQ(col.transfer(words), 0x1234u);
+
+    col.release();
+    EXPECT_FALSE(col.connected());
+}
+
+TEST(WiredColumn, CannotArbitrateWhileTransferring)
+{
+    rtl::WiredSwitchColumn col(4);
+    std::vector<bool> req(4, true);
+    EXPECT_EQ(col.arbitrate(req), 0u);
+    // The wires are in use: a second arbitration must die.
+    EXPECT_DEATH(col.arbitrate(req), "carrying data");
+    col.release();
+    // Self-updating priority: 0 was granted, so 1 wins next.
+    EXPECT_EQ(col.arbitrate(req), 1u);
+}
+
+TEST(WiredColumn, MatchesFlat2dFabricColumnSemantics)
+{
+    // Co-simulate one output of the behavioral flat switch against
+    // the wired column for random request/hold/release sequences.
+    SwitchSpec spec;
+    spec.topo = Topology::Flat2D;
+    spec.radix = 6;
+    spec.arb = ArbScheme::Lrg;
+    fabric::Flat2dFabric fab(spec);
+    rtl::WiredSwitchColumn col(6);
+
+    Rng rng(7);
+    const std::uint32_t out = 3;
+    std::uint32_t held_by = ~0u;
+    std::uint32_t hold_left = 0;
+    for (int t = 0; t < 3000; ++t) {
+        if (held_by != ~0u) {
+            if (--hold_left == 0) {
+                fab.release(held_by, out);
+                col.release();
+                held_by = ~0u;
+            }
+            continue;
+        }
+        std::vector<std::uint32_t> req(6, fabric::kNoRequest);
+        std::vector<bool> creq(6, false);
+        for (std::uint32_t i = 0; i < 6; ++i) {
+            if (rng.bernoulli(0.4)) {
+                req[i] = out;
+                creq[i] = true;
+            }
+        }
+        auto grant = fab.arbitrate(req);
+        std::uint32_t fw = ~0u;
+        for (std::uint32_t i = 0; i < 6; ++i)
+            if (grant[i])
+                fw = i;
+        std::uint32_t cw = col.arbitrate(creq);
+        ASSERT_EQ(cw == rtl::WiredSwitchColumn::kNone ? ~0u : cw, fw)
+            << "cycle " << t;
+        if (fw != ~0u) {
+            held_by = fw;
+            hold_left = 1 + static_cast<std::uint32_t>(rng.below(4));
+        }
+    }
+}
+
+TEST(PriorityLines, PrechargeRestoresAllLines)
+{
+    rtl::PriorityLines lines(4);
+    lines.pullDown(1);
+    lines.pullDown(3);
+    EXPECT_FALSE(lines.sense(1));
+    EXPECT_TRUE(lines.sense(0));
+    lines.precharge();
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(lines.sense(i));
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the comparison topologies (low-radix mesh, flattened
+ * butterfly), the generic GraphNoc simulator, and the floorplan
+ * energy model behind the discussion-section study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/graph_noc.hh"
+#include "noc/topology.hh"
+#include "phys/floorplan.hh"
+
+using namespace hirise;
+using namespace hirise::noc;
+
+// ---------------------------------------------------------------------
+// LowRadixMesh
+// ---------------------------------------------------------------------
+
+TEST(LowRadixMesh, ShapeAndPorts)
+{
+    LowRadixMesh m(8, 1, 1.0);
+    EXPECT_EQ(m.numRouters(), 64u);
+    EXPECT_EQ(m.radix(), 5u);
+    EXPECT_EQ(m.numNodes(), 64u);
+    EXPECT_EQ(m.attach(13).router, 13u);
+    EXPECT_EQ(m.attach(13).port, 0u);
+}
+
+TEST(LowRadixMesh, LinksAreSymmetric)
+{
+    LowRadixMesh m(4, 2, 1.0);
+    for (std::uint32_t r = 0; r < m.numRouters(); ++r) {
+        for (std::uint32_t p = 0; p < m.radix(); ++p) {
+            PortRef far = m.link(r, p);
+            if (!far.valid)
+                continue;
+            PortRef back = m.link(far.router, far.port);
+            ASSERT_TRUE(back.valid);
+            EXPECT_EQ(back.router, r);
+            EXPECT_EQ(back.port, p);
+        }
+    }
+}
+
+TEST(LowRadixMesh, EdgePortsAreDead)
+{
+    LowRadixMesh m(4, 1, 1.0);
+    // Router 0 (corner): no north, no west.
+    EXPECT_FALSE(m.link(0, 1).valid);  // N
+    EXPECT_FALSE(m.link(0, 4).valid);  // W
+    EXPECT_TRUE(m.link(0, 2).valid);   // E
+    EXPECT_TRUE(m.link(0, 3).valid);   // S
+}
+
+TEST(LowRadixMesh, XyRoutingReachesEveryPair)
+{
+    LowRadixMesh m(5, 1, 1.0);
+    for (std::uint32_t s = 0; s < m.numRouters(); ++s) {
+        for (std::uint32_t d = 0; d < m.numRouters(); ++d) {
+            if (s == d)
+                continue;
+            // Walk the route; it must terminate within 2(k-1) hops.
+            std::uint32_t cur = s;
+            int hops = 0;
+            while (cur != d) {
+                std::uint32_t out = m.route(cur, d);
+                PortRef far = m.link(cur, out);
+                ASSERT_TRUE(far.valid) << s << "->" << d;
+                cur = far.router;
+                ASSERT_LE(++hops, 8) << s << "->" << d;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FlattenedButterfly
+// ---------------------------------------------------------------------
+
+TEST(FlattenedButterfly, ShapeAndPorts)
+{
+    FlattenedButterfly fb(4, 4, 4, 2.0);
+    EXPECT_EQ(fb.numRouters(), 16u);
+    EXPECT_EQ(fb.radix(), 10u); // 4 local + 3 row + 3 col
+    EXPECT_EQ(fb.numNodes(), 64u);
+}
+
+TEST(FlattenedButterfly, LinksAreSymmetric)
+{
+    FlattenedButterfly fb(4, 4, 2, 2.0);
+    for (std::uint32_t r = 0; r < fb.numRouters(); ++r) {
+        for (std::uint32_t p = 0; p < fb.radix(); ++p) {
+            PortRef far = fb.link(r, p);
+            if (!far.valid)
+                continue;
+            PortRef back = fb.link(far.router, far.port);
+            ASSERT_TRUE(back.valid) << r << ":" << p;
+            EXPECT_EQ(back.router, r);
+            EXPECT_EQ(back.port, p);
+        }
+    }
+}
+
+TEST(FlattenedButterfly, AtMostTwoRouterToRouterHops)
+{
+    FlattenedButterfly fb(4, 4, 4, 2.0);
+    for (std::uint32_t s = 0; s < fb.numRouters(); ++s) {
+        for (std::uint32_t d = 0; d < fb.numRouters(); ++d) {
+            if (s == d)
+                continue;
+            std::uint32_t cur = s;
+            int hops = 0;
+            while (cur != d) {
+                PortRef far = fb.link(cur, fb.route(cur, d));
+                ASSERT_TRUE(far.valid);
+                cur = far.router;
+                ASSERT_LE(++hops, 2) << s << "->" << d;
+            }
+        }
+    }
+}
+
+TEST(FlattenedButterfly, LinkLengthTracksSpan)
+{
+    FlattenedButterfly fb(4, 4, 4, 2.0);
+    // Router 0, row link to column 3: spans 3 tiles of 2 mm.
+    std::uint32_t port = fb.route(0, 3);
+    EXPECT_DOUBLE_EQ(fb.linkLengthMm(0, port), 6.0);
+    // Column link from row 0 to row 1.
+    port = fb.route(0, 4);
+    EXPECT_DOUBLE_EQ(fb.linkLengthMm(0, port), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// GraphNoc
+// ---------------------------------------------------------------------
+
+TEST(GraphNoc, MeshDeliversUniformTraffic)
+{
+    GraphNoc sim(std::make_shared<LowRadixMesh>(4, 1, 1.0));
+    auto r = sim.run(0.01, 1000, 6000);
+    EXPECT_GT(r.delivered, 100u);
+    EXPECT_NEAR(r.acceptedPktsPerCycle, r.offeredPktsPerCycle,
+                0.1 * r.offeredPktsPerCycle);
+    // 4x4 mesh UR: average ~2.7 router traversals.
+    EXPECT_GT(r.avgRouterHops, 2.0);
+    EXPECT_LT(r.avgRouterHops, 4.5);
+    EXPECT_NEAR(r.avgLinkMm, r.avgRouterHops - 1.0, 0.01);
+}
+
+TEST(GraphNoc, FlattenedButterflyHasFewerHopsThanMesh)
+{
+    GraphNoc mesh(std::make_shared<LowRadixMesh>(8, 1, 1.0));
+    GraphNoc fb(std::make_shared<FlattenedButterfly>(4, 4, 4, 2.0));
+    auto rm = mesh.run(0.01, 1000, 5000);
+    auto rf = fb.run(0.01, 1000, 5000);
+    EXPECT_LT(rf.avgRouterHops, rm.avgRouterHops);
+    EXPECT_LT(rf.avgLatencyCycles, rm.avgLatencyCycles);
+}
+
+TEST(GraphNoc, SurvivesOverload)
+{
+    GraphNoc sim(std::make_shared<LowRadixMesh>(4, 2, 1.0));
+    auto r = sim.run(0.8, 2000, 4000);
+    EXPECT_GT(r.acceptedPktsPerCycle, 0.0);
+    EXPECT_LT(r.acceptedPktsPerCycle, r.offeredPktsPerCycle);
+}
+
+// ---------------------------------------------------------------------
+// SystemEnergyModel
+// ---------------------------------------------------------------------
+
+TEST(SystemEnergyModel, ChipShrinksWithStacking)
+{
+    phys::SystemEnergyModel e;
+    EXPECT_DOUBLE_EQ(e.chipEdgeMm(1), 8.0); // 64 x 1mm^2
+    EXPECT_DOUBLE_EQ(e.chipEdgeMm(4), 4.0);
+}
+
+TEST(SystemEnergyModel, CentralHiRiseBeats2dOnBothTerms)
+{
+    phys::SystemEnergyModel e;
+    SwitchSpec flat;
+    flat.topo = hirise::Topology::Flat2D;
+    flat.radix = 64;
+    flat.arb = ArbScheme::Lrg;
+    SwitchSpec hr;
+    hr.topo = hirise::Topology::HiRise;
+    hr.radix = 64;
+    hr.layers = 4;
+    hr.channels = 4;
+    hr.arb = ArbScheme::Clrg;
+    // Shorter global wires (folded chip) + cheaper switch.
+    EXPECT_LT(e.centralPjPerFlit(hr), e.centralPjPerFlit(flat));
+    EXPECT_GT(e.centralPjPerFlit(flat),
+              e.physModel().evaluate(flat).energyPerTransPj);
+}
+
+TEST(SystemEnergyModel, RoutedEnergyScalesWithHopsAndWire)
+{
+    phys::SystemEnergyModel e;
+    SwitchSpec router;
+    router.topo = hirise::Topology::Flat2D;
+    router.radix = 5;
+    router.arb = ArbScheme::Lrg;
+    double short_path = e.routedPjPerFlit(router, 2.0, 2.0, 1);
+    double long_path = e.routedPjPerFlit(router, 6.0, 6.0, 1);
+    EXPECT_GT(long_path, 2.5 * short_path);
+}
+
+TEST(SystemEnergyModel, LinkEnergyMatchesWireCap)
+{
+    phys::SystemEnergyModel e;
+    // 128 bits x 0.2 fF/um x 1000 um x 1 V^2 = 25.6 pJ/mm.
+    EXPECT_NEAR(e.linkPjPerMm(128), 25.6, 1e-9);
+}

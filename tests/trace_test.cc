@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for trace-replay traffic: scheduling semantics, file parsing,
+ * and end-to-end replay through the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/network_sim.hh"
+#include "traffic/trace.hh"
+
+using namespace hirise;
+using namespace hirise::traffic;
+
+namespace {
+
+class TempTraceFile
+{
+  public:
+    explicit TempTraceFile(const std::string &content)
+    {
+        path_ = std::string(::testing::TempDir()) + "trace_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                ".txt";
+        std::ofstream f(path_);
+        f << content;
+    }
+    ~TempTraceFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(TraceReplay, InjectsAtScheduledCycles)
+{
+    TraceReplay t({{0, 1, 2}, {3, 1, 4}, {1, 2, 5}}, 8);
+    Rng rng(1);
+    EXPECT_EQ(t.pending(), 3u);
+
+    // Source 1, cycle 0: due.
+    EXPECT_TRUE(t.inject(1, 0.0, rng));
+    EXPECT_EQ(t.dest(1, rng), 2u);
+    // Source 2, cycle 0: not yet due.
+    EXPECT_FALSE(t.inject(2, 0.0, rng));
+    // Source 1, cycles 1-2: nothing.
+    EXPECT_FALSE(t.inject(1, 0.0, rng));
+    EXPECT_FALSE(t.inject(1, 0.0, rng));
+    // Source 2, cycle 1: due now.
+    EXPECT_TRUE(t.inject(2, 0.0, rng));
+    EXPECT_EQ(t.dest(2, rng), 5u);
+    // Source 1, cycle 3: due.
+    EXPECT_TRUE(t.inject(1, 0.0, rng));
+    EXPECT_EQ(t.dest(1, rng), 4u);
+    EXPECT_EQ(t.pending(), 0u);
+}
+
+TEST(TraceReplay, SameCycleRecordsSpillToNextCycle)
+{
+    TraceReplay t({{0, 1, 2}, {0, 1, 3}}, 8);
+    Rng rng(1);
+    EXPECT_TRUE(t.inject(1, 0.0, rng));
+    EXPECT_EQ(t.dest(1, rng), 2u);
+    EXPECT_TRUE(t.inject(1, 0.0, rng)); // next cycle, still due
+    EXPECT_EQ(t.dest(1, rng), 3u);
+}
+
+TEST(TraceReplay, ParticipationFollowsTraceContents)
+{
+    TraceReplay t({{0, 3, 4}}, 8);
+    EXPECT_TRUE(t.participates(3));
+    EXPECT_FALSE(t.participates(0));
+}
+
+TEST(TraceReplay, RejectsOutOfRangeRecords)
+{
+    EXPECT_DEATH(TraceReplay({{0, 9, 1}}, 8), "outside radix");
+    EXPECT_DEATH(TraceReplay({{0, 3, 3}}, 8), "src == dst");
+}
+
+TEST(TraceReplay, ParsesFileWithComments)
+{
+    TempTraceFile f("# a trace\n"
+                    "0 1 2\n"
+                    "\n"
+                    "5 2 3  # inline comment\n");
+    auto t = TraceReplay::fromFile(f.path(), 8);
+    EXPECT_EQ(t.pending(), 2u);
+}
+
+TEST(TraceReplay, FileParserDiesOnGarbage)
+{
+    TempTraceFile f("0 1\n");
+    EXPECT_DEATH(TraceReplay::fromFile(f.path(), 8),
+                 "expected 'cycle src dst'");
+    EXPECT_DEATH(TraceReplay::fromFile("/nonexistent/file", 8),
+                 "cannot open");
+}
+
+TEST(TraceReplay, EndToEndThroughSimulator)
+{
+    // 100 packets from input 0 to output 7, back to back: the switch
+    // delivers all of them, 5 cycles apart at steady state.
+    std::vector<TraceRecord> recs;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        recs.push_back({i * 5, 0, 7});
+
+    SwitchSpec spec;
+    spec.topo = Topology::Flat2D;
+    spec.radix = 8;
+    spec.arb = ArbScheme::Lrg;
+
+    sim::SimConfig cfg;
+    cfg.warmupCycles = 0;
+    cfg.measureCycles = 1000;
+    auto trace = std::make_shared<TraceReplay>(recs, 8);
+    sim::NetworkSim sim(spec, cfg, trace);
+    auto r = sim.run();
+    EXPECT_EQ(r.packetsDelivered, 100u);
+    EXPECT_EQ(trace->pending(), 0u);
+    EXPECT_EQ(r.perInputThroughput[0] * 1000, 100.0);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the synthetic traffic patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hh"
+#include "traffic/pattern.hh"
+
+using namespace hirise;
+using namespace hirise::traffic;
+
+TEST(UniformRandomPattern, NeverSelfAndRoughlyUniform)
+{
+    UniformRandom p(16);
+    Rng rng(1);
+    std::map<std::uint32_t, int> hist;
+    const int n = 15000;
+    for (int i = 0; i < n; ++i) {
+        auto d = p.dest(5, rng);
+        ASSERT_NE(d, 5u);
+        ASSERT_LT(d, 16u);
+        ++hist[d];
+    }
+    for (auto &[d, cnt] : hist)
+        EXPECT_NEAR(cnt, n / 15.0, n / 15.0 * 0.15) << "dst " << d;
+}
+
+TEST(HotspotPattern, AllToOne)
+{
+    Hotspot p(64, 63);
+    Rng rng(1);
+    EXPECT_EQ(p.dest(0, rng), 63u);
+    EXPECT_EQ(p.dest(50, rng), 63u);
+    EXPECT_FALSE(p.participates(63));
+    EXPECT_TRUE(p.participates(0));
+    EXPECT_NEAR(p.activeFraction(), 63.0 / 64.0, 1e-12);
+}
+
+TEST(BurstyPattern, MeanRateMatchesRequest)
+{
+    const double rate = 0.2;
+    Bursty p(64, 8.0);
+    Rng rng(7);
+    std::uint64_t injections = 0;
+    const int cycles = 200000;
+    for (int t = 0; t < cycles; ++t)
+        injections += p.inject(3, rate, rng);
+    EXPECT_NEAR(injections / double(cycles), rate, 0.02);
+}
+
+TEST(BurstyPattern, BurstsShareDestination)
+{
+    Bursty p(64, 16.0);
+    Rng rng(11);
+    // Drive at rate 1.0 so bursts are back to back; destinations
+    // change only between bursts -> long runs of equal dst.
+    std::uint32_t runs = 1, total = 0;
+    std::uint32_t prev = ~0u;
+    for (int t = 0; t < 2000; ++t) {
+        if (!p.inject(0, 1.0, rng))
+            continue;
+        auto d = p.dest(0, rng);
+        if (prev != ~0u && d != prev)
+            ++runs;
+        prev = d;
+        ++total;
+    }
+    ASSERT_GT(total, 1000u);
+    // Mean run length should be near the configured burst length.
+    EXPECT_GT(double(total) / runs, 8.0);
+}
+
+TEST(AdversarialPattern, OnlyConfiguredSourcesInject)
+{
+    Adversarial p({3, 7, 11, 15, 20}, 63, 64);
+    Rng rng(1);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        bool expect = (i == 3 || i == 7 || i == 11 || i == 15 ||
+                       i == 20);
+        EXPECT_EQ(p.participates(i), expect) << i;
+    }
+    EXPECT_EQ(p.dest(3, rng), 63u);
+    EXPECT_NEAR(p.activeFraction(), 5.0 / 64.0, 1e-12);
+    // Non-participants never inject even at rate 1.
+    EXPECT_FALSE(p.inject(0, 1.0, rng));
+    EXPECT_TRUE(p.inject(20, 1.0, rng));
+}
+
+TEST(InterLayerOnlyPattern, ParticipantsShareOneChannel)
+{
+    // 16 ports/layer, c = 4: participants on layer 0 are local
+    // indices {0,4,8,12} (bin 0), each to a distinct layer-2 output.
+    InterLayerOnly p(16, 4, 0, 2);
+    Rng rng(1);
+    int participants = 0;
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        if (!p.participates(i))
+            continue;
+        ++participants;
+        EXPECT_EQ(i / 16, 0u);
+        EXPECT_EQ((i % 16) % 4, 0u);
+        auto d = p.dest(i, rng);
+        EXPECT_EQ(d / 16, 2u);
+    }
+    EXPECT_EQ(participants, 4);
+    // Distinct destinations.
+    EXPECT_NE(p.dest(0, rng), p.dest(4, rng));
+}
+
+TEST(TransposePattern, IsAnInvolutionOnTheGrid)
+{
+    Transpose p(64); // 8x8 grid
+    Rng rng(1);
+    for (std::uint32_t s = 0; s < 64; ++s) {
+        auto d = p.dest(s, rng);
+        EXPECT_EQ(p.dest(d, rng), s);
+    }
+}
+
+TEST(BitComplementPattern, MirrorsIndex)
+{
+    BitComplement p(64);
+    Rng rng(1);
+    EXPECT_EQ(p.dest(0, rng), 63u);
+    EXPECT_EQ(p.dest(63, rng), 0u);
+    EXPECT_EQ(p.dest(20, rng), 43u);
+}
