@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_alloc.dir/bench_ablate_alloc.cc.o"
+  "CMakeFiles/bench_ablate_alloc.dir/bench_ablate_alloc.cc.o.d"
+  "bench_ablate_alloc"
+  "bench_ablate_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablate_alloc.
+# This may be replaced when dependencies are built.

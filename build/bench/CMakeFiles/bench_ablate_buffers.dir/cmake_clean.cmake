@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_buffers.dir/bench_ablate_buffers.cc.o"
+  "CMakeFiles/bench_ablate_buffers.dir/bench_ablate_buffers.cc.o.d"
+  "bench_ablate_buffers"
+  "bench_ablate_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

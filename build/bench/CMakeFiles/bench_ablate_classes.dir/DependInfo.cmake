@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablate_classes.cc" "bench/CMakeFiles/bench_ablate_classes.dir/bench_ablate_classes.cc.o" "gcc" "bench/CMakeFiles/bench_ablate_classes.dir/bench_ablate_classes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hirise_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/hirise_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hirise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hirise_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/hirise_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hirise_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hirise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/hirise_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/arb/CMakeFiles/hirise_arb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hirise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

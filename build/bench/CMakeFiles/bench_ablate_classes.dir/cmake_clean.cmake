@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_classes.dir/bench_ablate_classes.cc.o"
+  "CMakeFiles/bench_ablate_classes.dir/bench_ablate_classes.cc.o.d"
+  "bench_ablate_classes"
+  "bench_ablate_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

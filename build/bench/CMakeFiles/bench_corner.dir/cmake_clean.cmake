@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corner.dir/bench_corner.cc.o"
+  "CMakeFiles/bench_corner.dir/bench_corner.cc.o.d"
+  "bench_corner"
+  "bench_corner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discussion.dir/bench_discussion.cc.o"
+  "CMakeFiles/bench_discussion.dir/bench_discussion.cc.o.d"
+  "bench_discussion"
+  "bench_discussion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault.dir/bench_fault.cc.o"
+  "CMakeFiles/bench_fault.dir/bench_fault.cc.o.d"
+  "bench_fault"
+  "bench_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

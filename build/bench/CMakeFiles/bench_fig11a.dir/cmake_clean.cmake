@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a.dir/bench_fig11a.cc.o"
+  "CMakeFiles/bench_fig11a.dir/bench_fig11a.cc.o.d"
+  "bench_fig11a"
+  "bench_fig11a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b.dir/bench_fig11b.cc.o"
+  "CMakeFiles/bench_fig11b.dir/bench_fig11b.cc.o.d"
+  "bench_fig11b"
+  "bench_fig11b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

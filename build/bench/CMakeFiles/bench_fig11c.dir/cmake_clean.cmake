@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11c.dir/bench_fig11c.cc.o"
+  "CMakeFiles/bench_fig11c.dir/bench_fig11c.cc.o.d"
+  "bench_fig11c"
+  "bench_fig11c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

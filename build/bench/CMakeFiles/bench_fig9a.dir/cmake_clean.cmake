@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a.dir/bench_fig9a.cc.o"
+  "CMakeFiles/bench_fig9a.dir/bench_fig9a.cc.o.d"
+  "bench_fig9a"
+  "bench_fig9a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

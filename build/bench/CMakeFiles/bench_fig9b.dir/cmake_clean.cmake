@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b.dir/bench_fig9b.cc.o"
+  "CMakeFiles/bench_fig9b.dir/bench_fig9b.cc.o.d"
+  "bench_fig9b"
+  "bench_fig9b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

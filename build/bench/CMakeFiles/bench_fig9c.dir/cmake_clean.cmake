@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9c.dir/bench_fig9c.cc.o"
+  "CMakeFiles/bench_fig9c.dir/bench_fig9c.cc.o.d"
+  "bench_fig9c"
+  "bench_fig9c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

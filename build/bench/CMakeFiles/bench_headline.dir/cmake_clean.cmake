@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline.dir/bench_headline.cc.o"
+  "CMakeFiles/bench_headline.dir/bench_headline.cc.o.d"
+  "bench_headline"
+  "bench_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

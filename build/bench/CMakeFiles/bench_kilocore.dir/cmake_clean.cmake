@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kilocore.dir/bench_kilocore.cc.o"
+  "CMakeFiles/bench_kilocore.dir/bench_kilocore.cc.o.d"
+  "bench_kilocore"
+  "bench_kilocore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kilocore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seeds.dir/bench_seeds.cc.o"
+  "CMakeFiles/bench_seeds.dir/bench_seeds.cc.o.d"
+  "bench_seeds"
+  "bench_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

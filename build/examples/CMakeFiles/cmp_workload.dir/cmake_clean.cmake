@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_workload.dir/cmp_workload.cpp.o"
+  "CMakeFiles/cmp_workload.dir/cmp_workload.cpp.o.d"
+  "cmp_workload"
+  "cmp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_demo.dir/fairness_demo.cpp.o"
+  "CMakeFiles/fairness_demo.dir/fairness_demo.cpp.o.d"
+  "fairness_demo"
+  "fairness_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kilocore_mesh.dir/kilocore_mesh.cpp.o"
+  "CMakeFiles/kilocore_mesh.dir/kilocore_mesh.cpp.o.d"
+  "kilocore_mesh"
+  "kilocore_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kilocore_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_sim_cli.dir/switch_sim_cli.cpp.o"
+  "CMakeFiles/switch_sim_cli.dir/switch_sim_cli.cpp.o.d"
+  "switch_sim_cli"
+  "switch_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("phys")
+subdirs("arb")
+subdirs("net")
+subdirs("traffic")
+subdirs("fabric")
+subdirs("sim")
+subdirs("cmp")
+subdirs("noc")
+subdirs("rtl")
+subdirs("harness")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_arb.dir/matrix_arbiter.cc.o"
+  "CMakeFiles/hirise_arb.dir/matrix_arbiter.cc.o.d"
+  "CMakeFiles/hirise_arb.dir/sub_block_arbiter.cc.o"
+  "CMakeFiles/hirise_arb.dir/sub_block_arbiter.cc.o.d"
+  "libhirise_arb.a"
+  "libhirise_arb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_arb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

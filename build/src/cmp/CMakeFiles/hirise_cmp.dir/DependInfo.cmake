@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cmp/graph_transport.cc" "src/cmp/CMakeFiles/hirise_cmp.dir/graph_transport.cc.o" "gcc" "src/cmp/CMakeFiles/hirise_cmp.dir/graph_transport.cc.o.d"
+  "/root/repo/src/cmp/msg_switch.cc" "src/cmp/CMakeFiles/hirise_cmp.dir/msg_switch.cc.o" "gcc" "src/cmp/CMakeFiles/hirise_cmp.dir/msg_switch.cc.o.d"
+  "/root/repo/src/cmp/system.cc" "src/cmp/CMakeFiles/hirise_cmp.dir/system.cc.o" "gcc" "src/cmp/CMakeFiles/hirise_cmp.dir/system.cc.o.d"
+  "/root/repo/src/cmp/workload.cc" "src/cmp/CMakeFiles/hirise_cmp.dir/workload.cc.o" "gcc" "src/cmp/CMakeFiles/hirise_cmp.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hirise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/hirise_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hirise_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/arb/CMakeFiles/hirise_arb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hirise_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

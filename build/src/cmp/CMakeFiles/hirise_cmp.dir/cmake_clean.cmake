@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_cmp.dir/graph_transport.cc.o"
+  "CMakeFiles/hirise_cmp.dir/graph_transport.cc.o.d"
+  "CMakeFiles/hirise_cmp.dir/msg_switch.cc.o"
+  "CMakeFiles/hirise_cmp.dir/msg_switch.cc.o.d"
+  "CMakeFiles/hirise_cmp.dir/system.cc.o"
+  "CMakeFiles/hirise_cmp.dir/system.cc.o.d"
+  "CMakeFiles/hirise_cmp.dir/workload.cc.o"
+  "CMakeFiles/hirise_cmp.dir/workload.cc.o.d"
+  "libhirise_cmp.a"
+  "libhirise_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

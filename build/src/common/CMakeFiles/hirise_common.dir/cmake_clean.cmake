@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_common.dir/logging.cc.o"
+  "CMakeFiles/hirise_common.dir/logging.cc.o.d"
+  "CMakeFiles/hirise_common.dir/spec.cc.o"
+  "CMakeFiles/hirise_common.dir/spec.cc.o.d"
+  "CMakeFiles/hirise_common.dir/stats.cc.o"
+  "CMakeFiles/hirise_common.dir/stats.cc.o.d"
+  "CMakeFiles/hirise_common.dir/table.cc.o"
+  "CMakeFiles/hirise_common.dir/table.cc.o.d"
+  "libhirise_common.a"
+  "libhirise_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

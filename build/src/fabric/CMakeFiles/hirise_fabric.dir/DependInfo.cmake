@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fabric.cc" "src/fabric/CMakeFiles/hirise_fabric.dir/fabric.cc.o" "gcc" "src/fabric/CMakeFiles/hirise_fabric.dir/fabric.cc.o.d"
+  "/root/repo/src/fabric/flat2d.cc" "src/fabric/CMakeFiles/hirise_fabric.dir/flat2d.cc.o" "gcc" "src/fabric/CMakeFiles/hirise_fabric.dir/flat2d.cc.o.d"
+  "/root/repo/src/fabric/hirise.cc" "src/fabric/CMakeFiles/hirise_fabric.dir/hirise.cc.o" "gcc" "src/fabric/CMakeFiles/hirise_fabric.dir/hirise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hirise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arb/CMakeFiles/hirise_arb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_fabric.dir/fabric.cc.o"
+  "CMakeFiles/hirise_fabric.dir/fabric.cc.o.d"
+  "CMakeFiles/hirise_fabric.dir/flat2d.cc.o"
+  "CMakeFiles/hirise_fabric.dir/flat2d.cc.o.d"
+  "CMakeFiles/hirise_fabric.dir/hirise.cc.o"
+  "CMakeFiles/hirise_fabric.dir/hirise.cc.o.d"
+  "libhirise_fabric.a"
+  "libhirise_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

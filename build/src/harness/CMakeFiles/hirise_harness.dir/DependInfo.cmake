@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/ablations2.cc" "src/harness/CMakeFiles/hirise_harness.dir/ablations2.cc.o" "gcc" "src/harness/CMakeFiles/hirise_harness.dir/ablations2.cc.o.d"
+  "/root/repo/src/harness/bench_main.cc" "src/harness/CMakeFiles/hirise_harness.dir/bench_main.cc.o" "gcc" "src/harness/CMakeFiles/hirise_harness.dir/bench_main.cc.o.d"
+  "/root/repo/src/harness/discussion.cc" "src/harness/CMakeFiles/hirise_harness.dir/discussion.cc.o" "gcc" "src/harness/CMakeFiles/hirise_harness.dir/discussion.cc.o.d"
+  "/root/repo/src/harness/experiments.cc" "src/harness/CMakeFiles/hirise_harness.dir/experiments.cc.o" "gcc" "src/harness/CMakeFiles/hirise_harness.dir/experiments.cc.o.d"
+  "/root/repo/src/harness/fault.cc" "src/harness/CMakeFiles/hirise_harness.dir/fault.cc.o" "gcc" "src/harness/CMakeFiles/hirise_harness.dir/fault.cc.o.d"
+  "/root/repo/src/harness/kilocore.cc" "src/harness/CMakeFiles/hirise_harness.dir/kilocore.cc.o" "gcc" "src/harness/CMakeFiles/hirise_harness.dir/kilocore.cc.o.d"
+  "/root/repo/src/harness/table6.cc" "src/harness/CMakeFiles/hirise_harness.dir/table6.cc.o" "gcc" "src/harness/CMakeFiles/hirise_harness.dir/table6.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hirise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/hirise_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hirise_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/hirise_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hirise_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/hirise_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hirise_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/hirise_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/arb/CMakeFiles/hirise_arb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

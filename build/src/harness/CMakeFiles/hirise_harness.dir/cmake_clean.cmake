@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_harness.dir/ablations2.cc.o"
+  "CMakeFiles/hirise_harness.dir/ablations2.cc.o.d"
+  "CMakeFiles/hirise_harness.dir/bench_main.cc.o"
+  "CMakeFiles/hirise_harness.dir/bench_main.cc.o.d"
+  "CMakeFiles/hirise_harness.dir/discussion.cc.o"
+  "CMakeFiles/hirise_harness.dir/discussion.cc.o.d"
+  "CMakeFiles/hirise_harness.dir/experiments.cc.o"
+  "CMakeFiles/hirise_harness.dir/experiments.cc.o.d"
+  "CMakeFiles/hirise_harness.dir/fault.cc.o"
+  "CMakeFiles/hirise_harness.dir/fault.cc.o.d"
+  "CMakeFiles/hirise_harness.dir/kilocore.cc.o"
+  "CMakeFiles/hirise_harness.dir/kilocore.cc.o.d"
+  "CMakeFiles/hirise_harness.dir/table6.cc.o"
+  "CMakeFiles/hirise_harness.dir/table6.cc.o.d"
+  "libhirise_harness.a"
+  "libhirise_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

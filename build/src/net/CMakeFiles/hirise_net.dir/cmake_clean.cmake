@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_net.dir/input_port.cc.o"
+  "CMakeFiles/hirise_net.dir/input_port.cc.o.d"
+  "libhirise_net.a"
+  "libhirise_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

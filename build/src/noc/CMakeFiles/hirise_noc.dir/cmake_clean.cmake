@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_noc.dir/graph_noc.cc.o"
+  "CMakeFiles/hirise_noc.dir/graph_noc.cc.o.d"
+  "CMakeFiles/hirise_noc.dir/mesh.cc.o"
+  "CMakeFiles/hirise_noc.dir/mesh.cc.o.d"
+  "CMakeFiles/hirise_noc.dir/topology.cc.o"
+  "CMakeFiles/hirise_noc.dir/topology.cc.o.d"
+  "libhirise_noc.a"
+  "libhirise_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

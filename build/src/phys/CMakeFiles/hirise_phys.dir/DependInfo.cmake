@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/delay.cc" "src/phys/CMakeFiles/hirise_phys.dir/delay.cc.o" "gcc" "src/phys/CMakeFiles/hirise_phys.dir/delay.cc.o.d"
+  "/root/repo/src/phys/floorplan.cc" "src/phys/CMakeFiles/hirise_phys.dir/floorplan.cc.o" "gcc" "src/phys/CMakeFiles/hirise_phys.dir/floorplan.cc.o.d"
+  "/root/repo/src/phys/geometry.cc" "src/phys/CMakeFiles/hirise_phys.dir/geometry.cc.o" "gcc" "src/phys/CMakeFiles/hirise_phys.dir/geometry.cc.o.d"
+  "/root/repo/src/phys/model.cc" "src/phys/CMakeFiles/hirise_phys.dir/model.cc.o" "gcc" "src/phys/CMakeFiles/hirise_phys.dir/model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hirise_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

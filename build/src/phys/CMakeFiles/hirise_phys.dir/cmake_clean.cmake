@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_phys.dir/delay.cc.o"
+  "CMakeFiles/hirise_phys.dir/delay.cc.o.d"
+  "CMakeFiles/hirise_phys.dir/floorplan.cc.o"
+  "CMakeFiles/hirise_phys.dir/floorplan.cc.o.d"
+  "CMakeFiles/hirise_phys.dir/geometry.cc.o"
+  "CMakeFiles/hirise_phys.dir/geometry.cc.o.d"
+  "CMakeFiles/hirise_phys.dir/model.cc.o"
+  "CMakeFiles/hirise_phys.dir/model.cc.o.d"
+  "libhirise_phys.a"
+  "libhirise_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

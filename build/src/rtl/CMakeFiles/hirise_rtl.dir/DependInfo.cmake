@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/wired_arbiter.cc" "src/rtl/CMakeFiles/hirise_rtl.dir/wired_arbiter.cc.o" "gcc" "src/rtl/CMakeFiles/hirise_rtl.dir/wired_arbiter.cc.o.d"
+  "/root/repo/src/rtl/wired_column.cc" "src/rtl/CMakeFiles/hirise_rtl.dir/wired_column.cc.o" "gcc" "src/rtl/CMakeFiles/hirise_rtl.dir/wired_column.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hirise_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arb/CMakeFiles/hirise_arb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

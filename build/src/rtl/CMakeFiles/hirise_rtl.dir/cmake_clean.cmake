@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_rtl.dir/wired_arbiter.cc.o"
+  "CMakeFiles/hirise_rtl.dir/wired_arbiter.cc.o.d"
+  "CMakeFiles/hirise_rtl.dir/wired_column.cc.o"
+  "CMakeFiles/hirise_rtl.dir/wired_column.cc.o.d"
+  "libhirise_rtl.a"
+  "libhirise_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_sim.dir/network_sim.cc.o"
+  "CMakeFiles/hirise_sim.dir/network_sim.cc.o.d"
+  "CMakeFiles/hirise_sim.dir/sweep.cc.o"
+  "CMakeFiles/hirise_sim.dir/sweep.cc.o.d"
+  "libhirise_sim.a"
+  "libhirise_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirise_traffic.dir/pattern.cc.o"
+  "CMakeFiles/hirise_traffic.dir/pattern.cc.o.d"
+  "CMakeFiles/hirise_traffic.dir/trace.cc.o"
+  "CMakeFiles/hirise_traffic.dir/trace.cc.o.d"
+  "libhirise_traffic.a"
+  "libhirise_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirise_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhirise_traffic.a"
+)

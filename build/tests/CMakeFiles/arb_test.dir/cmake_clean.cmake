@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arb_test.dir/arb_test.cc.o"
+  "CMakeFiles/arb_test.dir/arb_test.cc.o.d"
+  "arb_test"
+  "arb_test.pdb"
+  "arb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_test.dir/cmp_test.cc.o"
+  "CMakeFiles/cmp_test.dir/cmp_test.cc.o.d"
+  "cmp_test"
+  "cmp_test.pdb"
+  "cmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

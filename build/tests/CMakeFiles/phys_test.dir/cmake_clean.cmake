@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phys_test.dir/phys_test.cc.o"
+  "CMakeFiles/phys_test.dir/phys_test.cc.o.d"
+  "phys_test"
+  "phys_test.pdb"
+  "phys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_test.dir/rtl_test.cc.o"
+  "CMakeFiles/rtl_test.dir/rtl_test.cc.o.d"
+  "rtl_test"
+  "rtl_test.pdb"
+  "rtl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
