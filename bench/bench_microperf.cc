@@ -4,17 +4,95 @@
  * decision rate, fabric arbitration cycles, and end-to-end simulated
  * cycles per second for each topology. These measure the tool, not
  * the paper's system; the table/figure binaries measure the system.
+ *
+ * Global operator new/delete are instrumented so every benchmark
+ * reports a "heap_allocs_per_iter" counter: the arbitration and
+ * simulation hot paths are required to be allocation-free in steady
+ * state (see docs/HOTPATH.md), and this counter is the regression
+ * guard for that property.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <new>
+
 #include "arb/matrix_arbiter.hh"
 #include "arb/sub_block_arbiter.hh"
 #include "common/random.hh"
+#include "fabric/fabric.hh"
 #include "sim/network_sim.hh"
 #include "traffic/pattern.hh"
 
 using namespace hirise;
+
+// ---------------------------------------------------------------------
+// Heap-allocation instrumentation
+// ---------------------------------------------------------------------
+
+static std::uint64_t g_allocCount = 0;
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    ++g_allocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+/** Measure @p body once per iteration and attach the allocation
+ *  counter. The counter must be ~0 for steady-state hot paths. */
+template <typename Fn>
+void
+runCounted(benchmark::State &state, Fn body)
+{
+    std::uint64_t allocs_before = g_allocCount;
+    for (auto _ : state)
+        body();
+    std::uint64_t allocs = g_allocCount - allocs_before;
+    state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+        static_cast<double>(allocs) /
+        static_cast<double>(state.iterations()));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Arbiter core
+// ---------------------------------------------------------------------
 
 static void
 BM_MatrixArbiterPick(benchmark::State &state)
@@ -22,17 +100,18 @@ BM_MatrixArbiterPick(benchmark::State &state)
     const auto n = static_cast<std::uint32_t>(state.range(0));
     arb::MatrixArbiter a(n);
     Rng rng(1);
-    std::vector<bool> req(n);
+    BitVec req(n);
     for (std::uint32_t i = 0; i < n; ++i)
-        req[i] = rng.bernoulli(0.5);
-    for (auto _ : state) {
+        if (rng.bernoulli(0.5))
+            req.set(i);
+    runCounted(state, [&]() {
         auto w = a.pick(req);
         benchmark::DoNotOptimize(w);
         if (w != arb::MatrixArbiter::kNone)
             a.update(w);
-    }
+    });
 }
-BENCHMARK(BM_MatrixArbiterPick)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatrixArbiterPick)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
 
 static void
 BM_ClrgSubArbiter(benchmark::State &state)
@@ -45,12 +124,105 @@ BM_ClrgSubArbiter(benchmark::State &state)
         reqs[p].primaryInput = static_cast<std::uint32_t>(
             rng.below(64));
     }
-    for (auto _ : state) {
+    runCounted(state, [&]() {
         auto w = sub.arbitrate(reqs);
         benchmark::DoNotOptimize(w);
-    }
+    });
 }
 BENCHMARK(BM_ClrgSubArbiter);
+
+// ---------------------------------------------------------------------
+// Fabric layer
+// ---------------------------------------------------------------------
+
+namespace {
+
+SwitchSpec
+fabricSpec(bool hirise, std::uint32_t radix, ChannelAlloc alloc)
+{
+    SwitchSpec s;
+    s.radix = radix;
+    if (hirise) {
+        s.topo = Topology::HiRise;
+        s.layers = 4;
+        s.channels = 4;
+        s.arb = ArbScheme::Clrg;
+        s.alloc = alloc;
+    } else {
+        s.topo = Topology::Flat2D;
+        s.arb = ArbScheme::Lrg;
+    }
+    return s;
+}
+
+/**
+ * Drive a fabric with random single-cycle traffic: every input
+ * requests a random output at rate 0.5, grants are released the same
+ * cycle (pure arbitration load, no connection holding).
+ */
+void
+driveFabric(benchmark::State &state, const SwitchSpec &spec)
+{
+    auto fab = fabric::makeFabric(spec);
+    const std::uint32_t n = spec.radix;
+    Rng rng(7);
+    // Pre-generate a bank of request vectors so the RNG is outside
+    // the measured loop.
+    constexpr std::uint32_t kBank = 64;
+    std::vector<std::vector<std::uint32_t>> bank(
+        kBank, std::vector<std::uint32_t>(n, fabric::kNoRequest));
+    for (auto &req : bank) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (rng.bernoulli(0.5))
+                req[i] = static_cast<std::uint32_t>(rng.below(n));
+        }
+    }
+
+    std::uint32_t slot = 0;
+    runCounted(state, [&]() {
+        const BitVec &g = fab->arbitrate(bank[slot]);
+        benchmark::DoNotOptimize(g.words());
+        // Immediate release keeps every output contended next cycle.
+        g.forEachSet([&](std::uint32_t i) {
+            fab->release(i, bank[slot][i]);
+        });
+        slot = (slot + 1) % kBank;
+    });
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+
+} // namespace
+
+static void
+BM_FabricArbitrate_Flat2d(benchmark::State &state)
+{
+    driveFabric(state,
+                fabricSpec(false,
+                           static_cast<std::uint32_t>(state.range(0)),
+                           ChannelAlloc::InputBinned));
+}
+BENCHMARK(BM_FabricArbitrate_Flat2d)->Arg(64)->Arg(128)->Arg(256);
+
+static void
+BM_FabricArbitrate_HiRise(benchmark::State &state)
+{
+    auto alloc =
+        static_cast<ChannelAlloc>(static_cast<int>(state.range(1)));
+    driveFabric(state,
+                fabricSpec(true,
+                           static_cast<std::uint32_t>(state.range(0)),
+                           alloc));
+}
+BENCHMARK(BM_FabricArbitrate_HiRise)
+    ->ArgsProduct({{64, 128, 256},
+                   {static_cast<int>(ChannelAlloc::InputBinned),
+                    static_cast<int>(ChannelAlloc::OutputBinned),
+                    static_cast<int>(ChannelAlloc::Priority)}});
+
+// ---------------------------------------------------------------------
+// End-to-end simulator cycles
+// ---------------------------------------------------------------------
 
 namespace {
 
@@ -81,8 +253,11 @@ BM_NetworkSimCycle(benchmark::State &state)
     auto spec = specFor(static_cast<int>(state.range(0)));
     sim::NetworkSim sim(spec, cfg,
                         std::make_shared<traffic::UniformRandom>(64));
-    for (auto _ : state)
+    // Let VC/source-queue capacity reach steady state before counting
+    // allocations (deques grow while backlog builds).
+    for (int t = 0; t < 20000; ++t)
         sim.step();
+    runCounted(state, [&]() { sim.step(); });
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()));
 }

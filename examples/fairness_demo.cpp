@@ -34,7 +34,7 @@ grantSequence(ArbScheme arb, int cycles)
         std::vector<std::uint32_t> req(64, kNoRequest);
         for (auto i : {3u, 7u, 11u, 15u, 20u})
             req[i] = 63;
-        auto grant = fab.arbitrate(req);
+        const auto &grant = fab.arbitrate(req);
         for (std::uint32_t i = 0; i < 64; ++i) {
             if (grant[i]) {
                 seq.push_back(i);

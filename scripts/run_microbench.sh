@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build bench_microperf in Release mode and record its results as
+# BENCH_microperf.json at the repo root, so the simulator's own
+# performance trajectory is tracked across PRs (compare against the
+# committed file from the previous PR before overwriting it).
+#
+# Usage: scripts/run_microbench.sh [extra google-benchmark args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-release}"
+out_file="$repo_root/BENCH_microperf.json"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target bench_microperf -j"$(nproc)"
+
+"$build_dir/bench/bench_microperf" \
+    --benchmark_format=json \
+    --benchmark_out="$out_file" \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "wrote $out_file"

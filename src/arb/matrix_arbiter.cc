@@ -7,7 +7,8 @@
 namespace hirise::arb {
 
 MatrixArbiter::MatrixArbiter(std::uint32_t n)
-    : n_(n), prio_(std::size_t(n) * n, false)
+    : n_(n), rowWords_((n + kWordBits - 1) / kWordBits),
+      prio_(std::size_t(n) * rowWords_, 0)
 {
     sim_assert(n >= 1, "arbiter needs at least one port");
     // Initial strict order: lower index outranks higher index.
@@ -17,34 +18,63 @@ MatrixArbiter::MatrixArbiter(std::uint32_t n)
 }
 
 std::uint32_t
+MatrixArbiter::pick(const BitVec &req) const
+{
+    sim_assert(req.size() == n_, "request vector size %u != %u",
+               req.size(), n_);
+    const Word *rw = req.words();
+    for (std::uint32_t k = 0; k < rowWords_; ++k) {
+        Word cand = rw[k];
+        while (cand) {
+            std::uint32_t bit = static_cast<std::uint32_t>(
+                std::countr_zero(cand));
+            cand &= cand - 1;
+            std::uint32_t i = k * kWordBits + bit;
+            // i wins iff no other requestor outranks it:
+            // (req & ~row(i)) must contain no bit besides i itself.
+            const Word *ri = row(i);
+            bool wins = true;
+            for (std::uint32_t w = 0; w < rowWords_; ++w) {
+                Word losing = rw[w] & ~ri[w];
+                if (w == k)
+                    losing &= ~(Word(1) << bit);
+                if (losing) {
+                    wins = false;
+                    break;
+                }
+            }
+            if (wins)
+                return i;
+        }
+    }
+    return kNone;
+}
+
+std::uint32_t
 MatrixArbiter::pick(const std::vector<bool> &req) const
 {
     sim_assert(req.size() == n_, "request vector size %zu != %u",
                req.size(), n_);
-    for (std::uint32_t i = 0; i < n_; ++i) {
-        if (!req[i])
-            continue;
-        bool wins = true;
-        for (std::uint32_t j = 0; j < n_ && wins; ++j) {
-            if (j != i && req[j] && !at(i, j))
-                wins = false;
-        }
-        if (wins)
-            return i;
-    }
-    return kNone;
+    BitVec b(n_);
+    for (std::uint32_t i = 0; i < n_; ++i)
+        if (req[i])
+            b.set(i);
+    return pick(b);
 }
 
 void
 MatrixArbiter::update(std::uint32_t winner)
 {
     sim_assert(winner < n_, "winner %u out of range", winner);
-    for (std::uint32_t j = 0; j < n_; ++j) {
-        if (j == winner)
-            continue;
-        set(winner, j, false);
-        set(j, winner, true);
-    }
+    // Row write: the winner now outranks nobody.
+    Word *rw = row(winner);
+    std::fill(rw, rw + rowWords_, 0);
+    // Column write: everyone else outranks the winner.
+    Word m = Word(1) << (winner % kWordBits);
+    std::uint32_t wk = winner / kWordBits;
+    for (std::uint32_t j = 0; j < n_; ++j)
+        row(j)[wk] |= m;
+    row(winner)[wk] &= ~m; // keep the diagonal zero
 }
 
 bool

@@ -10,14 +10,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitvec.hh"
+
 namespace hirise::arb {
 
 /**
  * Classic matrix arbiter implementing LRG priority over n requestors.
  *
  * State is a strict total order encoded as a triangular matrix:
- * prio_[i][j] == true means i currently outranks j. Granting i moves
+ * row i bit j == true means i currently outranks j. Granting i moves
  * it behind everyone (least recently granted wins next time).
+ *
+ * Rows are stored as uint64 word arrays so pick() evaluates
+ * "req[i] && none_set(req & ~row(i))" a word at a time: input i wins
+ * exactly when no other requestor outranks it, and the whole O(n)
+ * inner dominance test collapses to a handful of AND/ANDNOT word ops.
  *
  * pick() is const so callers can decompose arbitration (e.g. Hi-Rise
  * only updates the local-switch LRG when the inter-layer stage
@@ -36,6 +43,9 @@ class MatrixArbiter
      * Highest-priority requestor, or kNone when req is empty.
      * @param req requestor bitmap, req.size() == size()
      */
+    std::uint32_t pick(const BitVec &req) const;
+
+    /** Convenience overload (tests, cold paths): allocates. */
     std::uint32_t pick(const std::vector<bool> &req) const;
 
     /** Demote @p winner to the lowest priority. */
@@ -48,18 +58,37 @@ class MatrixArbiter
     std::vector<std::uint32_t> order() const;
 
   private:
-    std::uint32_t n_;
-    /** Row-major n x n; diagonal unused. */
-    std::vector<bool> prio_;
+    using Word = BitVec::Word;
+    static constexpr std::uint32_t kWordBits = BitVec::kWordBits;
 
-    bool at(std::uint32_t i, std::uint32_t j) const
+    std::uint32_t n_;
+    std::uint32_t rowWords_; //!< words per priority row
+    /** Row-major n rows x rowWords_ words; diagonal bits unused and
+     *  kept zero. */
+    std::vector<Word> prio_;
+
+    const Word *row(std::uint32_t i) const
     {
-        return prio_[i * n_ + j];
+        return prio_.data() + std::size_t(i) * rowWords_;
+    }
+    Word *
+    row(std::uint32_t i)
+    {
+        return prio_.data() + std::size_t(i) * rowWords_;
+    }
+    bool
+    at(std::uint32_t i, std::uint32_t j) const
+    {
+        return (row(i)[j / kWordBits] >> (j % kWordBits)) & 1u;
     }
     void
     set(std::uint32_t i, std::uint32_t j, bool v)
     {
-        prio_[i * n_ + j] = v;
+        Word m = Word(1) << (j % kWordBits);
+        if (v)
+            row(i)[j / kWordBits] |= m;
+        else
+            row(i)[j / kWordBits] &= ~m;
     }
 };
 

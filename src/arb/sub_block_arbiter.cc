@@ -6,13 +6,13 @@ namespace hirise::arb {
 
 namespace {
 
-std::vector<bool>
-validMask(const std::vector<SubBlockRequest> &reqs)
+void
+validMask(const std::vector<SubBlockRequest> &reqs, BitVec &mask)
 {
-    std::vector<bool> mask(reqs.size());
+    mask.clear();
     for (std::size_t i = 0; i < reqs.size(); ++i)
-        mask[i] = reqs[i].valid;
-    return mask;
+        if (reqs[i].valid)
+            mask.set(static_cast<std::uint32_t>(i));
 }
 
 } // namespace
@@ -20,7 +20,8 @@ validMask(const std::vector<SubBlockRequest> &reqs)
 std::uint32_t
 LrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
 {
-    std::uint32_t w = lrg_.pick(validMask(reqs));
+    validMask(reqs, mask_);
+    std::uint32_t w = lrg_.pick(mask_);
     if (w != kNone)
         lrg_.update(w);
     return w;
@@ -29,7 +30,8 @@ LrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
 std::uint32_t
 WlrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
 {
-    std::uint32_t w = lrg_.pick(validMask(reqs));
+    validMask(reqs, mask_);
+    std::uint32_t w = lrg_.pick(mask_);
     if (w == kNone)
         return w;
     // Freeze the LRG demotion until this port has won once per
@@ -58,12 +60,13 @@ ClrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
 
     // The priority-select muxes inhibit every request outside the best
     // class; LRG breaks ties within it (Fig 7).
-    std::vector<bool> mask(reqs.size(), false);
+    mask_.clear();
     for (std::size_t i = 0; i < reqs.size(); ++i) {
-        mask[i] = reqs[i].valid &&
-                  counters_.classOf(reqs[i].primaryInput) == best_class;
+        if (reqs[i].valid &&
+            counters_.classOf(reqs[i].primaryInput) == best_class)
+            mask_.set(static_cast<std::uint32_t>(i));
     }
-    std::uint32_t w = lrg_.pick(mask);
+    std::uint32_t w = lrg_.pick(mask_);
     sim_assert(w != kNone, "class mask had a requestor");
     // LRG is updated even on class-decided cycles (paper III-B4).
     lrg_.update(w);

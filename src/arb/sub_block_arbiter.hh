@@ -50,13 +50,16 @@ class SubBlockArbiter
 class LrgSubArbiter : public SubBlockArbiter
 {
   public:
-    explicit LrgSubArbiter(std::uint32_t num_ports) : lrg_(num_ports) {}
+    explicit LrgSubArbiter(std::uint32_t num_ports)
+        : lrg_(num_ports), mask_(num_ports)
+    {}
 
     std::uint32_t
     arbitrate(const std::vector<SubBlockRequest> &reqs) override;
 
   private:
     MatrixArbiter lrg_;
+    BitVec mask_; //!< per-cycle scratch, preallocated
 };
 
 /**
@@ -68,7 +71,7 @@ class WlrgSubArbiter : public SubBlockArbiter
 {
   public:
     explicit WlrgSubArbiter(std::uint32_t num_ports)
-        : lrg_(num_ports), wins_(num_ports, 0)
+        : lrg_(num_ports), wins_(num_ports, 0), mask_(num_ports)
     {}
 
     std::uint32_t
@@ -77,6 +80,7 @@ class WlrgSubArbiter : public SubBlockArbiter
   private:
     MatrixArbiter lrg_;
     std::vector<std::uint32_t> wins_;
+    BitVec mask_; //!< per-cycle scratch, preallocated
 };
 
 /**
@@ -89,7 +93,8 @@ class ClrgSubArbiter : public SubBlockArbiter
   public:
     ClrgSubArbiter(std::uint32_t num_ports, std::uint32_t num_inputs,
                    std::uint32_t max_count)
-        : lrg_(num_ports), counters_(num_inputs, max_count)
+        : lrg_(num_ports), counters_(num_inputs, max_count),
+          mask_(num_ports)
     {}
 
     std::uint32_t
@@ -100,6 +105,7 @@ class ClrgSubArbiter : public SubBlockArbiter
   private:
     MatrixArbiter lrg_;
     ClassCounterBank counters_;
+    BitVec mask_; //!< per-cycle scratch, preallocated
 };
 
 /** Factory keyed on the spec's arbitration scheme. */

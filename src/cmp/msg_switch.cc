@@ -66,7 +66,7 @@ MsgSwitch::step()
             break;
         }
     }
-    auto grant = fabric_->arbitrate(req);
+    const auto &grant = fabric_->arbitrate(req);
     for (std::uint32_t i = 0; i < n; ++i) {
         if (!grant[i])
             continue;

@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -42,13 +44,27 @@ parallelMap(const std::vector<T> &items, Fn fn,
         return out;
     }
 
+    // An exception escaping a worker thread would std::terminate the
+    // process; capture the first one and rethrow it on the caller's
+    // thread after every worker has joined. Workers drain the item
+    // counter once a failure is recorded so the join is prompt.
     std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
     auto worker = [&]() {
         for (;;) {
             std::size_t i = next.fetch_add(1);
             if (i >= items.size())
                 return;
-            out[i] = fn(items[i]);
+            try {
+                out[i] = fn(items[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                next.store(items.size());
+                return;
+            }
         }
     };
     std::vector<std::thread> threads;
@@ -57,6 +73,8 @@ parallelMap(const std::vector<T> &items, Fn fn,
         threads.emplace_back(worker);
     for (auto &t : threads)
         t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
     return out;
 }
 

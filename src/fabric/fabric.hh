@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/bitvec.hh"
 #include "common/spec.hh"
 
 namespace hirise::fabric {
@@ -34,7 +36,8 @@ constexpr std::uint32_t kNoRequest = ~0u;
 class Fabric
 {
   public:
-    explicit Fabric(const SwitchSpec &spec) : spec_(spec)
+    explicit Fabric(const SwitchSpec &spec)
+        : spec_(spec), grant_(spec.radix)
     {
         spec_.validate();
     }
@@ -46,9 +49,11 @@ class Fabric
     /**
      * Run one arbitration cycle.
      * @return grant[i] == true iff input i won an end-to-end path.
+     *         The reference is to preallocated scratch owned by the
+     *         fabric; it is overwritten by the next arbitrate() call.
      */
-    virtual std::vector<bool>
-    arbitrate(const std::vector<std::uint32_t> &req) = 0;
+    virtual const BitVec &
+    arbitrate(std::span<const std::uint32_t> req) = 0;
 
     /** Tear down the connection input -> output (tail flit sent). */
     virtual void release(std::uint32_t input, std::uint32_t output) = 0;
@@ -60,6 +65,7 @@ class Fabric
 
   protected:
     SwitchSpec spec_;
+    BitVec grant_; //!< per-cycle grant scratch, reused across cycles
 };
 
 /** Build the fabric matching spec.topo / spec.arb. */

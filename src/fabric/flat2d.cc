@@ -5,22 +5,23 @@ namespace hirise::fabric {
 Flat2dFabric::Flat2dFabric(const SwitchSpec &spec)
     : Fabric(spec),
       outputArb_(spec.radix, arb::MatrixArbiter(spec.radix)),
-      holder_(spec.radix, kNoRequest)
+      holder_(spec.radix, kNoRequest),
+      want_(spec.radix, BitVec(spec.radix)), contended_(spec.radix)
 {
     sim_assert(spec.topo == Topology::Flat2D ||
                    spec.topo == Topology::Folded3D,
                "Flat2dFabric models 2D and folded switches only");
 }
 
-std::vector<bool>
-Flat2dFabric::arbitrate(const std::vector<std::uint32_t> &req)
+const BitVec &
+Flat2dFabric::arbitrate(std::span<const std::uint32_t> req)
 {
     sim_assert(req.size() == spec_.radix, "bad request vector");
-    std::vector<bool> grant(spec_.radix, false);
+    grant_.clear();
+    contended_.clear();
 
-    // Group requests per output column.
-    std::vector<std::vector<bool>> want(
-        spec_.radix, std::vector<bool>());
+    // Group requests per output column; a column's mask is cleared
+    // lazily when it first gains a requestor this cycle.
     for (std::uint32_t i = 0; i < spec_.radix; ++i) {
         std::uint32_t o = req[i];
         if (o == kNoRequest)
@@ -28,22 +29,22 @@ Flat2dFabric::arbitrate(const std::vector<std::uint32_t> &req)
         sim_assert(o < spec_.radix, "request to bad output %u", o);
         if (holder_[o] != kNoRequest)
             continue; // busy output: request loses this cycle
-        if (want[o].empty())
-            want[o].assign(spec_.radix, false);
-        want[o][i] = true;
+        if (!contended_[o]) {
+            contended_.set(o);
+            want_[o].clear();
+        }
+        want_[o].set(i);
     }
 
-    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
-        if (want[o].empty())
-            continue;
-        std::uint32_t w = outputArb_[o].pick(want[o]);
+    contended_.forEachSet([this](std::uint32_t o) {
+        std::uint32_t w = outputArb_[o].pick(want_[o]);
         if (w == arb::MatrixArbiter::kNone)
-            continue;
+            return;
         outputArb_[o].update(w);
         holder_[o] = w;
-        grant[w] = true;
-    }
-    return grant;
+        grant_.set(w);
+    });
+    return grant_;
 }
 
 void

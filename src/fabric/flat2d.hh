@@ -19,8 +19,8 @@ class Flat2dFabric : public Fabric
   public:
     explicit Flat2dFabric(const SwitchSpec &spec);
 
-    std::vector<bool>
-    arbitrate(const std::vector<std::uint32_t> &req) override;
+    const BitVec &
+    arbitrate(std::span<const std::uint32_t> req) override;
     void release(std::uint32_t input, std::uint32_t output) override;
     bool outputBusy(std::uint32_t output) const override;
     std::uint32_t outputHolder(std::uint32_t output) const override;
@@ -30,6 +30,10 @@ class Flat2dFabric : public Fabric
      *  vectors of that column). */
     std::vector<arb::MatrixArbiter> outputArb_;
     std::vector<std::uint32_t> holder_; //!< per output; kNoRequest=free
+
+    // -- per-cycle scratch (preallocated; zero steady-state alloc) ---
+    std::vector<BitVec> want_; //!< requestor mask per output column
+    BitVec contended_;         //!< outputs with >= 1 requestor
 };
 
 } // namespace hirise::fabric

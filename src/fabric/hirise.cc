@@ -22,6 +22,15 @@ HiRiseFabric::HiRiseFabric(const SwitchSpec &spec)
     }
     interCol_.resize(spec.radix);
     chanCol_.resize(chanBusy_.size());
+    for (auto &c : interCol_)
+        c.mask.resize(ppl_);
+    for (auto &c : chanCol_)
+        c.mask.resize(ppl_);
+    activeInter_.reserve(interCol_.size());
+    activeChan_.reserve(chanCol_.size());
+    contendedOut_.resize(spec.radix);
+    remaining_.resize(ppl_);
+    subReqs_.resize(ports_);
     stats_.chanGrants.assign(chanBusy_.size(), 0);
     stats_.chanBusyCycles.assign(chanBusy_.size(), 0);
 }
@@ -104,20 +113,27 @@ HiRiseFabric::subPortOrigin(std::uint32_t d, std::uint32_t port,
 void
 HiRiseFabric::resetScratch()
 {
-    for (auto &c : interCol_) {
-        c.mask.clear();
+    // Only columns touched last cycle need resetting (masks are
+    // cleared lazily on first touch in collectRequests), so idle
+    // columns cost nothing.
+    for (std::uint32_t o : activeInter_) {
+        auto &c = interCol_[o];
+        c.active = false;
         c.winner = arb::MatrixArbiter::kNone;
         c.weight = 0;
     }
-    for (auto &c : chanCol_) {
-        c.mask.clear();
+    for (std::uint32_t id : activeChan_) {
+        auto &c = chanCol_[id];
+        c.active = false;
         c.winner = arb::MatrixArbiter::kNone;
         c.weight = 0;
     }
+    activeInter_.clear();
+    activeChan_.clear();
 }
 
 void
-HiRiseFabric::collectRequests(const std::vector<std::uint32_t> &req)
+HiRiseFabric::collectRequests(std::span<const std::uint32_t> req)
 {
     for (std::uint32_t i = 0; i < spec_.radix; ++i) {
         std::uint32_t o = req[i];
@@ -136,9 +152,12 @@ HiRiseFabric::collectRequests(const std::vector<std::uint32_t> &req)
                 layerOf(holder_[o]) == d)
                 continue;
             auto &col = interCol_[o];
-            if (col.mask.empty())
-                col.mask.assign(ppl_, false);
-            col.mask[localIdx(i)] = true;
+            if (!col.active) {
+                col.active = true;
+                col.mask.clear();
+                activeInter_.push_back(o);
+            }
+            col.mask.set(localIdx(i));
             ++col.weight;
             continue;
         }
@@ -147,10 +166,14 @@ HiRiseFabric::collectRequests(const std::vector<std::uint32_t> &req)
             // Pool request: mark interest on every channel (s,d,*);
             // phase1 serializes the choice across free channels.
             for (std::uint32_t k = 0; k < chan_; ++k) {
-                auto &col = chanCol_[chanId(s, d, k)];
-                if (col.mask.empty())
-                    col.mask.assign(ppl_, false);
-                col.mask[localIdx(i)] = true;
+                std::uint32_t id = chanId(s, d, k);
+                auto &col = chanCol_[id];
+                if (!col.active) {
+                    col.active = true;
+                    col.mask.clear();
+                    activeChan_.push_back(id);
+                }
+                col.mask.set(localIdx(i));
             }
             // weight counted once per input on channel 0's column
             ++chanCol_[chanId(s, d, 0)].weight;
@@ -160,12 +183,16 @@ HiRiseFabric::collectRequests(const std::vector<std::uint32_t> &req)
         std::uint32_t k = channelFor(i, o);
         if (k == kNoRequest)
             continue; // every channel to that layer has failed
-        if (chanBusy_[chanId(s, d, k)])
+        std::uint32_t id = chanId(s, d, k);
+        if (chanBusy_[id])
             continue; // channel mid-transfer: retry next cycle
-        auto &col = chanCol_[chanId(s, d, k)];
-        if (col.mask.empty())
-            col.mask.assign(ppl_, false);
-        col.mask[localIdx(i)] = true;
+        auto &col = chanCol_[id];
+        if (!col.active) {
+            col.active = true;
+            col.mask.clear();
+            activeChan_.push_back(id);
+        }
+        col.mask.set(localIdx(i));
         ++col.weight;
     }
 }
@@ -174,20 +201,17 @@ void
 HiRiseFabric::phase1()
 {
     // Intermediate-output columns: plain pick, update deferred to the
-    // end-to-end win (back-propagated priority update).
-    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+    // end-to-end win (back-propagated priority update). Columns pick
+    // independently, so list order (vs output order) is immaterial.
+    for (std::uint32_t o : activeInter_) {
         auto &col = interCol_[o];
-        if (col.mask.empty())
-            continue;
         col.winner = interArb_[o].pick(col.mask);
         col.winnerDst = o;
     }
 
     if (spec_.alloc != ChannelAlloc::Priority) {
-        for (std::uint32_t id = 0; id < chanCol_.size(); ++id) {
+        for (std::uint32_t id : activeChan_) {
             auto &col = chanCol_[id];
-            if (col.mask.empty())
-                continue;
             col.winner = chanArb_[id].pick(col.mask);
         }
         return;
@@ -201,33 +225,35 @@ HiRiseFabric::phase1()
                 continue;
             // Pool lives on channel 0's mask.
             auto &pool = chanCol_[chanId(s, d, 0)];
-            if (pool.mask.empty())
+            if (!pool.active)
                 continue;
-            std::vector<bool> remaining = pool.mask;
+            remaining_.copyFrom(pool.mask);
             std::uint32_t weight = pool.weight;
             for (std::uint32_t k = 0; k < chan_; ++k) {
                 std::uint32_t id = chanId(s, d, k);
                 if (chanBusy_[id] || chanFailed_[id])
                     continue;
-                std::uint32_t w = chanArb_[id].pick(remaining);
+                std::uint32_t w = chanArb_[id].pick(remaining_);
                 if (w == arb::MatrixArbiter::kNone)
                     break;
                 auto &col = chanCol_[id];
                 col.winner = w;
                 col.weight = weight;
-                remaining[w] = false;
+                remaining_.reset(w);
             }
         }
     }
 }
 
 void
-HiRiseFabric::phase2(std::vector<bool> &grant)
+HiRiseFabric::phase2()
 {
-    std::vector<arb::SubBlockRequest> reqs(ports_);
-    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+    auto &reqs = subReqs_;
+    // Only outputs with a phase-1 winner contend (ascending order, as
+    // the sub-blocks are mutually independent within a cycle).
+    contendedOut_.forEachSet([&](std::uint32_t o) {
         if (holder_[o] != kNoRequest)
-            continue;
+            return;
         std::uint32_t d = layerOf(o);
         bool any = false;
         for (auto &r : reqs)
@@ -263,7 +289,7 @@ HiRiseFabric::phase2(std::vector<bool> &grant)
             any = true;
         }
         if (!any)
-            continue;
+            return;
 
         std::uint32_t p = subArb_[o]->arbitrate(reqs);
         sim_assert(p != arb::SubBlockArbiter::kNone,
@@ -271,7 +297,7 @@ HiRiseFabric::phase2(std::vector<bool> &grant)
 
         std::uint32_t winner_in = reqs[p].primaryInput;
         holder_[o] = winner_in;
-        grant[winner_in] = true;
+        grant_.set(winner_in);
 
         if (p + 1 == ports_) {
             // Local path: back-propagate the LRG update to the
@@ -289,38 +315,41 @@ HiRiseFabric::phase2(std::vector<bool> &grant)
             ++stats_.grantsCross;
             ++stats_.chanGrants[id];
         }
-    }
+    });
 }
 
-std::vector<bool>
-HiRiseFabric::arbitrate(const std::vector<std::uint32_t> &req)
+const BitVec &
+HiRiseFabric::arbitrate(std::span<const std::uint32_t> req)
 {
     sim_assert(req.size() == spec_.radix, "bad request vector");
-    std::vector<bool> grant(spec_.radix, false);
+    grant_.clear();
     ++arbitrateCalls_;
     for (std::uint32_t id = 0; id < chanBusy_.size(); ++id)
         stats_.chanBusyCycles[id] += chanBusy_[id] ? 1 : 0;
     resetScratch();
     collectRequests(req);
 
-    // Record each channel winner's destination before phase 2.
+    // Record each channel winner's destination before phase 2, and
+    // mark the outputs that have at least one phase-1 winner so
+    // phase 2 visits only those sub-blocks.
     phase1();
-    for (std::uint32_t s = 0; s < nlay_; ++s) {
-        for (std::uint32_t d = 0; d < nlay_; ++d) {
-            if (s == d)
-                continue;
-            for (std::uint32_t k = 0; k < chan_; ++k) {
-                auto &col = chanCol_[chanId(s, d, k)];
-                if (col.winner == arb::MatrixArbiter::kNone)
-                    continue;
-                std::uint32_t in = s * ppl_ + col.winner;
-                col.winnerDst = req[in];
-            }
-        }
+    contendedOut_.clear();
+    for (std::uint32_t id : activeChan_) {
+        auto &col = chanCol_[id];
+        if (col.winner == arb::MatrixArbiter::kNone)
+            continue;
+        std::uint32_t s = id / (nlay_ * chan_);
+        std::uint32_t in = s * ppl_ + col.winner;
+        col.winnerDst = req[in];
+        contendedOut_.set(col.winnerDst);
+    }
+    for (std::uint32_t o : activeInter_) {
+        if (interCol_[o].winner != arb::MatrixArbiter::kNone)
+            contendedOut_.set(o);
     }
 
-    phase2(grant);
-    return grant;
+    phase2();
+    return grant_;
 }
 
 void

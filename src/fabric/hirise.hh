@@ -27,8 +27,8 @@ class HiRiseFabric : public Fabric
   public:
     explicit HiRiseFabric(const SwitchSpec &spec);
 
-    std::vector<bool>
-    arbitrate(const std::vector<std::uint32_t> &req) override;
+    const BitVec &
+    arbitrate(std::span<const std::uint32_t> req) override;
     void release(std::uint32_t input, std::uint32_t output) override;
     bool outputBusy(std::uint32_t output) const override;
     std::uint32_t outputHolder(std::uint32_t output) const override;
@@ -131,18 +131,27 @@ class HiRiseFabric : public Fabric
     // -- per-cycle scratch (members to avoid reallocation) -------------
     struct ColumnState
     {
-        std::vector<bool> mask;   //!< requesting local inputs
-        std::uint32_t winner;     //!< local index or kNone
-        std::uint32_t weight;     //!< requestor count (WLRG)
-        std::uint32_t winnerDst;  //!< global dst of the winner
+        BitVec mask;              //!< requesting local inputs
+        bool active = false;      //!< mask has >= 1 requestor
+        std::uint32_t winner = arb::MatrixArbiter::kNone;
+        std::uint32_t weight = 0; //!< requestor count (WLRG)
+        std::uint32_t winnerDst = 0; //!< global dst of the winner
     };
     std::vector<ColumnState> interCol_; //!< by global output id
     std::vector<ColumnState> chanCol_;  //!< by chanId
+    /** Columns touched this cycle (reset lazily next cycle), so every
+     *  per-cycle pass scales with offered traffic, not with radix^2
+     *  worth of idle columns. */
+    std::vector<std::uint32_t> activeInter_; //!< global output ids
+    std::vector<std::uint32_t> activeChan_;  //!< chanIds
+    BitVec contendedOut_; //!< outputs with >= 1 phase-1 winner
+    BitVec remaining_;  //!< Priority-alloc pool walk scratch
+    std::vector<arb::SubBlockRequest> subReqs_; //!< phase-2 scratch
 
     void resetScratch();
-    void collectRequests(const std::vector<std::uint32_t> &req);
+    void collectRequests(std::span<const std::uint32_t> req);
     void phase1();
-    void phase2(std::vector<bool> &grant);
+    void phase2();
 
     Stats stats_;
     std::uint64_t arbitrateCalls_ = 0;

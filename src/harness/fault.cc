@@ -59,7 +59,7 @@ faultedSaturation(std::uint32_t num_failed, std::uint64_t seed)
             if (left[i] == 0 && !fab.outputBusy(want[i]))
                 req[i] = want[i];
         }
-        auto grant = fab.arbitrate(req);
+        const auto &grant = fab.arbitrate(req);
         for (std::uint32_t i = 0; i < n; ++i) {
             if (grant[i]) {
                 left[i] = len;

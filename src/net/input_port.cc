@@ -45,7 +45,7 @@ InputPort::fillCycle()
 }
 
 std::uint32_t
-InputPort::pickCandidateVc(const std::vector<bool> *dst_free)
+InputPort::pickCandidateVc(const BitVec *dst_free)
 {
     sim_assert(!connected(), "busy input must not arbitrate");
     const std::uint32_t n = static_cast<std::uint32_t>(vcs_.size());
@@ -67,8 +67,8 @@ InputPort::backlogFlits() const
     std::uint64_t n = 0;
     for (const auto &vc : vcs_)
         n += vc.size();
-    for (const auto &p : sourceQueue_)
-        n += p.lenFlits;
+    for (std::size_t i = 0; i < sourceQueue_.size(); ++i)
+        n += sourceQueue_[i].lenFlits;
     // The packet currently streaming sits in both the source queue
     // and (partially) a VC; discount the flits counted twice.
     if (fillVc_ != kNoVc)

@@ -10,9 +10,10 @@
 #define HIRISE_NET_INPUT_PORT_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/bitvec.hh"
+#include "common/ring_buffer.hh"
 #include "net/packet.hh"
 
 namespace hirise::net {
@@ -21,7 +22,9 @@ namespace hirise::net {
 class VirtualChannel
 {
   public:
-    explicit VirtualChannel(std::uint32_t depth) : depth_(depth) {}
+    explicit VirtualChannel(std::uint32_t depth)
+        : depth_(depth), fifo_(depth)
+    {}
 
     bool empty() const { return fifo_.empty(); }
     bool full() const { return fifo_.size() >= depth_; }
@@ -66,7 +69,9 @@ class VirtualChannel
 
   private:
     std::uint32_t depth_;
-    std::deque<Flit> fifo_;
+    /** Sized to depth_ up front; a full() check gates every push, so
+     *  the ring never regrows past its initial capacity. */
+    RingBuffer<Flit> fifo_;
     bool busy_ = false;
     bool tailQueued_ = false;
 };
@@ -85,8 +90,11 @@ class InputPort
         : vcs_(num_vcs, VirtualChannel(vc_depth))
     {}
 
-    std::deque<Packet> &sourceQueue() { return sourceQueue_; }
-    const std::deque<Packet> &sourceQueue() const { return sourceQueue_; }
+    RingBuffer<Packet> &sourceQueue() { return sourceQueue_; }
+    const RingBuffer<Packet> &sourceQueue() const
+    {
+        return sourceQueue_;
+    }
 
     std::vector<VirtualChannel> &vcs() { return vcs_; }
     const std::vector<VirtualChannel> &vcs() const { return vcs_; }
@@ -147,7 +155,7 @@ class InputPort
      *                  nullptr to consider every ready VC.
      */
     std::uint32_t
-    pickCandidateVc(const std::vector<bool> *dst_free = nullptr);
+    pickCandidateVc(const BitVec *dst_free = nullptr);
 
     /** Destination requested by the candidate VC. */
     std::uint32_t
@@ -160,7 +168,7 @@ class InputPort
     std::uint64_t backlogFlits() const;
 
   private:
-    std::deque<Packet> sourceQueue_;
+    RingBuffer<Packet> sourceQueue_;
     std::vector<VirtualChannel> vcs_;
 
     /** Injection-side streaming state. */

@@ -219,7 +219,7 @@ MeshNoc::step()
             req[in] = out;
             out_for[in] = out;
         }
-        auto grant = r.fabric->arbitrate(req);
+        const auto &grant = r.fabric->arbitrate(req);
         for (std::uint32_t in = 0; in < radix; ++in) {
             if (!grant[in])
                 continue;

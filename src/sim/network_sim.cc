@@ -6,6 +6,9 @@ NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
                        std::shared_ptr<traffic::TrafficPattern> pattern)
     : spec_(spec), cfg_(cfg), pattern_(std::move(pattern)),
       fabric_(fabric::makeFabric(spec)), rng_(cfg.seed),
+      reqScratch_(spec.radix, fabric::kNoRequest),
+      candVcScratch_(spec.radix, net::InputPort::kNoVc),
+      dstFreeScratch_(spec.radix),
       perInputLatency_(spec.radix), perInputPackets_(spec.radix, 0)
 {
     ports_.assign(spec.radix,
@@ -36,26 +39,27 @@ NetworkSim::injectCycle()
 void
 NetworkSim::arbitrateCycle()
 {
-    std::vector<std::uint32_t> req(spec_.radix, fabric::kNoRequest);
-    std::vector<std::uint32_t> cand_vc(spec_.radix,
-                                       net::InputPort::kNoVc);
-    std::vector<bool> dst_free(spec_.radix);
-    for (std::uint32_t o = 0; o < spec_.radix; ++o)
-        dst_free[o] = !fabric_->outputBusy(o);
+    auto &req = reqScratch_;
+    auto &cand_vc = candVcScratch_;
+    dstFreeScratch_.clear();
+    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+        if (!fabric_->outputBusy(o))
+            dstFreeScratch_.set(o);
+    }
     for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        req[i] = fabric::kNoRequest;
+        cand_vc[i] = net::InputPort::kNoVc;
         if (ports_[i].connected())
             continue; // the input bus is transferring data
-        std::uint32_t v = ports_[i].pickCandidateVc(&dst_free);
+        std::uint32_t v = ports_[i].pickCandidateVc(&dstFreeScratch_);
         if (v == net::InputPort::kNoVc)
             continue;
         cand_vc[i] = v;
         req[i] = ports_[i].vcDest(v);
     }
 
-    std::vector<bool> grant = fabric_->arbitrate(req);
-    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
-        if (!grant[i])
-            continue;
+    const BitVec &grant = fabric_->arbitrate(req);
+    grant.forEachSet([&](std::uint32_t i) {
         sim_assert(req[i] != fabric::kNoRequest,
                    "grant to non-requesting input %u", i);
         if (measuring_) {
@@ -65,7 +69,7 @@ NetworkSim::arbitrateCycle()
                 static_cast<double>(cycle_ - head.genCycle));
         }
         ports_[i].connect(cand_vc[i], req[i], cfg_.packetLen);
-    }
+    });
 }
 
 void

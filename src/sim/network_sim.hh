@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/bitvec.hh"
 #include "common/random.hh"
 #include "common/spec.hh"
 #include "common/stats.hh"
@@ -93,6 +94,12 @@ class NetworkSim
     std::unique_ptr<fabric::Fabric> fabric_;
     std::vector<net::InputPort> ports_;
     Rng rng_;
+
+    // Per-cycle scratch, preallocated in the constructor and reused
+    // every step() so the steady-state loop never touches the heap.
+    std::vector<std::uint32_t> reqScratch_;    //!< input -> output
+    std::vector<std::uint32_t> candVcScratch_; //!< input -> VC
+    BitVec dstFreeScratch_;                    //!< free outputs
 
     net::Cycle cycle_ = 0;
     net::PacketId nextId_ = 1;

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the word-parallel BitVec underlying the arbitration
+ * hot path, including cross-checks against a std::vector<bool> model
+ * at sizes that straddle word boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvec.hh"
+#include "common/random.hh"
+
+using namespace hirise;
+
+TEST(BitVec, StartsEmpty)
+{
+    BitVec b(130);
+    EXPECT_EQ(b.size(), 130u);
+    EXPECT_EQ(b.numWords(), 3u);
+    EXPECT_TRUE(b.none());
+    EXPECT_FALSE(b.any());
+    EXPECT_EQ(b.count(), 0u);
+    EXPECT_EQ(b.firstSet(), BitVec::kNpos);
+}
+
+TEST(BitVec, SetResetTestAcrossWordBoundaries)
+{
+    BitVec b(130);
+    for (std::uint32_t i : {0u, 63u, 64u, 127u, 128u, 129u}) {
+        EXPECT_FALSE(b[i]);
+        b.set(i);
+        EXPECT_TRUE(b[i]);
+    }
+    EXPECT_EQ(b.count(), 6u);
+    b.reset(64);
+    EXPECT_FALSE(b[64]);
+    EXPECT_EQ(b.count(), 5u);
+    b.assign(64, true);
+    EXPECT_TRUE(b[64]);
+    b.clear();
+    EXPECT_TRUE(b.none());
+}
+
+TEST(BitVec, FillMasksTailBits)
+{
+    BitVec b(70);
+    b.fill();
+    EXPECT_EQ(b.count(), 70u);
+    for (std::uint32_t i = 0; i < 70; ++i)
+        EXPECT_TRUE(b[i]);
+    // The 58 tail bits of word 1 must stay zero or count() would lie.
+    EXPECT_EQ(b.words()[1], (BitVec::Word(1) << 6) - 1);
+}
+
+TEST(BitVec, FirstAndNextSetIteration)
+{
+    BitVec b(200);
+    for (std::uint32_t i : {3u, 64u, 65u, 199u})
+        b.set(i);
+    EXPECT_EQ(b.firstSet(), 3u);
+    EXPECT_EQ(b.nextSet(3), 64u);
+    EXPECT_EQ(b.nextSet(64), 65u);
+    EXPECT_EQ(b.nextSet(65), 199u);
+    EXPECT_EQ(b.nextSet(199), BitVec::kNpos);
+
+    std::vector<std::uint32_t> seen;
+    b.forEachSet([&](std::uint32_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, (std::vector<std::uint32_t>{3, 64, 65, 199}));
+}
+
+TEST(BitVec, WordParallelOps)
+{
+    BitVec a(100), b(100);
+    a.set(1);
+    a.set(70);
+    a.set(99);
+    b.set(70);
+    b.set(99);
+    b.set(2);
+
+    BitVec x = a;
+    x &= b;
+    EXPECT_EQ(x.count(), 2u);
+    EXPECT_TRUE(x[70]);
+    EXPECT_TRUE(x[99]);
+
+    BitVec y = a;
+    y |= b;
+    EXPECT_EQ(y.count(), 4u);
+
+    BitVec z = a;
+    z.andNot(b);
+    EXPECT_EQ(z.count(), 1u);
+    EXPECT_TRUE(z[1]);
+
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(z.intersects(b));
+    EXPECT_TRUE(a == a);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(BitVec, CopyFromReusesCapacity)
+{
+    BitVec a(64), b(64);
+    a.set(5);
+    a.set(63);
+    b.copyFrom(a);
+    EXPECT_TRUE(b == a);
+    a.reset(5);
+    EXPECT_TRUE(b[5]); // deep copy, not aliasing
+}
+
+TEST(BitVec, MatchesVectorBoolModelUnderRandomOps)
+{
+    for (std::uint32_t n : {1u, 63u, 64u, 65u, 128u, 257u}) {
+        BitVec b(n);
+        std::vector<bool> m(n, false);
+        Rng rng(n);
+        for (int t = 0; t < 2000; ++t) {
+            std::uint32_t i = static_cast<std::uint32_t>(rng.below(n));
+            bool v = rng.bernoulli(0.5);
+            b.assign(i, v);
+            m[i] = v;
+        }
+        std::uint32_t count = 0, first = BitVec::kNpos;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            ASSERT_EQ(b[i], m[i]) << "n=" << n << " bit " << i;
+            if (m[i]) {
+                ++count;
+                if (first == BitVec::kNpos)
+                    first = i;
+            }
+        }
+        EXPECT_EQ(b.count(), count);
+        EXPECT_EQ(b.firstSet(), first);
+    }
+}

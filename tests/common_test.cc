@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "common/parallel.hh"
 #include "common/random.hh"
@@ -170,6 +171,24 @@ TEST(ParallelMap, EmptyAndSingleThread)
     auto out = parallelMap(
         one, [](const int &x) { return x + 1; }, 1);
     EXPECT_EQ(out[0], 8);
+}
+
+TEST(ParallelMap, WorkerExceptionRethrownOnCaller)
+{
+    std::vector<int> items(64);
+    for (int i = 0; i < 64; ++i)
+        items[i] = i;
+    auto boom = [](const int &x) {
+        if (x == 13)
+            throw std::runtime_error("worker failed");
+        return x;
+    };
+    EXPECT_THROW(parallelMap(items, boom, 4), std::runtime_error);
+    // Serial path propagates too.
+    EXPECT_THROW(parallelMap(items, boom, 1), std::runtime_error);
+    // A throwing run must not poison later runs.
+    auto ok = parallelMap(items, [](const int &x) { return x + 1; }, 4);
+    EXPECT_EQ(ok[63], 64);
 }
 
 // ---------------------------------------------------------------------
