@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Config-fuzzing harness for the simulation core. Samples random
+ * SwitchSpec x traffic x seed x fault-set configurations, runs the
+ * optimized simulator and the naive oracle in lockstep (per-cycle
+ * grant matrices) plus a second pure-oracle end-to-end run (bit-exact
+ * SimResult), and on any mismatch greedily shrinks the configuration
+ * to a minimal reproducer printed as a ready-to-paste gtest case.
+ */
+
+#ifndef HIRISE_CHECK_FUZZ_HH
+#define HIRISE_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hh"
+#include "common/random.hh"
+#include "common/spec.hh"
+#include "sim/network_sim.hh"
+
+namespace hirise::check {
+
+/** Traffic patterns the fuzzer draws from (all stateless-per-run). */
+enum class PatternKind
+{
+    Uniform,
+    Hotspot,
+    Transpose,
+    BitComplement,
+    Bursty,
+};
+
+const char *toString(PatternKind p);
+
+/** One failed L2LC (HiRise only). */
+struct FaultSpec
+{
+    std::uint32_t srcLayer = 0;
+    std::uint32_t dstLayer = 1;
+    std::uint32_t chan = 0;
+};
+
+/** Everything needed to reproduce one differential run exactly. */
+struct DiffConfig
+{
+    SwitchSpec spec;
+    sim::SimConfig cfg;
+    PatternKind pattern = PatternKind::Uniform;
+    std::uint32_t hotOutput = 0; //!< Hotspot only
+    double meanBurstLen = 4.0;   //!< Bursty only
+    std::vector<FaultSpec> faults;
+    Mutation mutation = Mutation::None;
+};
+
+/** Non-fatal counterpart of SwitchSpec::validate() plus fuzz-side
+ *  sanity (pattern/fault ranges); shrink candidates that break it are
+ *  discarded instead of exiting the process. */
+bool isValid(const DiffConfig &c);
+
+/** One-line human-readable summary of a config. */
+std::string describe(const DiffConfig &c);
+
+struct DiffOutcome
+{
+    bool ok = true;
+    /** Arbitration cycle of the first lockstep divergence, or the
+     *  total cycle count for an end-of-run SimResult divergence. */
+    std::uint64_t mismatchCycle = 0;
+    std::string detail;
+};
+
+/**
+ * Run @p c twice: the optimized fabric in lockstep with the oracle
+ * (compared every cycle), then the whole simulation on the pure
+ * oracle, comparing the final SimResult bit-exactly.
+ */
+DiffOutcome runDifferential(const DiffConfig &c);
+
+/** Draw one random (valid) configuration. */
+DiffConfig sampleConfig(Rng &rng);
+
+/** Greedily minimize @p failing while runDifferential still fails. */
+DiffConfig shrink(const DiffConfig &failing);
+
+/** Render @p c as a ready-to-paste gtest test case. */
+std::string toGtestRepro(const DiffConfig &c);
+
+struct FuzzOptions
+{
+    std::uint64_t configs = 200;
+    std::uint64_t seed = 1;
+    Mutation mutation = Mutation::None;
+    bool shrinkOnFailure = true;
+    bool verbose = false;
+};
+
+struct FuzzReport
+{
+    std::uint64_t configsRun = 0;
+    bool mismatchFound = false;
+    DiffConfig failing;  //!< shrunk when FuzzOptions::shrinkOnFailure
+    DiffOutcome outcome; //!< outcome of @ref failing
+    std::string repro;   //!< gtest case reproducing @ref failing
+};
+
+/** Sample-and-check loop; stops at the first mismatch. */
+FuzzReport runFuzz(const FuzzOptions &opt);
+
+} // namespace hirise::check
+
+#endif // HIRISE_CHECK_FUZZ_HH

@@ -1,0 +1,115 @@
+#include "check/lockstep.hh"
+
+#include "fabric/hirise.hh"
+
+namespace hirise::check {
+
+LockstepFabric::LockstepFabric(const SwitchSpec &spec, Mutation mut)
+    : Fabric(spec), opt_(fabric::makeFabric(spec)), ref_(spec, mut),
+      reqScratch_(spec.radix)
+{}
+
+void
+LockstepFabric::recordMismatch(const std::string &what)
+{
+    if (mismatched_)
+        return;
+    mismatched_ = true;
+    mismatchCycle_ = cycle_;
+    detail_ = "cycle " + std::to_string(cycle_) + ": " + what;
+}
+
+void
+LockstepFabric::compare(std::span<const std::uint32_t> req,
+                        const BitVec &opt_grant,
+                        const std::vector<bool> &ref_grant)
+{
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        if (opt_grant[i] != ref_grant[i]) {
+            recordMismatch(
+                "grant[" + std::to_string(i) + "] optimized=" +
+                std::to_string(opt_grant[i]) + " oracle=" +
+                std::to_string(ref_grant[i]) + " (request " +
+                std::to_string(req[i]) + ")");
+            return;
+        }
+    }
+    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+        if (opt_->outputHolder(o) != ref_.outputHolder(o)) {
+            recordMismatch(
+                "holder of output " + std::to_string(o) +
+                " optimized=" + std::to_string(opt_->outputHolder(o)) +
+                " oracle=" + std::to_string(ref_.outputHolder(o)));
+            return;
+        }
+    }
+    if (auto *hr = dynamic_cast<fabric::HiRiseFabric *>(opt_.get())) {
+        for (std::uint32_t s = 0; s < spec_.layers; ++s) {
+            for (std::uint32_t d = 0; d < spec_.layers; ++d) {
+                if (s == d)
+                    continue;
+                for (std::uint32_t k = 0; k < spec_.channels; ++k) {
+                    if (hr->channelBusy(s, d, k) !=
+                        ref_.channelBusy(s, d, k)) {
+                        recordMismatch(
+                            "busy state of channel (" +
+                            std::to_string(s) + "," +
+                            std::to_string(d) + "," +
+                            std::to_string(k) + ") diverged");
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+const BitVec &
+LockstepFabric::arbitrate(std::span<const std::uint32_t> req)
+{
+    const BitVec &g = opt_->arbitrate(req);
+    reqScratch_.assign(req.begin(), req.end());
+    auto rg = ref_.arbitrate(reqScratch_);
+    if (!mismatched_)
+        compare(req, g, rg);
+    ++cycle_;
+    grant_.copyFrom(g);
+    return grant_;
+}
+
+void
+LockstepFabric::release(std::uint32_t input, std::uint32_t output)
+{
+    opt_->release(input, output);
+    // After a grant mismatch the two sides hold different connections;
+    // releasing blindly on the oracle would panic mid-fuzz.
+    if (ref_.outputHolder(output) == input)
+        ref_.release(input, output);
+    else
+        sim_assert(mismatched_,
+                   "oracle holder diverged without a recorded mismatch");
+}
+
+bool
+LockstepFabric::outputBusy(std::uint32_t output) const
+{
+    return opt_->outputBusy(output);
+}
+
+std::uint32_t
+LockstepFabric::outputHolder(std::uint32_t output) const
+{
+    return opt_->outputHolder(output);
+}
+
+void
+LockstepFabric::failChannel(std::uint32_t src_layer,
+                            std::uint32_t dst_layer, std::uint32_t k)
+{
+    auto *hr = dynamic_cast<fabric::HiRiseFabric *>(opt_.get());
+    sim_assert(hr != nullptr, "failChannel on a non-HiRise fabric");
+    hr->failChannel(src_layer, dst_layer, k);
+    ref_.failChannel(src_layer, dst_layer, k);
+}
+
+} // namespace hirise::check

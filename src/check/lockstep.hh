@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Glue between the oracle and the optimized simulator: an adapter
+ * exposing RefFabric through the fabric::Fabric interface (so a
+ * NetworkSim can run entirely on the oracle), and a lockstep fabric
+ * that drives the optimized implementation and the oracle side by
+ * side, comparing per-cycle grant matrices and held state and
+ * recording the first divergence.
+ */
+
+#ifndef HIRISE_CHECK_LOCKSTEP_HH
+#define HIRISE_CHECK_LOCKSTEP_HH
+
+#include <memory>
+#include <string>
+
+#include "check/oracle.hh"
+#include "fabric/fabric.hh"
+
+namespace hirise::check {
+
+/** The oracle behind the optimized Fabric interface. */
+class RefFabricAdapter : public fabric::Fabric
+{
+  public:
+    explicit RefFabricAdapter(const SwitchSpec &spec,
+                              Mutation mut = Mutation::None)
+        : Fabric(spec), ref_(spec, mut), reqScratch_(spec.radix)
+    {}
+
+    const BitVec &
+    arbitrate(std::span<const std::uint32_t> req) override
+    {
+        reqScratch_.assign(req.begin(), req.end());
+        auto g = ref_.arbitrate(reqScratch_);
+        grant_.clear();
+        for (std::uint32_t i = 0; i < spec_.radix; ++i)
+            if (g[i])
+                grant_.set(i);
+        return grant_;
+    }
+
+    void
+    release(std::uint32_t input, std::uint32_t output) override
+    {
+        ref_.release(input, output);
+    }
+    bool
+    outputBusy(std::uint32_t output) const override
+    {
+        return ref_.outputBusy(output);
+    }
+    std::uint32_t
+    outputHolder(std::uint32_t output) const override
+    {
+        return ref_.outputHolder(output);
+    }
+
+    RefFabric &ref() { return ref_; }
+
+  private:
+    RefFabric ref_;
+    std::vector<std::uint32_t> reqScratch_;
+};
+
+/**
+ * Optimized fabric and oracle in lockstep. Every arbitrate() runs
+ * both, compares the grant sets and all externally visible connection
+ * state, and remembers the first mismatch (the run continues on the
+ * optimized side's answers so the simulation still terminates).
+ */
+class LockstepFabric : public fabric::Fabric
+{
+  public:
+    explicit LockstepFabric(const SwitchSpec &spec,
+                            Mutation mut = Mutation::None);
+
+    const BitVec &
+    arbitrate(std::span<const std::uint32_t> req) override;
+    void release(std::uint32_t input, std::uint32_t output) override;
+    bool outputBusy(std::uint32_t output) const override;
+    std::uint32_t outputHolder(std::uint32_t output) const override;
+
+    /** Fail an L2LC on both sides (HiRise only). */
+    void failChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
+                     std::uint32_t k);
+
+    bool mismatched() const { return mismatched_; }
+    /** Arbitration-cycle index (0-based) of the first divergence. */
+    std::uint64_t mismatchCycle() const { return mismatchCycle_; }
+    const std::string &mismatchDetail() const { return detail_; }
+
+  private:
+    void compare(std::span<const std::uint32_t> req,
+                 const BitVec &opt_grant,
+                 const std::vector<bool> &ref_grant);
+    void recordMismatch(const std::string &what);
+
+    std::unique_ptr<fabric::Fabric> opt_;
+    RefFabric ref_;
+    std::vector<std::uint32_t> reqScratch_;
+
+    std::uint64_t cycle_ = 0;
+    bool mismatched_ = false;
+    std::uint64_t mismatchCycle_ = 0;
+    std::string detail_;
+};
+
+} // namespace hirise::check
+
+#endif // HIRISE_CHECK_LOCKSTEP_HH

@@ -1,5 +1,9 @@
 #include "fabric/flat2d.hh"
 
+#ifdef HIRISE_CHECK_ENABLED
+#include "check/invariants.hh"
+#endif
+
 namespace hirise::fabric {
 
 Flat2dFabric::Flat2dFabric(const SwitchSpec &spec)
@@ -44,6 +48,11 @@ Flat2dFabric::arbitrate(std::span<const std::uint32_t> req)
         holder_[o] = w;
         grant_.set(w);
     });
+#ifdef HIRISE_CHECK_ENABLED
+    auto holder = [this](std::uint32_t o) { return holder_[o]; };
+    check::verifyGrantMatching(req, grant_, spec_.radix, holder);
+    check::verifyHolderInjective(spec_.radix, holder);
+#endif
     return grant_;
 }
 

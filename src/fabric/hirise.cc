@@ -1,5 +1,9 @@
 #include "fabric/hirise.hh"
 
+#ifdef HIRISE_CHECK_ENABLED
+#include "check/invariants.hh"
+#endif
+
 namespace hirise::fabric {
 
 HiRiseFabric::HiRiseFabric(const SwitchSpec &spec)
@@ -349,8 +353,69 @@ HiRiseFabric::arbitrate(std::span<const std::uint32_t> req)
     }
 
     phase2();
+#ifdef HIRISE_CHECK_ENABLED
+    checkInvariants(req);
+#endif
     return grant_;
 }
+
+#ifdef HIRISE_CHECK_ENABLED
+void
+HiRiseFabric::checkInvariants(std::span<const std::uint32_t> req) const
+{
+    auto holder = [this](std::uint32_t o) { return holder_[o]; };
+    check::verifyGrantMatching(req, grant_, spec_.radix, holder);
+    check::verifyHolderInjective(spec_.radix, holder);
+
+    // holder/heldChan/chanBusy must stay a bijection: every held
+    // cross-layer connection pins exactly one busy channel whose
+    // endpoints match the connection's layers, and every busy channel
+    // is pinned by exactly one held connection.
+    std::vector<std::uint32_t> pinned(chanBusy_.size(), kNoRequest);
+    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+        std::uint32_t id = heldChan_[o];
+        if (holder_[o] == kNoRequest) {
+            sim_assert(id == kNoRequest,
+                       "idle output %u pins channel %u", o, id);
+            continue;
+        }
+        if (id == kNoRequest) {
+            sim_assert(layerOf(holder_[o]) == layerOf(o),
+                       "local connection %u->%u crosses layers",
+                       holder_[o], o);
+            continue;
+        }
+        sim_assert(id < chanBusy_.size(), "bad held channel id %u", id);
+        sim_assert(chanBusy_[id], "held channel %u not busy", id);
+        sim_assert(!chanFailed_[id], "failed channel %u is held", id);
+        sim_assert(pinned[id] == kNoRequest,
+                   "channel %u pinned by outputs %u and %u", id,
+                   pinned[id], o);
+        pinned[id] = o;
+        std::uint32_t s = id / (nlay_ * chan_);
+        std::uint32_t d = (id / chan_) % nlay_;
+        sim_assert(layerOf(holder_[o]) == s && layerOf(o) == d,
+                   "channel %u endpoints do not match connection "
+                   "%u->%u",
+                   id, holder_[o], o);
+    }
+    for (std::uint32_t id = 0; id < chanBusy_.size(); ++id) {
+        if (chanBusy_[id])
+            sim_assert(pinned[id] != kNoRequest,
+                       "busy channel %u pinned by no connection", id);
+    }
+
+    // CLRG class counters must stay thermometer-encodable.
+    if (spec_.arb == ArbScheme::Clrg) {
+        for (const auto &sub : subArb_) {
+            auto *clrg =
+                dynamic_cast<const arb::ClrgSubArbiter *>(sub.get());
+            sim_assert(clrg != nullptr, "CLRG spec without CLRG arbiter");
+            check::verifyClassCounterBounds(clrg->counters());
+        }
+    }
+}
+#endif
 
 void
 HiRiseFabric::release(std::uint32_t input, std::uint32_t output)

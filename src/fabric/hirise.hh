@@ -152,6 +152,9 @@ class HiRiseFabric : public Fabric
     void collectRequests(std::span<const std::uint32_t> req);
     void phase1();
     void phase2();
+#ifdef HIRISE_CHECK_ENABLED
+    void checkInvariants(std::span<const std::uint32_t> req) const;
+#endif
 
     Stats stats_;
     std::uint64_t arbitrateCalls_ = 0;

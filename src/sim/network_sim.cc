@@ -1,16 +1,28 @@
 #include "sim/network_sim.hh"
 
+#ifdef HIRISE_CHECK_ENABLED
+#include "check/invariants.hh"
+#endif
+
 namespace hirise::sim {
 
 NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
                        std::shared_ptr<traffic::TrafficPattern> pattern)
+    : NetworkSim(spec, cfg, std::move(pattern),
+                 fabric::makeFabric(spec))
+{}
+
+NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
+                       std::shared_ptr<traffic::TrafficPattern> pattern,
+                       std::unique_ptr<fabric::Fabric> fabric)
     : spec_(spec), cfg_(cfg), pattern_(std::move(pattern)),
-      fabric_(fabric::makeFabric(spec)), rng_(cfg.seed),
+      fabric_(std::move(fabric)), rng_(cfg.seed),
       reqScratch_(spec.radix, fabric::kNoRequest),
       candVcScratch_(spec.radix, net::InputPort::kNoVc),
       dstFreeScratch_(spec.radix),
       perInputLatency_(spec.radix), perInputPackets_(spec.radix, 0)
 {
+    sim_assert(fabric_ != nullptr, "NetworkSim needs a fabric");
     ports_.assign(spec.radix,
                   net::InputPort(cfg.numVcs, cfg.vcDepth));
 }
@@ -59,6 +71,11 @@ NetworkSim::arbitrateCycle()
     }
 
     const BitVec &grant = fabric_->arbitrate(req);
+#ifdef HIRISE_CHECK_ENABLED
+    check::verifyGrantMatching(
+        std::span<const std::uint32_t>(req), grant, spec_.radix,
+        [this](std::uint32_t o) { return fabric_->outputHolder(o); });
+#endif
     grant.forEachSet([&](std::uint32_t i) {
         sim_assert(req[i] != fabric::kNoRequest,
                    "grant to non-requesting input %u", i);
@@ -113,7 +130,35 @@ NetworkSim::step()
     arbitrateCycle();
     transferCycle();
     ++cycle_;
+#ifdef HIRISE_CHECK_ENABLED
+    checkInvariants();
+#endif
 }
+
+#ifdef HIRISE_CHECK_ENABLED
+void
+NetworkSim::checkInvariants() const
+{
+    check::verifyFlitConservation(injected_ * cfg_.packetLen,
+                                  flitsDelivered_, backlogFlits());
+    auto holder = [this](std::uint32_t o) {
+        return fabric_->outputHolder(o);
+    };
+    check::verifyHolderInjective(spec_.radix, holder);
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        check::verifyVcState(ports_[i], cfg_.vcDepth);
+        // A connected port and the fabric's holder table must agree:
+        // the connection-held matrix switch has exactly one grantee
+        // per output bus.
+        if (ports_[i].connected()) {
+            sim_assert(fabric_->outputHolder(ports_[i].connOutput()) ==
+                           i,
+                       "connected port %u does not hold output %u", i,
+                       ports_[i].connOutput());
+        }
+    }
+}
+#endif
 
 std::uint64_t
 NetworkSim::backlogFlits() const

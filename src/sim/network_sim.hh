@@ -66,6 +66,12 @@ class NetworkSim
     NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
                std::shared_ptr<traffic::TrafficPattern> pattern);
 
+    /** As above, but with a caller-supplied fabric (an oracle, a
+     *  lockstep differential fabric, or a pre-faulted instance). */
+    NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
+               std::shared_ptr<traffic::TrafficPattern> pattern,
+               std::unique_ptr<fabric::Fabric> fabric);
+
     /** Run warmup + measurement; returns the aggregated result. */
     SimResult run();
 
@@ -87,6 +93,9 @@ class NetworkSim
     void injectCycle();
     void arbitrateCycle();
     void transferCycle();
+#ifdef HIRISE_CHECK_ENABLED
+    void checkInvariants() const;
+#endif
 
     SwitchSpec spec_;
     SimConfig cfg_;

@@ -262,6 +262,49 @@ TEST(SubBlockArb, ClrgSteadyStateRotation)
     }
 }
 
+TEST(SubBlockArb, LayerLrgPaperExampleStepByStep)
+{
+    // Section III-B2 cycle-by-cycle: with plain L-2-L LRG the two
+    // channel ports simply alternate, so the lone input 20 wins every
+    // other cycle while {3,7,11,15} rotate through the off cycles.
+    LrgSubArbiter sub(4);
+    PaperExample ex(sub);
+    const std::uint32_t expected[10] = {3,  20, 7, 20, 11,
+                                        20, 15, 20, 3, 20};
+    for (int t = 0; t < 10; ++t)
+        ASSERT_EQ(ex.cycle(), expected[t]) << "cycle " << t + 1;
+}
+
+TEST(SubBlockArb, ClrgPaperExampleStepByStep)
+{
+    // Section III-B4 walk-through of the same adversarial pattern,
+    // grant by grant. Once input 20 has used its class-0 credit
+    // (cycle 2), the class compare inhibits it until every L1 input
+    // has been served too; the usage counters then saturate and the
+    // whole bank halves at cycle 11.
+    ClrgSubArbiter sub(4, 64, 2);
+    PaperExample ex(sub);
+
+    const std::uint32_t expected[11] = {3, 20, 7,  11, 15, 20,
+                                        3, 7,  11, 15, 20};
+    for (int t = 0; t < 11; ++t) {
+        ASSERT_EQ(ex.cycle(), expected[t]) << "cycle " << t + 1;
+        if (t == 4) {
+            // After one full rotation everyone has used one credit.
+            for (auto i : {3u, 7u, 11u, 15u, 20u})
+                ASSERT_EQ(sub.counters().classOf(i), 1u)
+                    << "input " << i;
+        }
+    }
+
+    // Cycle 11 saturated input 20's counter (2 == maxCount): the
+    // whole bank halves (2 -> 1 for everyone) before 20's increment,
+    // so the relative usage order survives saturation.
+    for (auto i : {3u, 7u, 11u, 15u})
+        EXPECT_EQ(sub.counters().classOf(i), 1u) << "input " << i;
+    EXPECT_EQ(sub.counters().classOf(20), 2u);
+}
+
 TEST(SubBlockArb, WlrgAlsoResolvesPaperExample)
 {
     WlrgSubArbiter sub(4);

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the src/check correctness subsystem: oracle-vs-optimized
+ * differentials at the arbiter, fabric, and whole-simulation level,
+ * the config fuzzer (clean run + mutation smoke + shrinker), and the
+ * runtime invariant checks themselves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arb/matrix_arbiter.hh"
+#include "check/fuzz.hh"
+#include "check/invariants.hh"
+#include "check/lockstep.hh"
+#include "check/oracle.hh"
+#include "common/random.hh"
+
+using namespace hirise;
+
+namespace {
+
+SwitchSpec
+hirise3d(std::uint32_t radix, std::uint32_t layers,
+       std::uint32_t channels, ArbScheme arb, ChannelAlloc alloc)
+{
+    SwitchSpec s;
+    s.topo = Topology::HiRise;
+    s.radix = radix;
+    s.layers = layers;
+    s.channels = channels;
+    s.arb = arb;
+    s.alloc = alloc;
+    return s;
+}
+
+SwitchSpec
+flat(std::uint32_t radix)
+{
+    SwitchSpec s;
+    s.topo = Topology::Flat2D;
+    s.radix = radix;
+    s.arb = ArbScheme::Lrg;
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// RefMatrixArbiter vs the word-parallel MatrixArbiter
+// ---------------------------------------------------------------------
+
+TEST(RefMatrixArbiter, MatchesOptimizedUnderRandomTraffic)
+{
+    for (std::uint32_t n : {1u, 2u, 3u, 5u, 8u, 13u, 64u, 65u}) {
+        arb::MatrixArbiter opt(n);
+        check::RefMatrixArbiter ref(n);
+        Rng rng(977 * n + 1);
+        for (int round = 0; round < 500; ++round) {
+            std::vector<bool> req(n, false);
+            for (std::uint32_t i = 0; i < n; ++i)
+                req[i] = rng.bernoulli(0.4);
+            std::uint32_t a = opt.pick(req);
+            std::uint32_t b = ref.pick(req);
+            ASSERT_EQ(a, b) << "n=" << n << " round=" << round;
+            if (a == arb::MatrixArbiter::kNone)
+                continue;
+            opt.update(a);
+            ref.update(a);
+        }
+    }
+}
+
+TEST(RefMatrixArbiter, SeededOffByOneDiverges)
+{
+    arb::MatrixArbiter opt(4);
+    check::RefMatrixArbiter ref(4, check::Mutation::LrgUpdateOffByOne);
+    Rng rng(7);
+    bool diverged = false;
+    for (int round = 0; round < 200 && !diverged; ++round) {
+        std::vector<bool> req(4, false);
+        for (std::uint32_t i = 0; i < 4; ++i)
+            req[i] = rng.bernoulli(0.6);
+        std::uint32_t a = opt.pick(req);
+        std::uint32_t b = ref.pick(req);
+        if (a != b) {
+            diverged = true;
+            break;
+        }
+        if (a == arb::MatrixArbiter::kNone)
+            continue;
+        opt.update(a);
+        ref.update(a);
+    }
+    EXPECT_TRUE(diverged)
+        << "mutated oracle never disagreed with the real arbiter";
+}
+
+// ---------------------------------------------------------------------
+// Fabric-level lockstep under a random connect/release protocol
+// ---------------------------------------------------------------------
+
+TEST(LockstepFabric, RandomProtocolDriveStaysInLockstep)
+{
+    std::vector<SwitchSpec> specs = {
+        flat(9),
+        hirise3d(16, 4, 2, ArbScheme::LayerLrg, ChannelAlloc::InputBinned),
+        hirise3d(16, 4, 2, ArbScheme::Wlrg, ChannelAlloc::OutputBinned),
+        hirise3d(16, 4, 2, ArbScheme::Clrg, ChannelAlloc::Priority),
+        hirise3d(12, 3, 3, ArbScheme::Clrg, ChannelAlloc::InputBinned),
+        hirise3d(7, 2, 1, ArbScheme::LayerLrg, ChannelAlloc::Priority),
+    };
+    SwitchSpec folded;
+    folded.topo = Topology::Folded3D;
+    folded.radix = 10;
+    folded.layers = 2;
+    folded.arb = ArbScheme::Lrg;
+    specs.push_back(folded);
+
+    for (const auto &spec : specs) {
+        check::LockstepFabric ls(spec);
+        Rng rng(spec.radix * 131 + spec.layers);
+        std::vector<std::uint32_t> req(spec.radix);
+        // (input, output, remaining cycles) of live connections
+        struct Conn
+        {
+            std::uint32_t in, out, left;
+        };
+        std::vector<Conn> live;
+
+        for (int cycle = 0; cycle < 400; ++cycle) {
+            for (auto it = live.begin(); it != live.end();) {
+                if (--it->left == 0) {
+                    ls.release(it->in, it->out);
+                    it = live.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            std::vector<bool> busy_in(spec.radix, false);
+            for (const auto &c : live)
+                busy_in[c.in] = true;
+            for (std::uint32_t i = 0; i < spec.radix; ++i) {
+                req[i] = fabric::kNoRequest;
+                if (!busy_in[i] && rng.bernoulli(0.7))
+                    req[i] = static_cast<std::uint32_t>(
+                        rng.below(spec.radix));
+            }
+            const BitVec &grant = ls.arbitrate(req);
+            grant.forEachSet([&](std::uint32_t i) {
+                live.push_back(
+                    {i, req[i],
+                     1 + static_cast<std::uint32_t>(rng.below(3))});
+            });
+            ASSERT_FALSE(ls.mismatched())
+                << spec.name() << ": " << ls.mismatchDetail();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-simulation differentials on pinned configurations
+// ---------------------------------------------------------------------
+
+TEST(RunDifferential, CleanAcrossRepresentativeConfigs)
+{
+    std::vector<check::DiffConfig> configs;
+
+    check::DiffConfig a;
+    a.spec = hirise3d(16, 4, 2, ArbScheme::Clrg, ChannelAlloc::InputBinned);
+    a.cfg.injectionRate = 0.6;
+    configs.push_back(a);
+
+    check::DiffConfig b;
+    b.spec = hirise3d(12, 3, 3, ArbScheme::Wlrg, ChannelAlloc::Priority);
+    b.pattern = check::PatternKind::Hotspot;
+    b.hotOutput = 5;
+    b.cfg.injectionRate = 0.8;
+    configs.push_back(b);
+
+    check::DiffConfig c;
+    c.spec = hirise3d(8, 2, 2, ArbScheme::LayerLrg,
+                    ChannelAlloc::OutputBinned);
+    c.pattern = check::PatternKind::Bursty;
+    c.meanBurstLen = 5.0;
+    c.cfg.injectionRate = 0.4;
+    configs.push_back(c);
+
+    check::DiffConfig d;
+    d.spec = flat(9);
+    d.pattern = check::PatternKind::Transpose;
+    d.cfg.injectionRate = 0.9;
+    configs.push_back(d);
+
+    check::DiffConfig e;
+    e.spec.topo = Topology::Folded3D;
+    e.spec.radix = 10;
+    e.spec.layers = 2;
+    e.spec.arb = ArbScheme::Lrg;
+    e.pattern = check::PatternKind::BitComplement;
+    e.cfg.injectionRate = 0.7;
+    configs.push_back(e);
+
+    for (auto &cfg : configs) {
+        cfg.cfg.warmupCycles = 20;
+        cfg.cfg.measureCycles = 150;
+        cfg.cfg.seed = 1234;
+        ASSERT_TRUE(check::isValid(cfg)) << check::describe(cfg);
+        auto out = check::runDifferential(cfg);
+        EXPECT_TRUE(out.ok)
+            << check::describe(cfg) << ": " << out.detail;
+    }
+}
+
+TEST(RunDifferential, CleanWithChannelFaults)
+{
+    // Scattered faults across binned and priority allocation.
+    for (auto alloc : {ChannelAlloc::InputBinned,
+                       ChannelAlloc::OutputBinned,
+                       ChannelAlloc::Priority}) {
+        check::DiffConfig c;
+        c.spec = hirise3d(16, 4, 2, ArbScheme::Clrg, alloc);
+        c.cfg.injectionRate = 0.5;
+        c.cfg.warmupCycles = 10;
+        c.cfg.measureCycles = 200;
+        c.cfg.seed = 99;
+        c.faults = {{0, 1, 0}, {2, 3, 1}, {1, 0, 0}};
+        ASSERT_TRUE(check::isValid(c));
+        auto out = check::runDifferential(c);
+        EXPECT_TRUE(out.ok)
+            << check::describe(c) << ": " << out.detail;
+    }
+
+    // Every channel between one layer pair failed: traffic for that
+    // pair can never be served, but optimized and oracle must still
+    // agree on everything else.
+    check::DiffConfig c;
+    c.spec = hirise3d(12, 3, 2, ArbScheme::LayerLrg,
+                    ChannelAlloc::InputBinned);
+    c.cfg.injectionRate = 0.5;
+    c.cfg.warmupCycles = 0;
+    c.cfg.measureCycles = 250;
+    c.cfg.seed = 7;
+    c.faults = {{0, 1, 0}, {0, 1, 1}};
+    ASSERT_TRUE(check::isValid(c));
+    auto out = check::runDifferential(c);
+    EXPECT_TRUE(out.ok) << out.detail;
+}
+
+// ---------------------------------------------------------------------
+// Fuzzer machinery
+// ---------------------------------------------------------------------
+
+TEST(SampleConfig, DrawsOnlyValidConfigs)
+{
+    Rng rng(99);
+    for (int i = 0; i < 300; ++i) {
+        check::DiffConfig c = check::sampleConfig(rng);
+        EXPECT_TRUE(check::isValid(c)) << check::describe(c);
+    }
+}
+
+TEST(RunFuzz, ShortFixedSeedRunIsClean)
+{
+    check::FuzzOptions opt;
+    opt.configs = 60;
+    opt.seed = 42;
+    auto rep = check::runFuzz(opt);
+    EXPECT_FALSE(rep.mismatchFound)
+        << check::describe(rep.failing) << ": "
+        << rep.outcome.detail << "\n" << rep.repro;
+    EXPECT_EQ(rep.configsRun, 60u);
+}
+
+TEST(RunFuzz, CatchesLrgUpdateOffByOneWithin200Configs)
+{
+    check::FuzzOptions opt;
+    opt.configs = 200;
+    opt.seed = 1;
+    opt.mutation = check::Mutation::LrgUpdateOffByOne;
+    auto rep = check::runFuzz(opt);
+    ASSERT_TRUE(rep.mismatchFound)
+        << "a seeded priority-update bug survived 200 configs";
+    EXPECT_LE(rep.configsRun, 200u);
+
+    // The shrunk config must still be valid, still fail, and the
+    // printed repro must be a usable gtest case.
+    EXPECT_TRUE(check::isValid(rep.failing));
+    EXPECT_FALSE(rep.outcome.ok);
+    EXPECT_NE(rep.repro.find("TEST(FuzzRepro"), std::string::npos);
+    EXPECT_NE(rep.repro.find("LrgUpdateOffByOne"), std::string::npos);
+    EXPECT_NE(rep.repro.find("runDifferential"), std::string::npos);
+}
+
+TEST(RunFuzz, CatchesClrgHalveWinnerOnlyWithin200Configs)
+{
+    check::FuzzOptions opt;
+    opt.configs = 200;
+    opt.seed = 1;
+    opt.mutation = check::Mutation::ClrgHalveWinnerOnly;
+    opt.shrinkOnFailure = false;
+    auto rep = check::runFuzz(opt);
+    ASSERT_TRUE(rep.mismatchFound)
+        << "a seeded CLRG saturation bug survived 200 configs";
+    EXPECT_FALSE(rep.outcome.ok);
+}
+
+TEST(Shrink, ProducesSmallerStillFailingConfig)
+{
+    check::FuzzOptions opt;
+    opt.configs = 200;
+    opt.seed = 1;
+    opt.mutation = check::Mutation::LrgUpdateOffByOne;
+    opt.shrinkOnFailure = false;
+    auto rep = check::runFuzz(opt);
+    ASSERT_TRUE(rep.mismatchFound);
+
+    check::DiffConfig shrunk = check::shrink(rep.failing);
+    EXPECT_TRUE(check::isValid(shrunk));
+    EXPECT_FALSE(check::runDifferential(shrunk).ok);
+    EXPECT_LE(shrunk.cfg.warmupCycles + shrunk.cfg.measureCycles,
+              rep.failing.cfg.warmupCycles +
+                  rep.failing.cfg.measureCycles);
+    EXPECT_LE(shrunk.spec.radix, rep.failing.spec.radix);
+}
+
+// ---------------------------------------------------------------------
+// The invariant checks themselves
+// ---------------------------------------------------------------------
+
+TEST(Invariants, AcceptConsistentState)
+{
+    std::vector<std::uint32_t> holder = {check::kNoReq, 0, check::kNoReq};
+    auto holder_of = [&](std::uint32_t o) { return holder[o]; };
+    check::verifyHolderInjective(3, holder_of);
+
+    std::vector<std::uint32_t> req = {1, check::kNoReq, check::kNoReq};
+    BitVec grant(3);
+    grant.set(0);
+    check::verifyGrantMatching(
+        std::span<const std::uint32_t>(req), grant, 3, holder_of);
+
+    check::verifyFlitConservation(10, 6, 4);
+
+    arb::ClassCounterBank bank(4, 2);
+    check::verifyClassCounterBounds(bank);
+}
+
+TEST(InvariantsDeath, CatchDuplicateHolder)
+{
+    auto holder_of = [](std::uint32_t) { return 0u; };
+    EXPECT_DEATH(check::verifyHolderInjective(2, holder_of),
+                 "holds two outputs");
+}
+
+TEST(InvariantsDeath, CatchPhantomGrant)
+{
+    std::vector<std::uint32_t> req(4, check::kNoReq);
+    BitVec grant(4);
+    grant.set(2);
+    auto holder_of = [](std::uint32_t) { return check::kNoReq; };
+    EXPECT_DEATH(
+        check::verifyGrantMatching(std::span<const std::uint32_t>(req),
+                                   grant, 4, holder_of),
+        "made no request");
+}
+
+TEST(InvariantsDeath, CatchFlitLoss)
+{
+    EXPECT_DEATH(check::verifyFlitConservation(10, 4, 5),
+                 "conservation");
+}

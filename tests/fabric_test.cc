@@ -423,6 +423,81 @@ TEST(HiRise, AllChannelsFailedBlocksThatLayerPairOnly)
     EXPECT_TRUE(g[0]);
 }
 
+TEST(HiRise, OutputBinnedRemapsAroundFailedChannel)
+{
+    auto s = hiriseSpec(4);
+    s.alloc = ChannelAlloc::OutputBinned;
+    HiRiseFabric f(s);
+    // Output 63 (layer 3, local 15) bins to channel 15 % 4 == 3.
+    EXPECT_EQ(f.channelFor(20, 63), 3u);
+    f.failChannel(1, 3, 3);
+    EXPECT_TRUE(f.channelFailed(1, 3, 3));
+    EXPECT_FALSE(f.channelFailed(1, 3, 0));
+    EXPECT_EQ(f.channelFor(20, 63), 0u); // probe wraps to channel 0
+
+    auto req = noRequests(64);
+    req[20] = 63;
+    EXPECT_TRUE(f.arbitrate(req)[20]);
+    EXPECT_TRUE(f.channelBusy(1, 3, 0));
+    EXPECT_FALSE(f.channelBusy(1, 3, 3));
+}
+
+TEST(HiRise, FullyFailedLayerPairDegradesWithoutDeadlock)
+{
+    // Saturated closed-loop drive with every layer-1 -> layer-3
+    // channel dead: the cut-off input never wins but never wedges the
+    // fabric, and unaffected inputs keep winning every single cycle.
+    HiRiseFabric f(hiriseSpec(2));
+    f.failChannel(1, 3, 0);
+    f.failChannel(1, 3, 1);
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> held;
+    int blocked_grants = 0;
+    int ok_grants = 0;
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        for (auto [i, o] : held)
+            f.release(i, o);
+        held.clear();
+        auto req = noRequests(64);
+        req[20] = 63; // layer 1 -> layer 3: fully failed
+        req[0] = 62;  // layer 0 -> layer 3: unaffected
+        req[17] = 5;  // layer 1 -> layer 0: unaffected
+        auto g = f.arbitrate(req);
+        if (g[20]) {
+            ++blocked_grants;
+            held.push_back({20, 63});
+        }
+        if (g[0]) {
+            ++ok_grants;
+            held.push_back({0, 62});
+        }
+        if (g[17]) {
+            ++ok_grants;
+            held.push_back({17, 5});
+        }
+    }
+    EXPECT_EQ(blocked_grants, 0);
+    EXPECT_EQ(ok_grants, 400); // 2 unaffected inputs x 200 cycles
+    EXPECT_FALSE(f.channelBusy(1, 3, 0));
+    EXPECT_FALSE(f.channelBusy(1, 3, 1));
+}
+
+TEST(HiRiseDeath, CannotFailBusyChannel)
+{
+    HiRiseFabric f(hiriseSpec(2));
+    auto req = noRequests(64);
+    req[20] = 63;
+    ASSERT_TRUE(f.arbitrate(req)[20]); // holds channel (1,3,0)
+    EXPECT_DEATH(f.failChannel(1, 3, 0), "mid-transfer");
+}
+
+TEST(HiRiseDeath, FailChannelRejectsBadCoordinates)
+{
+    HiRiseFabric f(hiriseSpec(2));
+    EXPECT_DEATH(f.failChannel(1, 1, 0), "bad channel");
+    EXPECT_DEATH(f.failChannel(1, 3, 7), "bad channel");
+}
+
 TEST(HiRise, PriorityAllocSkipsFailedChannels)
 {
     auto s = hiriseSpec(2, ArbScheme::Clrg);
