@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
-# Build bench_microperf in Release mode and record its results as
-# BENCH_microperf.json at the repo root, so the simulator's own
-# performance trajectory is tracked across PRs (compare against the
-# committed file from the previous PR before overwriting it).
+# Build the microbenchmark suites in Release mode and record their
+# merged results as BENCH_microperf.json at the repo root, so the
+# simulator's own performance trajectory is tracked across PRs
+# (compare against the committed file from the previous PR before
+# overwriting it).
+#
+# Two suites are recorded: bench_microperf (per-cycle simulation hot
+# path) and bench_campaign (campaign layer: thread pool, sim cache,
+# speculative saturation search).
+#
+# The script refuses to write the output file unless google-benchmark
+# reports a release library build — debug numbers committed by
+# accident would poison every later comparison. On hosts whose
+# *installed* libbenchmark was itself compiled without NDEBUG (the
+# check reflects the library, not this repo's flags), set
+# HIRISE_BENCH_ALLOW_DEBUG=1 to downgrade the refusal to a warning.
 #
 # Usage: scripts/run_microbench.sh [extra google-benchmark args...]
 set -euo pipefail
@@ -10,14 +22,58 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build-release}"
 out_file="$repo_root/BENCH_microperf.json"
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target bench_microperf -j"$(nproc)"
+cmake --build "$build_dir" --target bench_microperf bench_campaign \
+    -j"$(nproc)"
 
-"$build_dir/bench/bench_microperf" \
-    --benchmark_format=json \
-    --benchmark_out="$out_file" \
-    --benchmark_out_format=json \
-    "$@"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
 
-echo "wrote $out_file"
+for bench in bench_microperf bench_campaign; do
+    "$build_dir/bench/$bench" \
+        --benchmark_format=console \
+        --benchmark_out="$tmp_dir/$bench.json" \
+        --benchmark_out_format=json \
+        "$@"
+done
+
+python3 - "$tmp_dir" "$out_file" "$git_sha" <<'EOF'
+import json
+import os
+import sys
+
+tmp_dir, out_file, git_sha = sys.argv[1], sys.argv[2], sys.argv[3]
+allow_debug = os.environ.get("HIRISE_BENCH_ALLOW_DEBUG") == "1"
+
+merged = None
+for name in ("bench_microperf", "bench_campaign"):
+    path = f"{tmp_dir}/{name}.json"
+    if os.path.getsize(path) == 0:
+        sys.exit(f"{name}: empty result file — did a "
+                 "--benchmark_filter match nothing in this suite?")
+    with open(path) as f:
+        doc = json.load(f)
+    build_type = doc["context"].get("library_build_type", "")
+    if build_type != "release":
+        msg = (f"{name}: library_build_type is '{build_type}', "
+               "expected 'release'")
+        if not allow_debug:
+            sys.exit(msg + " — refusing to record debug numbers "
+                     "(HIRISE_BENCH_ALLOW_DEBUG=1 overrides)")
+        print(f"WARNING: {msg}", file=sys.stderr)
+    for bench in doc["benchmarks"]:
+        bench["suite"] = name
+    if merged is None:
+        merged = doc
+    else:
+        merged["benchmarks"].extend(doc["benchmarks"])
+
+merged["context"]["git_sha"] = git_sha
+with open(out_file, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote $out_file (git_sha=$git_sha)"

@@ -7,6 +7,7 @@
 
 #include "check/lockstep.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "traffic/pattern.hh"
 
 namespace hirise::check {
@@ -557,26 +558,51 @@ runFuzz(const FuzzOptions &opt)
 {
     Rng rng(opt.seed);
     FuzzReport rep;
-    for (std::uint64_t n = 0; n < opt.configs; ++n) {
-        DiffConfig c = sampleConfig(rng);
-        c.mutation = opt.mutation;
-        if (opt.verbose)
-            inform("config %llu: %s",
-                   static_cast<unsigned long long>(n),
-                   describe(c).c_str());
-        DiffOutcome out = runDifferential(c);
-        ++rep.configsRun;
-        if (!out.ok) {
-            rep.mismatchFound = true;
-            rep.failing = opt.shrinkOnFailure ? shrink(c) : c;
-            rep.outcome = runDifferential(rep.failing);
-            rep.repro = toGtestRepro(rep.failing);
-            return rep;
+
+    // Configs are sampled sequentially from the single Rng stream
+    // (the sequence never depends on execution), then each batch's
+    // differential runs fan out through the pool. The reported
+    // mismatch is the first failing index in sample order, so the
+    // report matches the old one-at-a-time loop.
+    constexpr std::uint64_t kBatch = 32;
+    std::uint64_t done = 0;
+    std::uint64_t lastReport = 0;
+    while (done < opt.configs) {
+        std::uint64_t n = std::min(kBatch, opt.configs - done);
+        std::vector<DiffConfig> batch;
+        batch.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            DiffConfig c = sampleConfig(rng);
+            c.mutation = opt.mutation;
+            if (opt.verbose)
+                inform("config %llu: %s",
+                       static_cast<unsigned long long>(done + i),
+                       describe(c).c_str());
+            batch.push_back(std::move(c));
         }
-        if (!opt.verbose && (n + 1) % 100 == 0)
+        std::vector<DiffOutcome> outs = parallelMap(
+            batch,
+            [](const DiffConfig &c) { return runDifferential(c); },
+            opt.threads);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (!outs[i].ok) {
+                rep.configsRun = done + i + 1;
+                rep.mismatchFound = true;
+                rep.failing =
+                    opt.shrinkOnFailure ? shrink(batch[i]) : batch[i];
+                rep.outcome = runDifferential(rep.failing);
+                rep.repro = toGtestRepro(rep.failing);
+                return rep;
+            }
+        }
+        done += n;
+        rep.configsRun = done;
+        if (!opt.verbose && done - lastReport >= 100) {
+            lastReport = done;
             inform("fuzz: %llu/%llu configs clean",
-                   static_cast<unsigned long long>(n + 1),
+                   static_cast<unsigned long long>(done),
                    static_cast<unsigned long long>(opt.configs));
+        }
     }
     return rep;
 }

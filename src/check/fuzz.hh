@@ -94,6 +94,11 @@ struct FuzzOptions
     Mutation mutation = Mutation::None;
     bool shrinkOnFailure = true;
     bool verbose = false;
+    /** parallelMap max_threads for the differential runs: 0 = the
+     *  shared campaign pool, 1 = serial. Configs are always sampled
+     *  sequentially from one Rng stream, so the config sequence and
+     *  the first reported mismatch are thread-count invariant. */
+    unsigned threads = 0;
 };
 
 struct FuzzReport

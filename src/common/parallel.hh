@@ -1,32 +1,39 @@
 /**
  * @file
- * Minimal fork-join helper for embarrassingly parallel experiment
- * sweeps (each simulation run is independent and self-seeded, so load
- * sweeps and seed sweeps parallelize trivially).
+ * Parallel map over the persistent work-stealing pool (see
+ * thread_pool.hh). Formerly a fork-join helper that spawned and
+ * joined fresh std::threads per call; at campaign scale (thousands of
+ * independent simulation runs per figure suite) that start-up cost
+ * dominated, so parallelMap is now a thin wrapper that submits one
+ * task per item to a shared pool and helps execute tasks while
+ * waiting. Results land in index-order slots, so output is
+ * bit-identical for any thread count or execution order.
  */
 
 #ifndef HIRISE_COMMON_PARALLEL_HH
 #define HIRISE_COMMON_PARALLEL_HH
 
-#include <atomic>
-#include <cstdint>
 #include <exception>
-#include <mutex>
-#include <thread>
+#include <future>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_pool.hh"
 
 namespace hirise {
 
 /**
- * Apply @p fn to every element of @p items on up to @p max_threads
- * worker threads (0 = hardware concurrency) and return the results in
- * order. @p fn must be safe to call concurrently on distinct items.
+ * Apply @p fn to every element of @p items through @p pool (null =
+ * the global pool) and return the results in order. @p fn must be
+ * safe to call concurrently on distinct items; exceptions thrown by
+ * any invocation are rethrown (the earliest item's first) after every
+ * task has finished. Pass @p max_threads = 1 to force a serial
+ * in-place loop (identical results, no pool traffic).
  */
 template <typename T, typename Fn>
 auto
 parallelMap(const std::vector<T> &items, Fn fn,
-            unsigned max_threads = 0)
+            unsigned max_threads = 0, ThreadPool *pool = nullptr)
     -> std::vector<std::invoke_result_t<Fn, const T &>>
 {
     using R = std::invoke_result_t<Fn, const T &>;
@@ -34,45 +41,32 @@ parallelMap(const std::vector<T> &items, Fn fn,
     if (items.empty())
         return out;
 
-    unsigned hw = std::thread::hardware_concurrency();
-    unsigned n_threads = max_threads ? max_threads : (hw ? hw : 1);
-    n_threads = std::min<unsigned>(
-        n_threads, static_cast<unsigned>(items.size()));
-    if (n_threads <= 1) {
+    if (max_threads == 1 || items.size() == 1) {
         for (std::size_t i = 0; i < items.size(); ++i)
             out[i] = fn(items[i]);
         return out;
     }
 
-    // An exception escaping a worker thread would std::terminate the
-    // process; capture the first one and rethrow it on the caller's
-    // thread after every worker has joined. Workers drain the item
-    // counter once a failure is recorded so the join is prompt.
-    std::atomic<std::size_t> next{0};
+    ThreadPool &p = pool ? *pool : ThreadPool::global();
+    std::vector<std::future<void>> futs;
+    futs.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        futs.push_back(
+            p.submit([&items, &out, &fn, i] { out[i] = fn(items[i]); }));
+    }
+
+    // Wait on every future (helping, so nested parallelMap calls on
+    // an exhausted pool still make progress) and surface the lowest-
+    // index failure once all tasks have quiesced.
     std::exception_ptr first_error;
-    std::mutex error_mu;
-    auto worker = [&]() {
-        for (;;) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= items.size())
-                return;
-            try {
-                out[i] = fn(items[i]);
-            } catch (...) {
-                std::lock_guard<std::mutex> lk(error_mu);
-                if (!first_error)
-                    first_error = std::current_exception();
-                next.store(items.size());
-                return;
-            }
+    for (auto &f : futs) {
+        try {
+            waitHelping(p, f);
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
         }
-    };
-    std::vector<std::thread> threads;
-    threads.reserve(n_threads);
-    for (unsigned t = 0; t < n_threads; ++t)
-        threads.emplace_back(worker);
-    for (auto &t : threads)
-        t.join();
+    }
     if (first_error)
         std::rethrow_exception(first_error);
     return out;

@@ -15,6 +15,30 @@
 namespace hirise {
 
 /**
+ * One splitmix64 scramble step (Steele et al.). Used standalone to
+ * derive statistically independent per-task seeds from a campaign
+ * base seed: the derivation is a pure function of (seed, index), so
+ * sharded runs are deterministic for any thread count or execution
+ * order.
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic per-task seed for shard @p index of campaign seed
+ *  @p seed (loadSweep points, fuzz batches, seed sweeps). */
+constexpr std::uint64_t
+shardSeed(std::uint64_t seed, std::uint64_t index)
+{
+    return splitmix64(seed ^ (0xd1b54a32d192ed03ull * (index + 1)));
+}
+
+/**
  * xoshiro256** PRNG (Blackman & Vigna). Fast, high quality, and fully
  * deterministic across platforms, unlike std::mt19937 distributions.
  */
@@ -24,14 +48,8 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
     {
         // splitmix64 seeding to fill the state from a single word.
-        std::uint64_t x = seed;
-        for (auto &word : state_) {
-            x += 0x9e3779b97f4a7c15ull;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            word = z ^ (z >> 31);
-        }
+        for (std::uint64_t i = 0; i < 4; ++i)
+            state_[i] = splitmix64(seed + i * 0x9e3779b97f4a7c15ull);
     }
 
     /** Next raw 64-bit draw. */

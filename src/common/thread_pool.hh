@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Persistent work-stealing thread pool for campaign-scale experiment
+ * execution. One pool outlives thousands of simulation tasks, so the
+ * spawn/join cost of the former fork-join parallelMap (a fresh
+ * std::thread per worker per call) is paid once per process instead
+ * of once per sweep.
+ *
+ * Design:
+ *  - per-worker deques: a worker pushes/pops its own deque LIFO (hot
+ *    caches, nested submits stay local); external submitters go
+ *    through a shared injector queue.
+ *  - steal-half: an idle worker takes half of a victim's deque FIFO,
+ *    amortizing steal traffic under fan-out imbalance.
+ *  - futures + exception propagation: submit() returns a real
+ *    std::future; an exception thrown by the task is rethrown by
+ *    future::get() on the waiter's thread.
+ *  - helping waits: waitHelping() runs queued tasks while blocked on
+ *    a future, so nested submits cannot deadlock even on a 1-thread
+ *    pool.
+ *  - graceful shutdown: the destructor stops intake, wakes everyone,
+ *    joins the workers, and drains any stragglers on the destructing
+ *    thread, so every submitted task runs exactly once (no broken
+ *    promises).
+ *
+ * Determinism: the pool never reorders *results* — callers index
+ * output slots by task id — so simulation campaigns are bit-identical
+ * for any thread count or steal interleaving (see tests/campaign_test).
+ */
+
+#ifndef HIRISE_COMMON_THREAD_POOL_HH
+#define HIRISE_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hirise {
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads worker count; 0 = HIRISE_THREADS env or
+     *  hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned
+    numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue @p fn; the returned future carries its result or
+     *  exception. Safe to call from worker threads (nested submit
+     *  lands on the submitting worker's own deque). */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        push([task]() { (*task)(); });
+        return fut;
+    }
+
+    /** Dequeue and run one pending task on the calling thread, if
+     *  any. Lets waiters (and tests) make progress without a worker. */
+    bool tryRunOne();
+
+    /** Is the calling thread one of this pool's workers? */
+    bool onWorkerThread() const;
+
+    /** The process-wide pool (sized once on first use; see
+     *  setGlobalThreads / HIRISE_THREADS). */
+    static ThreadPool &global();
+
+    /** Request a size for the global pool. Takes effect only if
+     *  called before the first global() use (e.g. from --threads
+     *  flag parsing at program start). */
+    static void setGlobalThreads(unsigned threads);
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<Task> q;
+    };
+
+    void push(Task t);
+    /** Raw enqueue of already-counted tasks (steal-half re-queue). */
+    void requeueLocal(unsigned self, std::deque<Task> &&batch);
+    bool acquire(unsigned self, Task &out);
+    void workerLoop(unsigned idx);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::mutex injectMu_;
+    std::deque<Task> inject_;
+
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> pending_{0};
+    std::atomic<bool> stop_{false};
+    std::mutex sleepMu_;
+    std::condition_variable cv_;
+};
+
+/**
+ * Block on @p fut, running other queued pool tasks while waiting.
+ * Required instead of fut.get() whenever the waiter may itself be a
+ * pool task (nested parallelism): a plain get() from the last worker
+ * would deadlock.
+ */
+template <typename R>
+R
+waitHelping(ThreadPool &pool, std::future<R> &fut)
+{
+    using namespace std::chrono_literals;
+    while (fut.wait_for(0s) != std::future_status::ready) {
+        if (!pool.tryRunOne())
+            fut.wait_for(200us);
+    }
+    return fut.get();
+}
+
+} // namespace hirise
+
+#endif // HIRISE_COMMON_THREAD_POOL_HH

@@ -1,8 +1,12 @@
 #include "harness/bench_main.hh"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/sim_cache.hh"
 
 namespace hirise::harness {
 
@@ -21,9 +25,13 @@ benchMain(int argc, char **argv,
         } else if (std::strcmp(argv[i], "--seed") == 0 &&
                    i + 1 < argc) {
             opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            ThreadPool::setGlobalThreads(static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10)));
         } else {
             fatal("unknown argument '%s' (use --quick, --csv <dir>, "
-                  "--seed <n>)",
+                  "--seed <n>, --threads <n>)",
                   argv[i]);
         }
     }
@@ -33,6 +41,21 @@ benchMain(int argc, char **argv,
         t.print();
         if (!csv_dir.empty())
             t.writeCsv(csv_dir + "/" + e.name + ".csv");
+    }
+
+    // Campaign-cache accounting, e.g. for the CI warm-cache check:
+    // printed when the disk tier is live or on explicit request.
+    auto &cache = sim::SimCache::global();
+    if (cache.diskEnabled() ||
+        std::getenv("HIRISE_SIMCACHE_STATS") != nullptr) {
+        auto s = cache.stats();
+        std::printf("simcache: hits=%llu misses=%llu disk_hits=%llu "
+                    "stores=%llu hit_rate=%.1f%%\n",
+                    static_cast<unsigned long long>(s.hits),
+                    static_cast<unsigned long long>(s.misses),
+                    static_cast<unsigned long long>(s.diskHits),
+                    static_cast<unsigned long long>(s.stores),
+                    100.0 * s.hitRate());
     }
     return 0;
 }

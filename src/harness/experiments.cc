@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.hh"
 #include "harness/paper_data.hh"
 #include "phys/geometry.hh"
 #include "traffic/pattern.hh"
@@ -72,22 +73,38 @@ adversarial()
     };
 }
 
-/** Cost-table row: phys model + measured UR saturation. */
-void
-addCostRow(Table &t, const PaperCostRow &paper, const SwitchSpec &spec,
-           const ExperimentOptions &opt)
+/** One cost-table row: a paper row paired with the spec to measure. */
+struct CostJob
 {
+    const PaperCostRow *paper;
+    SwitchSpec spec;
+};
+
+/** Fill the cost table: the saturation simulations (the expensive
+ *  part) fan out through the campaign pool; rows are emitted in the
+ *  original order afterwards. */
+void
+addCostRows(Table &t, const std::vector<CostJob> &jobs,
+            const ExperimentOptions &opt)
+{
+    std::vector<double> tputs =
+        parallelMap(jobs, [&](const CostJob &j) {
+            return uniformSaturationTbps(j.spec, opt);
+        });
     phys::PhysModel model;
-    auto rep = model.evaluate(spec);
-    double tput = uniformSaturationTbps(spec, opt);
-    t.row({paper.design, paper.configuration,
-           Table::num(paper.areaMm2, 3), Table::num(rep.areaMm2, 3),
-           Table::num(paper.freqGhz, 2), Table::num(rep.freqGhz, 2),
-           Table::num(paper.energyPj, 0),
-           Table::num(rep.energyPerTransPj, 1),
-           Table::num(paper.throughputTbps, 2), Table::num(tput, 2),
-           Table::integer(static_cast<long long>(paper.numTsvs)),
-           Table::integer(static_cast<long long>(rep.numTsvs))});
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const PaperCostRow &paper = *jobs[i].paper;
+        auto rep = model.evaluate(jobs[i].spec);
+        t.row({paper.design, paper.configuration,
+               Table::num(paper.areaMm2, 3), Table::num(rep.areaMm2, 3),
+               Table::num(paper.freqGhz, 2), Table::num(rep.freqGhz, 2),
+               Table::num(paper.energyPj, 0),
+               Table::num(rep.energyPerTransPj, 1),
+               Table::num(paper.throughputTbps, 2),
+               Table::num(tputs[i], 2),
+               Table::integer(static_cast<long long>(paper.numTsvs)),
+               Table::integer(static_cast<long long>(rep.numTsvs))});
+    }
 }
 
 std::vector<std::string>
@@ -120,8 +137,10 @@ table1(const ExperimentOptions &opt)
 {
     Table t("Table I: 2D vs 3D folded, 64-radix ((p)aper vs (m)odel)");
     t.header(costHeader());
-    addCostRow(t, kPaperTable4[0], spec2d(), opt);
-    addCostRow(t, kPaperTable4[1], specFolded(), opt);
+    addCostRows(t,
+                {{&kPaperTable4[0], spec2d()},
+                 {&kPaperTable4[1], specFolded()}},
+                opt);
     return t;
 }
 
@@ -131,11 +150,13 @@ table4(const ExperimentOptions &opt)
     Table t("Table IV: implementation cost of 64-radix switches "
             "((p)aper vs (m)odel)");
     t.header(costHeader());
-    addCostRow(t, kPaperTable4[0], spec2d(), opt);
-    addCostRow(t, kPaperTable4[1], specFolded(), opt);
-    addCostRow(t, kPaperTable4[2], specHiRise(4), opt);
-    addCostRow(t, kPaperTable4[3], specHiRise(2), opt);
-    addCostRow(t, kPaperTable4[4], specHiRise(1), opt);
+    addCostRows(t,
+                {{&kPaperTable4[0], spec2d()},
+                 {&kPaperTable4[1], specFolded()},
+                 {&kPaperTable4[2], specHiRise(4)},
+                 {&kPaperTable4[3], specHiRise(2)},
+                 {&kPaperTable4[4], specHiRise(1)}},
+                opt);
     return t;
 }
 
@@ -145,11 +166,11 @@ table5(const ExperimentOptions &opt)
     Table t("Table V: arbitration variants, 64-radix 4-channel "
             "((p)aper vs (m)odel)");
     t.header(costHeader());
-    addCostRow(t, kPaperTable5[0], spec2d(), opt);
-    addCostRow(t, kPaperTable5[1], specHiRise(4, ArbScheme::LayerLrg),
-               opt);
-    addCostRow(t, kPaperTable5[2], specHiRise(4, ArbScheme::Clrg),
-               opt);
+    addCostRows(t,
+                {{&kPaperTable5[0], spec2d()},
+                 {&kPaperTable5[1], specHiRise(4, ArbScheme::LayerLrg)},
+                 {&kPaperTable5[2], specHiRise(4, ArbScheme::Clrg)}},
+                opt);
     return t;
 }
 
@@ -255,26 +276,49 @@ fig10(const ExperimentOptions &opt)
     }
 
     // The paper plots load in packets/input/ns: each design converts
-    // it to packets/cycle through its own clock.
+    // it to packets/cycle through its own clock. All grid cells fan
+    // out through the campaign pool; cells beyond the injection-
+    // bandwidth limit of one flit/cycle (4-flit packets) are off the
+    // chart and skipped.
+    struct Cell
+    {
+        double loadPns;
+        std::size_t entry;
+        double pktPerCycle;
+        bool run;
+    };
+    std::vector<Cell> cells;
     for (double load_pns = 0.05; load_pns <= 0.355; load_pns += 0.05) {
-        std::vector<std::string> row{Table::num(load_pns, 2)};
-        for (auto &e : entries) {
-            double pkt_per_cycle = load_pns / e.freq;
-            if (pkt_per_cycle > 0.25) {
-                // Beyond the injection-bandwidth limit of one
-                // flit/cycle (4-flit packets): off the chart.
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            double pkt_per_cycle = load_pns / entries[e].freq;
+            cells.push_back({load_pns, e, pkt_per_cycle,
+                             pkt_per_cycle <= 0.25});
+        }
+    }
+    std::vector<sim::SimResult> results =
+        parallelMap(cells, [&](const Cell &c) {
+            if (!c.run)
+                return sim::SimResult{};
+            return sim::runAtLoadCached(entries[c.entry].spec,
+                                        opt.simConfig(), uniform(64),
+                                        c.pktPerCycle);
+        });
+
+    for (std::size_t i = 0; i < cells.size();) {
+        std::vector<std::string> row{Table::num(cells[i].loadPns, 2)};
+        for (std::size_t e = 0; e < entries.size(); ++e, ++i) {
+            if (!cells[i].run) {
                 row.push_back("-");
                 continue;
             }
-            auto r = sim::runAtLoad(e.spec, opt.simConfig(),
-                                    uniform(64), pkt_per_cycle);
+            const sim::SimResult &r = results[i];
             bool saturated = r.acceptedFlitsPerCycle <
                              0.95 * r.offeredFlitsPerCycle;
             if (saturated) {
                 row.push_back("sat");
             } else {
-                row.push_back(
-                    Table::num(r.avgLatencyCycles / e.freq, 2));
+                row.push_back(Table::num(
+                    r.avgLatencyCycles / entries[e].freq, 2));
             }
         }
         t.row(row);
@@ -300,13 +344,17 @@ fig11a(const ExperimentOptions &opt)
     double sat_pkts = 0.8 / 4.0;
     double load = 0.8 * sat_pkts / 63.0;
 
-    auto run = [&](const SwitchSpec &spec) {
-        return sim::runAtLoad(spec, cfg, hotspot(64, 63), load);
-    };
-    auto r2d = run(spec2d());
-    auto rlrg = run(specHiRise(4, ArbScheme::LayerLrg));
-    auto rwlrg = run(specHiRise(4, ArbScheme::Wlrg));
-    auto rclrg = run(specHiRise(4, ArbScheme::Clrg));
+    std::vector<SwitchSpec> specs{spec2d(),
+                                  specHiRise(4, ArbScheme::LayerLrg),
+                                  specHiRise(4, ArbScheme::Wlrg),
+                                  specHiRise(4, ArbScheme::Clrg)};
+    auto results = parallelMap(specs, [&](const SwitchSpec &spec) {
+        return sim::runAtLoadCached(spec, cfg, hotspot(64, 63), load);
+    });
+    const auto &r2d = results[0];
+    const auto &rlrg = results[1];
+    const auto &rwlrg = results[2];
+    const auto &rclrg = results[3];
 
     for (std::uint32_t i = 0; i < 63; ++i) {
         t.row({Table::integer(i),
@@ -340,16 +388,33 @@ fig11b(const ExperimentOptions &opt)
         entries.push_back({spec, m.evaluate(spec).freqGhz});
     }
 
+    struct Cell
+    {
+        double loadPns;
+        std::size_t entry;
+        double pktPerCycle;
+    };
+    std::vector<Cell> cells;
     for (double load_pns = 0.05; load_pns <= 0.455; load_pns += 0.05) {
-        std::vector<std::string> row{Table::num(load_pns, 2)};
-        for (auto &e : entries) {
-            double pkt_per_cycle =
-                std::min(load_pns / e.freq, 1.0);
-            auto r = sim::runAtLoad(e.spec, opt.simConfig(),
-                                    uniform(64), pkt_per_cycle);
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            cells.push_back(
+                {load_pns, e,
+                 std::min(load_pns / entries[e].freq, 1.0)});
+        }
+    }
+    std::vector<sim::SimResult> results =
+        parallelMap(cells, [&](const Cell &c) {
+            return sim::runAtLoadCached(entries[c.entry].spec,
+                                        opt.simConfig(), uniform(64),
+                                        c.pktPerCycle);
+        });
+
+    for (std::size_t i = 0; i < cells.size();) {
+        std::vector<std::string> row{Table::num(cells[i].loadPns, 2)};
+        for (std::size_t e = 0; e < entries.size(); ++e, ++i) {
             row.push_back(Table::num(
-                sim::toPacketsPerNs(r.acceptedFlitsPerCycle, e.freq,
-                                    4),
+                sim::toPacketsPerNs(results[i].acceptedFlitsPerCycle,
+                                    entries[e].freq, 4),
                 2));
         }
         t.row(row);
@@ -370,15 +435,21 @@ fig11c(const ExperimentOptions &opt)
     cfg.measureCycles *= 2;
     double load = 0.2; // past the shared output's capacity
 
-    auto run = [&](const SwitchSpec &spec, double &freq) {
-        freq = m.evaluate(spec).freqGhz;
-        return sim::runAtLoad(spec, cfg, adversarial(), load);
-    };
-    double f2d, flrg, fwlrg, fclrg;
-    auto r2d = run(spec2d(), f2d);
-    auto rlrg = run(specHiRise(1, ArbScheme::LayerLrg), flrg);
-    auto rwlrg = run(specHiRise(1, ArbScheme::Wlrg), fwlrg);
-    auto rclrg = run(specHiRise(1, ArbScheme::Clrg), fclrg);
+    std::vector<SwitchSpec> specs{spec2d(),
+                                  specHiRise(1, ArbScheme::LayerLrg),
+                                  specHiRise(1, ArbScheme::Wlrg),
+                                  specHiRise(1, ArbScheme::Clrg)};
+    auto results = parallelMap(specs, [&](const SwitchSpec &spec) {
+        return sim::runAtLoadCached(spec, cfg, adversarial(), load);
+    });
+    double f2d = m.evaluate(specs[0]).freqGhz;
+    double flrg = m.evaluate(specs[1]).freqGhz;
+    double fwlrg = m.evaluate(specs[2]).freqGhz;
+    double fclrg = m.evaluate(specs[3]).freqGhz;
+    const auto &r2d = results[0];
+    const auto &rlrg = results[1];
+    const auto &rwlrg = results[2];
+    const auto &rclrg = results[3];
 
     for (std::uint32_t i : {3u, 7u, 11u, 15u, 20u}) {
         t.row({Table::integer(i),
@@ -425,11 +496,15 @@ cornerInterLayer(const ExperimentOptions &opt)
     auto make = [] {
         return std::make_shared<traffic::InterLayerOnly>(16, 4, 0, 2);
     };
-    for (auto arb :
-         {ArbScheme::LayerLrg, ArbScheme::Wlrg, ArbScheme::Clrg}) {
-        auto r = sim::runAtLoad(specHiRise(4, arb), opt.simConfig(),
-                                make, 1.0);
-        t.row({toString(arb), Table::num(r.acceptedFlitsPerCycle, 3),
+    std::vector<ArbScheme> arbs{ArbScheme::LayerLrg, ArbScheme::Wlrg,
+                                ArbScheme::Clrg};
+    auto results = parallelMap(arbs, [&](const ArbScheme &arb) {
+        return sim::runAtLoadCached(specHiRise(4, arb),
+                                    opt.simConfig(), make, 1.0);
+    });
+    for (std::size_t i = 0; i < arbs.size(); ++i) {
+        t.row({toString(arbs[i]),
+               Table::num(results[i].acceptedFlitsPerCycle, 3),
                Table::num(0.8, 3)});
     }
     return t;
@@ -446,10 +521,17 @@ ablateClassCount(const ExperimentOptions &opt)
 
     SimConfig cfg = opt.simConfig();
     double load = 0.8 * (0.8 / 4.0) / 63.0;
-    for (std::uint32_t classes : {2u, 3u, 4u, 8u}) {
-        SwitchSpec spec = specHiRise(4, ArbScheme::Clrg);
-        spec.clrgMaxCount = classes - 1;
-        auto r = sim::runAtLoad(spec, cfg, hotspot(64, 63), load);
+    std::vector<std::uint32_t> classCounts{2, 3, 4, 8};
+    auto results =
+        parallelMap(classCounts, [&](const std::uint32_t &classes) {
+            SwitchSpec spec = specHiRise(4, ArbScheme::Clrg);
+            spec.clrgMaxCount = classes - 1;
+            return sim::runAtLoadCached(spec, cfg, hotspot(64, 63),
+                                        load);
+        });
+    for (std::size_t j = 0; j < classCounts.size(); ++j) {
+        std::uint32_t classes = classCounts[j];
+        const sim::SimResult &r = results[j];
         double local = 0, remote = 0;
         int nl = 0, nr = 0;
         for (int i = 0; i < 63; ++i) {
@@ -478,17 +560,22 @@ ablateChannelAlloc(const ExperimentOptions &opt)
     t.header({"Policy", "UR sat (flits/cycle)", "Freq (GHz)",
               "UR sat (Tbps)"});
     phys::PhysModel m;
-    for (auto alloc :
-         {ChannelAlloc::InputBinned, ChannelAlloc::OutputBinned,
-          ChannelAlloc::Priority}) {
+    std::vector<ChannelAlloc> allocs{ChannelAlloc::InputBinned,
+                                     ChannelAlloc::OutputBinned,
+                                     ChannelAlloc::Priority};
+    auto flitRates = parallelMap(allocs, [&](const ChannelAlloc &a) {
         SwitchSpec spec = specHiRise(4, ArbScheme::Clrg);
-        spec.alloc = alloc;
-        double flits = sim::saturationFlitsPerCycle(
-            spec, opt.simConfig(), uniform(64));
+        spec.alloc = a;
+        return sim::saturationFlitsPerCycle(spec, opt.simConfig(),
+                                            uniform(64));
+    });
+    for (std::size_t i = 0; i < allocs.size(); ++i) {
+        SwitchSpec spec = specHiRise(4, ArbScheme::Clrg);
+        spec.alloc = allocs[i];
         double freq = m.evaluate(spec).freqGhz;
-        t.row({toString(alloc), Table::num(flits, 2),
+        t.row({toString(allocs[i]), Table::num(flitRates[i], 2),
                Table::num(freq, 2),
-               Table::num(sim::toTbps(flits, freq, 128), 2)});
+               Table::num(sim::toTbps(flitRates[i], freq, 128), 2)});
     }
     return t;
 }
@@ -503,18 +590,33 @@ headlineClaims(const ExperimentOptions &opt)
     auto hr = m.evaluate(specHiRise(4, ArbScheme::Clrg));
     auto flat = m.evaluate(spec2d());
 
-    double hr_tput =
-        uniformSaturationTbps(specHiRise(4, ArbScheme::Clrg), opt);
-    double flat_tput = uniformSaturationTbps(spec2d(), opt);
-
-    // Zero-load latency in ns (cycle counts match; clocks differ).
-    auto lat = [&](const SwitchSpec &spec, double f) {
-        auto r = sim::runAtLoad(spec, opt.simConfig(), uniform(64),
-                                0.01);
-        return r.avgLatencyCycles / f;
-    };
-    double lat_hr = lat(specHiRise(4, ArbScheme::Clrg), hr.freqGhz);
-    double lat_2d = lat(spec2d(), flat.freqGhz);
+    // Four independent measurements; fan out through the pool.
+    // Zero-load latency is in ns (cycle counts match; clocks differ).
+    std::vector<std::function<double()>> jobs{
+        [&] {
+            return uniformSaturationTbps(
+                specHiRise(4, ArbScheme::Clrg), opt);
+        },
+        [&] { return uniformSaturationTbps(spec2d(), opt); },
+        [&] {
+            return sim::runAtLoadCached(specHiRise(4, ArbScheme::Clrg),
+                                        opt.simConfig(), uniform(64),
+                                        0.01)
+                       .avgLatencyCycles /
+                   hr.freqGhz;
+        },
+        [&] {
+            return sim::runAtLoadCached(spec2d(), opt.simConfig(),
+                                        uniform(64), 0.01)
+                       .avgLatencyCycles /
+                   flat.freqGhz;
+        }};
+    auto vals = parallelMap(
+        jobs, [](const std::function<double()> &f) { return f(); });
+    double hr_tput = vals[0];
+    double flat_tput = vals[1];
+    double lat_hr = vals[2];
+    double lat_2d = vals[3];
 
     PaperHeadline p;
     t.row({"Throughput (Tbps)", Table::num(p.throughputTbps, 2),

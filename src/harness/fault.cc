@@ -8,6 +8,7 @@
 
 #include "harness/experiments.hh"
 
+#include "common/parallel.hh"
 #include "fabric/hirise.hh"
 #include "phys/model.hh"
 #include "traffic/pattern.hh"
@@ -91,14 +92,16 @@ faultTolerance(const ExperimentOptions &opt)
     phys::PhysModel model;
     double freq =
         model.evaluate(specHiRise(4, ArbScheme::Clrg)).freqGhz;
-    double healthy = 0.0;
-    for (std::uint32_t fails : {0u, 2u, 4u, 8u, 12u, 24u}) {
-        double flits = faultedSaturation(fails, opt.seed);
-        if (fails == 0)
-            healthy = flits;
-        t.row({Table::integer(fails), Table::num(flits, 2),
-               Table::num(sim::toTbps(flits, freq, 128), 2),
-               Table::num(100.0 * flits / healthy, 1) + "%"});
+    std::vector<std::uint32_t> failCounts{0, 2, 4, 8, 12, 24};
+    auto rates =
+        parallelMap(failCounts, [&](const std::uint32_t &fails) {
+            return faultedSaturation(fails, opt.seed);
+        });
+    double healthy = rates[0];
+    for (std::size_t i = 0; i < failCounts.size(); ++i) {
+        t.row({Table::integer(failCounts[i]), Table::num(rates[i], 2),
+               Table::num(sim::toTbps(rates[i], freq, 128), 2),
+               Table::num(100.0 * rates[i] / healthy, 1) + "%"});
     }
     return t;
 }

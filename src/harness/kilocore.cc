@@ -10,6 +10,7 @@
 
 #include "harness/experiments.hh"
 
+#include "common/parallel.hh"
 #include "noc/mesh.hh"
 #include "phys/model.hh"
 
@@ -56,18 +57,30 @@ kiloCore(const ExperimentOptions &opt)
         row.push_back(Table::num(r.acceptedPktsPerCycle * f, 1));
     };
 
+    // Both mesh simulations of every load point fan out through the
+    // campaign pool; rows assemble in load order afterwards.
+    struct Cell
+    {
+        double loadPns;
+        bool hirise;
+    };
+    std::vector<Cell> cells;
     for (double load_pns = 0.005; load_pns <= 0.0551;
          load_pns += 0.005) {
-        std::vector<std::string> row{Table::num(load_pns, 3)};
-        noc::MeshConfig hr_run = hr;
-        hr_run.seed = opt.seed;
-        noc::MeshNoc m1(hr_run);
-        cell(m1.run(load_pns / f_hr, warm, meas), f_hr, row);
-
-        noc::MeshConfig flat_run = flat;
-        flat_run.seed = opt.seed;
-        noc::MeshNoc m2(flat_run);
-        cell(m2.run(load_pns / f_flat, warm, meas), f_flat, row);
+        cells.push_back({load_pns, true});
+        cells.push_back({load_pns, false});
+    }
+    auto results = parallelMap(cells, [&](const Cell &c) {
+        noc::MeshConfig mc = c.hirise ? hr : flat;
+        mc.seed = opt.seed;
+        noc::MeshNoc m(mc);
+        double f = c.hirise ? f_hr : f_flat;
+        return m.run(c.loadPns / f, warm, meas);
+    });
+    for (std::size_t i = 0; i < cells.size(); i += 2) {
+        std::vector<std::string> row{Table::num(cells[i].loadPns, 3)};
+        cell(results[i], f_hr, row);
+        cell(results[i + 1], f_flat, row);
         t.row(row);
     }
     return t;

@@ -7,6 +7,7 @@
 #include "harness/experiments.hh"
 
 #include "cmp/system.hh"
+#include "common/parallel.hh"
 #include "harness/paper_data.hh"
 #include "phys/model.hh"
 
@@ -40,10 +41,25 @@ table6(const ExperimentOptions &opt)
               "IPC 2D", "IPC Hi-Rise"});
 
     const auto &mixes = cmp::paperMixes();
+    // One task per (mix, design) system simulation.
+    struct Cell
+    {
+        std::size_t mix;
+        bool hirise;
+    };
+    std::vector<Cell> cells;
     for (std::size_t i = 0; i < mixes.size(); ++i) {
-        double ipc_2d = runMixIpc(spec2d(), mixes[i], opt);
-        double ipc_hr =
-            runMixIpc(specHiRise(4, ArbScheme::Clrg), mixes[i], opt);
+        cells.push_back({i, false});
+        cells.push_back({i, true});
+    }
+    auto ipcs = parallelMap(cells, [&](const Cell &c) {
+        return runMixIpc(c.hirise ? specHiRise(4, ArbScheme::Clrg)
+                                  : spec2d(),
+                         mixes[c.mix], opt);
+    });
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        double ipc_2d = ipcs[2 * i];
+        double ipc_hr = ipcs[2 * i + 1];
         t.row({mixes[i].name, Table::num(mixes[i].paperAvgMpki, 1),
                Table::num(kPaperTable6[i].speedup, 2),
                Table::num(ipc_hr / ipc_2d, 2), Table::num(ipc_2d, 1),

@@ -19,7 +19,7 @@ NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
       fabric_(std::move(fabric)), rng_(cfg.seed),
       reqScratch_(spec.radix, fabric::kNoRequest),
       candVcScratch_(spec.radix, net::InputPort::kNoVc),
-      dstFreeScratch_(spec.radix),
+      dstFreeScratch_(spec.radix), connectedPorts_(spec.radix),
       perInputLatency_(spec.radix), perInputPackets_(spec.radix, 0)
 {
     sim_assert(fabric_ != nullptr, "NetworkSim needs a fabric");
@@ -86,21 +86,23 @@ NetworkSim::arbitrateCycle()
                 static_cast<double>(cycle_ - head.genCycle));
         }
         ports_[i].connect(cand_vc[i], req[i], cfg_.packetLen);
+        connectedPorts_.set(i);
     });
 }
 
 void
 NetworkSim::transferCycle()
 {
-    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+    // Resetting the current bit inside forEachSet is safe: iteration
+    // walks a copy of each word.
+    connectedPorts_.forEachSet([&](std::uint32_t i) {
         net::InputPort &port = ports_[i];
-        if (!port.connected())
-            continue;
+        sim_assert(port.connected(), "stale connected bit %u", i);
         if (port.consumeJustConnected())
-            continue; // grant cycle: the buses carried the arbitration
+            return; // grant cycle: the buses carried the arbitration
         net::VirtualChannel &vc = port.vcs()[port.connVc()];
         if (vc.empty())
-            continue; // bubble: flit not yet streamed in from source
+            return; // bubble: flit not yet streamed in from source
         net::Flit f = vc.popFlit();
         std::uint32_t out = port.connOutput();
         sim_assert(f.dst == out, "flit routed to wrong output");
@@ -111,6 +113,7 @@ NetworkSim::transferCycle()
         if (done) {
             sim_assert(f.tail, "connection ended mid-packet");
             fabric_->release(i, out);
+            connectedPorts_.reset(i);
             ++delivered_;
             if (measuring_) {
                 double lat = static_cast<double>(cycle_ - f.genCycle);
@@ -120,7 +123,7 @@ NetworkSim::transferCycle()
                 ++perInputPackets_[f.src];
             }
         }
-    }
+    });
 }
 
 void
@@ -147,6 +150,8 @@ NetworkSim::checkInvariants() const
     check::verifyHolderInjective(spec_.radix, holder);
     for (std::uint32_t i = 0; i < spec_.radix; ++i) {
         check::verifyVcState(ports_[i], cfg_.vcDepth);
+        sim_assert(connectedPorts_.test(i) == ports_[i].connected(),
+                   "connectedPorts_ bit %u out of sync", i);
         // A connected port and the fabric's holder table must agree:
         // the connection-held matrix switch has exactly one grantee
         // per output bus.

@@ -109,6 +109,10 @@ class NetworkSim
     std::vector<std::uint32_t> reqScratch_;    //!< input -> output
     std::vector<std::uint32_t> candVcScratch_; //!< input -> VC
     BitVec dstFreeScratch_;                    //!< free outputs
+    /** Inputs currently holding a connection; transferCycle() visits
+     *  only these instead of scanning all radix ports (at moderate
+     *  load most ports are idle most cycles). */
+    BitVec connectedPorts_;
 
     net::Cycle cycle_ = 0;
     net::PacketId nextId_ = 1;

@@ -1,0 +1,312 @@
+#include "sim/sim_cache.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hirise::sim {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x48525343; // "HRSC"
+
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= b[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    template <typename T>
+    void
+    pod(T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        bytes(&v, sizeof(v));
+    }
+
+    /** Doubles hash via their bit pattern so -0.0 vs 0.0 etc. are
+     *  distinct exactly when the simulation could distinguish them. */
+    void d(double v) { pod(std::bit_cast<std::uint64_t>(v)); }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/** Fixed on-disk field order; any layout change requires a
+ *  kSimCacheVersion bump. */
+struct RecordHeader
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t key;
+    std::uint64_t packetsDelivered;
+    double offered;
+    double accepted;
+    double avgLatency;
+    double p99Latency;
+    double avgQueueing;
+    double fairness;
+    std::uint32_t numPerInputLatency;
+    std::uint32_t numPerInputThroughput;
+};
+
+} // namespace
+
+SimCache::SimCache(std::size_t capacity, std::string disk_dir,
+                   std::uint32_t version)
+    : capacity_(capacity ? capacity : 1), diskDir_(std::move(disk_dir)),
+      version_(version)
+{
+    if (!diskDir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(diskDir_, ec);
+        if (ec) {
+            warn("simcache: cannot create '%s' (%s); disk tier off",
+                 diskDir_.c_str(), ec.message().c_str());
+            diskDir_.clear();
+        }
+    }
+}
+
+std::uint64_t
+SimCache::key(const SwitchSpec &spec, const SimConfig &cfg,
+              std::string_view pattern_desc)
+{
+    Fnv1a h;
+    h.pod(kSimCacheVersion);
+
+    h.pod(static_cast<std::uint32_t>(spec.topo));
+    h.pod(spec.radix);
+    h.pod(spec.layers);
+    h.pod(spec.channels);
+    h.pod(spec.flitBits);
+    h.pod(static_cast<std::uint32_t>(spec.arb));
+    h.pod(static_cast<std::uint32_t>(spec.alloc));
+    h.pod(spec.clrgMaxCount);
+
+    h.pod(cfg.numVcs);
+    h.pod(cfg.vcDepth);
+    h.pod(cfg.packetLen);
+    h.d(cfg.injectionRate);
+    h.pod(cfg.warmupCycles);
+    h.pod(cfg.measureCycles);
+    h.pod(cfg.seed);
+
+    h.pod(static_cast<std::uint64_t>(pattern_desc.size()));
+    h.bytes(pattern_desc.data(), pattern_desc.size());
+    return h.value();
+}
+
+bool
+SimCache::lookup(std::uint64_t key, SimResult *out)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            *out = it->second->second;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    if (diskEnabled() && readDisk(key, out)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        insertLocked(key, *out);
+        ++stats_.hits;
+        ++stats_.diskHits;
+        return true;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.misses;
+    return false;
+}
+
+void
+SimCache::store(std::uint64_t key, const SimResult &r)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        insertLocked(key, r);
+        ++stats_.stores;
+    }
+    if (diskEnabled())
+        writeDisk(key, r);
+}
+
+void
+SimCache::insertLocked(std::uint64_t key, const SimResult &r)
+{
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->second = r;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, r);
+    index_[key] = lru_.begin();
+    while (index_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+}
+
+SimCache::Stats
+SimCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+void
+SimCache::resetStats()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_ = Stats{};
+}
+
+std::size_t
+SimCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return index_.size();
+}
+
+std::string
+SimCache::recordPath(std::uint64_t key) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.simres",
+                  static_cast<unsigned long long>(key));
+    return diskDir_ + "/" + name;
+}
+
+bool
+SimCache::readDisk(std::uint64_t key, SimResult *out) const
+{
+    std::ifstream f(recordPath(key), std::ios::binary);
+    if (!f)
+        return false;
+    RecordHeader hdr{};
+    f.read(reinterpret_cast<char *>(&hdr), sizeof(hdr));
+    if (!f || hdr.magic != kMagic || hdr.version != version_ ||
+        hdr.key != key) {
+        return false; // stale schema or foreign record: miss
+    }
+    SimResult r;
+    r.offeredFlitsPerCycle = hdr.offered;
+    r.acceptedFlitsPerCycle = hdr.accepted;
+    r.avgLatencyCycles = hdr.avgLatency;
+    r.p99LatencyCycles = hdr.p99Latency;
+    r.avgQueueingCycles = hdr.avgQueueing;
+    r.fairness = hdr.fairness;
+    r.packetsDelivered = hdr.packetsDelivered;
+    r.perInputLatency.resize(hdr.numPerInputLatency);
+    r.perInputThroughput.resize(hdr.numPerInputThroughput);
+    f.read(reinterpret_cast<char *>(r.perInputLatency.data()),
+           static_cast<std::streamsize>(hdr.numPerInputLatency *
+                                        sizeof(double)));
+    f.read(reinterpret_cast<char *>(r.perInputThroughput.data()),
+           static_cast<std::streamsize>(hdr.numPerInputThroughput *
+                                        sizeof(double)));
+    if (!f)
+        return false;
+    *out = std::move(r);
+    return true;
+}
+
+void
+SimCache::writeDisk(std::uint64_t key, const SimResult &r) const
+{
+    RecordHeader hdr{};
+    hdr.magic = kMagic;
+    hdr.version = version_;
+    hdr.key = key;
+    hdr.packetsDelivered = r.packetsDelivered;
+    hdr.offered = r.offeredFlitsPerCycle;
+    hdr.accepted = r.acceptedFlitsPerCycle;
+    hdr.avgLatency = r.avgLatencyCycles;
+    hdr.p99Latency = r.p99LatencyCycles;
+    hdr.avgQueueing = r.avgQueueingCycles;
+    hdr.fairness = r.fairness;
+    hdr.numPerInputLatency =
+        static_cast<std::uint32_t>(r.perInputLatency.size());
+    hdr.numPerInputThroughput =
+        static_cast<std::uint32_t>(r.perInputThroughput.size());
+
+    // Atomic publish: concurrent writers of the same key race
+    // harmlessly (identical contents), readers only ever see a
+    // complete record.
+    std::string path = recordPath(key);
+    std::string tmp = path + ".tmp." +
+                      std::to_string(static_cast<unsigned long long>(
+                          std::hash<std::thread::id>{}(
+                              std::this_thread::get_id())));
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            return;
+        f.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
+        f.write(reinterpret_cast<const char *>(
+                    r.perInputLatency.data()),
+                static_cast<std::streamsize>(r.perInputLatency.size() *
+                                             sizeof(double)));
+        f.write(reinterpret_cast<const char *>(
+                    r.perInputThroughput.data()),
+                static_cast<std::streamsize>(
+                    r.perInputThroughput.size() * sizeof(double)));
+        if (!f)
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+namespace {
+
+std::size_t
+envCapacity()
+{
+    if (const char *env = std::getenv("HIRISE_SIMCACHE_CAP")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<std::size_t>(n);
+    }
+    return 4096;
+}
+
+std::string
+envDiskDir()
+{
+    const char *dir = std::getenv("HIRISE_SIMCACHE_DIR");
+    return dir ? dir : "";
+}
+
+} // namespace
+
+SimCache &
+SimCache::global()
+{
+    static SimCache cache(envCapacity(), envDiskDir());
+    return cache;
+}
+
+} // namespace hirise::sim

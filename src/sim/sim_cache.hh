@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Content-addressed memoization of SimResult. A simulation run is a
+ * pure function of (SwitchSpec, SimConfig, traffic pattern, seed);
+ * campaign workloads (figure suites, bisections, repeated table
+ * builds) re-evaluate the same points constantly, so results are
+ * keyed by a stable FNV-1a hash of that tuple and served from
+ *
+ *  - an in-memory LRU tier (always on, bounded entry count), and
+ *  - an optional on-disk tier of versioned binary records under a
+ *    cache directory (HIRISE_SIMCACHE_DIR for the global cache), so
+ *    a *second process run* of the same figure suite is served from
+ *    cache too.
+ *
+ * Records embed a schema/kernel version tag (kSimCacheVersion): bump
+ * it whenever simulator semantics change and every stale record is
+ * treated as a miss and overwritten. Keys additionally include the
+ * pattern's descriptor() string, which must uniquely encode the
+ * pattern's full parameterization.
+ */
+
+#ifndef HIRISE_SIM_SIM_CACHE_HH
+#define HIRISE_SIM_SIM_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "common/spec.hh"
+#include "sim/network_sim.hh"
+
+namespace hirise::sim {
+
+/** Bump when NetworkSim / fabric / pattern semantics change: any
+ *  difference in the produced SimResult for the same key must
+ *  invalidate existing disk records. */
+constexpr std::uint32_t kSimCacheVersion = 1;
+
+class SimCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;     //!< memory + disk hits
+        std::uint64_t misses = 0;
+        std::uint64_t diskHits = 0; //!< subset of hits served from disk
+        std::uint64_t stores = 0;
+
+        double
+        hitRate() const
+        {
+            std::uint64_t total = hits + misses;
+            return total ? static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+        }
+    };
+
+    /**
+     * @param capacity  max entries in the in-memory LRU tier
+     * @param disk_dir  directory for the on-disk tier ("" = disabled)
+     * @param version   record version tag (tests override to exercise
+     *                  invalidation; production uses kSimCacheVersion)
+     */
+    explicit SimCache(std::size_t capacity = 4096,
+                      std::string disk_dir = {},
+                      std::uint32_t version = kSimCacheVersion);
+
+    /** Stable content hash of one simulation point. Includes every
+     *  SwitchSpec and SimConfig field (seed included) plus the
+     *  pattern descriptor, salted with the cache version. */
+    static std::uint64_t key(const SwitchSpec &spec,
+                             const SimConfig &cfg,
+                             std::string_view pattern_desc);
+
+    /** True (and *out filled) when @p key is cached in either tier;
+     *  disk hits are promoted into the memory tier. */
+    bool lookup(std::uint64_t key, SimResult *out);
+
+    /** Insert into the memory tier and, when enabled, persist a disk
+     *  record (atomic temp-file + rename). */
+    void store(std::uint64_t key, const SimResult &r);
+
+    Stats stats() const;
+    void resetStats();
+
+    bool diskEnabled() const { return !diskDir_.empty(); }
+    const std::string &diskDir() const { return diskDir_; }
+    std::size_t size() const;
+
+    /** Process-wide cache: capacity from HIRISE_SIMCACHE_CAP (default
+     *  4096), disk tier iff HIRISE_SIMCACHE_DIR is set. */
+    static SimCache &global();
+
+  private:
+    std::string recordPath(std::uint64_t key) const;
+    bool readDisk(std::uint64_t key, SimResult *out) const;
+    void writeDisk(std::uint64_t key, const SimResult &r) const;
+    void insertLocked(std::uint64_t key, const SimResult &r);
+
+    using LruList = std::list<std::pair<std::uint64_t, SimResult>>;
+
+    mutable std::mutex mu_;
+    std::size_t capacity_;
+    std::string diskDir_;
+    std::uint32_t version_;
+    LruList lru_; //!< front = most recently used
+    std::unordered_map<std::uint64_t, LruList::iterator> index_;
+    Stats stats_;
+};
+
+} // namespace hirise::sim
+
+#endif // HIRISE_SIM_SIM_CACHE_HH

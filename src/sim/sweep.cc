@@ -1,6 +1,9 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
+
 #include "common/parallel.hh"
+#include "common/random.hh"
 
 namespace hirise::sim {
 
@@ -14,22 +17,87 @@ runAtLoad(const SwitchSpec &spec, const SimConfig &base,
     return sim.run();
 }
 
+SimResult
+runAtLoadCached(const SwitchSpec &spec, const SimConfig &base,
+                const PatternFactory &make, double load, SimCache *cache)
+{
+    SimConfig cfg = base;
+    cfg.injectionRate = load;
+    auto pattern = make();
+    SimCache &c = cache ? *cache : SimCache::global();
+    std::uint64_t key = SimCache::key(spec, cfg, pattern->descriptor());
+    SimResult r;
+    if (c.lookup(key, &r))
+        return r;
+    NetworkSim sim(spec, cfg, std::move(pattern));
+    r = sim.run();
+    c.store(key, r);
+    return r;
+}
+
+std::vector<SweepPoint>
+loadSweep(const SwitchSpec &spec, const SimConfig &base,
+          const PatternFactory &make, const std::vector<double> &loads,
+          const CampaignOptions &opt)
+{
+    // Each point is an independent, self-seeded simulation; the shard
+    // seed (when enabled) depends only on (base seed, index), never on
+    // thread count or completion order.
+    std::vector<std::size_t> idx(loads.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    return parallelMap(
+        idx,
+        [&](const std::size_t &i) {
+            SimConfig cfg = base;
+            if (opt.shardSeeds)
+                cfg.seed = shardSeed(base.seed, i);
+            return SweepPoint{loads[i], runAtLoadCached(spec, cfg, make,
+                                                        loads[i],
+                                                        opt.cache)};
+        },
+        opt.maxThreads, opt.pool);
+}
+
 std::vector<SweepPoint>
 loadSweep(const SwitchSpec &spec, const SimConfig &base,
           const PatternFactory &make, const std::vector<double> &loads)
 {
-    // Each point is an independent, self-seeded simulation.
-    return parallelMap(loads, [&](const double &l) {
-        return SweepPoint{l, runAtLoad(spec, base, make, l)};
-    });
+    return loadSweep(spec, base, make, loads, CampaignOptions{});
 }
 
 double
 saturationFlitsPerCycle(const SwitchSpec &spec, const SimConfig &base,
                         const PatternFactory &make)
 {
-    return runAtLoad(spec, base, make, 1.0).acceptedFlitsPerCycle;
+    return runAtLoadCached(spec, base, make, 1.0).acceptedFlitsPerCycle;
 }
+
+namespace {
+
+bool
+belowSaturation(const SimResult &r)
+{
+    return r.acceptedFlitsPerCycle >= 0.98 * r.offeredFlitsPerCycle;
+}
+
+/** Preorder layout (node, left subtree, right subtree) of every
+ *  midpoint a depth-@p depth bisection could visit from (lo, hi),
+ *  computed by the same 0.5*(lo+hi) recursion as the serial search so
+ *  speculative and serial answers are bit-identical. */
+void
+speculationTree(double lo, double hi, int depth,
+                std::vector<double> &out)
+{
+    if (depth == 0)
+        return;
+    double mid = 0.5 * (lo + hi);
+    out.push_back(mid);
+    speculationTree(lo, mid, depth - 1, out); // "above saturation" arm
+    speculationTree(mid, hi, depth - 1, out); // "below saturation" arm
+}
+
+} // namespace
 
 double
 saturationLoad(const SwitchSpec &spec, const SimConfig &base,
@@ -38,11 +106,52 @@ saturationLoad(const SwitchSpec &spec, const SimConfig &base,
 {
     for (int i = 0; i < iters; ++i) {
         double mid = 0.5 * (lo + hi);
-        SimResult r = runAtLoad(spec, base, make, mid);
-        if (r.acceptedFlitsPerCycle >= 0.98 * r.offeredFlitsPerCycle)
+        SimResult r = runAtLoadCached(spec, base, make, mid);
+        if (belowSaturation(r))
             lo = mid; // still below saturation
         else
             hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+saturationLoadSpeculative(const SwitchSpec &spec, const SimConfig &base,
+                          const PatternFactory &make, double lo,
+                          double hi, int iters, int spec_depth,
+                          const CampaignOptions &opt)
+{
+    spec_depth = std::max(spec_depth, 1);
+    std::vector<double> mids;
+    for (int done = 0; done < iters;) {
+        int d = std::min(spec_depth, iters - done);
+        mids.clear();
+        speculationTree(lo, hi, d, mids);
+        std::vector<char> below = parallelMap(
+            mids,
+            [&](const double &m) -> char {
+                return belowSaturation(
+                    runAtLoadCached(spec, base, make, m, opt.cache));
+            },
+            opt.maxThreads, opt.pool);
+
+        // Walk the verdicts down the preorder tree: a node's left
+        // subtree (taken when the midpoint saturates) directly follows
+        // it; the right subtree starts one full left-subtree later.
+        std::size_t pos = 0;
+        for (int level = 0; level < d; ++level) {
+            double mid = mids[pos];
+            std::size_t leftSize =
+                (std::size_t{1} << (d - level - 1)) - 1;
+            if (below[pos]) {
+                lo = mid;
+                pos += 1 + leftSize;
+            } else {
+                hi = mid;
+                pos += 1;
+            }
+        }
+        done += d;
     }
     return 0.5 * (lo + hi);
 }

@@ -3,6 +3,12 @@
  * Load sweeps and saturation-throughput measurement built on
  * NetworkSim; the measurement methodology behind Tables I/IV/V and
  * Figs 10/11.
+ *
+ * Campaign-scale runs (figure suites, seed sweeps, bisections) go
+ * through the shared work-stealing pool (common/thread_pool.hh) and
+ * the content-addressed result cache (sim/sim_cache.hh): every
+ * evaluation is a pure function of (spec, cfg, pattern, seed), so
+ * parallel and cached execution is bit-identical to serial execution.
  */
 
 #ifndef HIRISE_SIM_SWEEP_HH
@@ -11,7 +17,9 @@
 #include <functional>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "sim/network_sim.hh"
+#include "sim/sim_cache.hh"
 
 namespace hirise::sim {
 
@@ -19,17 +27,46 @@ namespace hirise::sim {
 using PatternFactory =
     std::function<std::shared_ptr<traffic::TrafficPattern>()>;
 
+/** Execution knobs threaded through campaign-level entry points. */
+struct CampaignOptions
+{
+    /** Pool for parallel evaluation (null = ThreadPool::global()). */
+    ThreadPool *pool = nullptr;
+    /** Result cache (null = SimCache::global()). */
+    SimCache *cache = nullptr;
+    /** Force a serial loop when 1 (parallelMap semantics). */
+    unsigned maxThreads = 0;
+    /** Derive per-point seeds via shardSeed(base.seed, index) instead
+     *  of running every point on the same seed. Off by default so
+     *  published experiment numbers stay unchanged. */
+    bool shardSeeds = false;
+};
+
 struct SweepPoint
 {
     double load = 0.0; //!< packets/input/cycle offered
     SimResult result;
 };
 
-/** Run one simulation at the given load. */
+/** Run one simulation at the given load (always executes). */
 SimResult runAtLoad(const SwitchSpec &spec, const SimConfig &base,
                     const PatternFactory &make, double load);
 
-/** Simulate each load point in sequence. */
+/** As runAtLoad, but memoized: serve from @p cache (null = the global
+ *  cache) when the exact (spec, cfg, pattern, seed) point was already
+ *  simulated, else run and store. */
+SimResult runAtLoadCached(const SwitchSpec &spec, const SimConfig &base,
+                          const PatternFactory &make, double load,
+                          SimCache *cache = nullptr);
+
+/** Simulate each load point, in parallel through the campaign pool.
+ *  Results are index-ordered and bit-identical for any thread count. */
+std::vector<SweepPoint>
+loadSweep(const SwitchSpec &spec, const SimConfig &base,
+          const PatternFactory &make, const std::vector<double> &loads,
+          const CampaignOptions &opt);
+
+/** Convenience overload with default campaign options. */
 std::vector<SweepPoint>
 loadSweep(const SwitchSpec &spec, const SimConfig &base,
           const PatternFactory &make, const std::vector<double> &loads);
@@ -51,6 +88,23 @@ double saturationFlitsPerCycle(const SwitchSpec &spec,
 double saturationLoad(const SwitchSpec &spec, const SimConfig &base,
                       const PatternFactory &make, double lo = 0.0,
                       double hi = 1.0, int iters = 12);
+
+/**
+ * Speculative bisection: same answer as saturationLoad (bit-exact; the
+ * midpoints are produced by the identical 0.5*(lo+hi) recursion), but
+ * each round evaluates the full depth-@p spec_depth speculation tree
+ * of candidate midpoints in parallel through the pool, then walks the
+ * precomputed verdicts. Depth d retires d bisection steps per round
+ * at the cost of 2^d - 1 simulations, cutting the critical path from
+ * @p iters sequential sims to ceil(iters / d) rounds; with the shared
+ * cache, repeated searches are nearly free.
+ */
+double saturationLoadSpeculative(const SwitchSpec &spec,
+                                 const SimConfig &base,
+                                 const PatternFactory &make,
+                                 double lo = 0.0, double hi = 1.0,
+                                 int iters = 12, int spec_depth = 2,
+                                 const CampaignOptions &opt = {});
 
 /** Convert flits/cycle to Tbps at the given clock and flit width. */
 double toTbps(double flits_per_cycle, double freq_ghz,

@@ -44,6 +44,13 @@ Bursty::dest(std::uint32_t src, Rng &)
     return burstDst_[src];
 }
 
+std::string
+Bursty::descriptor() const
+{
+    return "bursty/r" + std::to_string(radix_) + "/b" +
+           std::to_string(meanBurst_);
+}
+
 // ---------------------------------------------------------------------
 // Adversarial
 // ---------------------------------------------------------------------
@@ -59,6 +66,18 @@ Adversarial::Adversarial(std::vector<std::uint32_t> sources,
             ++numActive_;
         }
     }
+}
+
+std::string
+Adversarial::descriptor() const
+{
+    std::string d = "adversarial/r" + std::to_string(active_.size()) +
+                    "/d" + std::to_string(dst_) + "/s";
+    for (std::uint32_t s = 0; s < active_.size(); ++s) {
+        if (active_[s])
+            d += std::to_string(s) + ".";
+    }
+    return d;
 }
 
 // ---------------------------------------------------------------------
@@ -100,6 +119,14 @@ InterLayerOnly::dest(std::uint32_t src, Rng &)
     // destination layer so only the shared L2LC is the bottleneck.
     std::uint32_t k = (src % ppl_) / channels_;
     return dstLayer_ * ppl_ + (k % ppl_);
+}
+
+std::string
+InterLayerOnly::descriptor() const
+{
+    return "inter-layer-only/p" + std::to_string(ppl_) + "/c" +
+           std::to_string(channels_) + "/" + std::to_string(srcLayer_) +
+           "to" + std::to_string(dstLayer_);
 }
 
 // ---------------------------------------------------------------------

@@ -46,6 +46,15 @@ class TrafficPattern
     virtual double activeFraction() const { return 1.0; }
 
     virtual std::string name() const = 0;
+
+    /**
+     * Canonical, parameter-laden identity string for memoization
+     * (sim::SimCache). Two patterns with equal descriptors must
+     * produce identical injection/destination sequences for the same
+     * Rng; every constructor parameter that affects behavior has to
+     * appear here.
+     */
+    virtual std::string descriptor() const { return name(); }
 };
 
 /** Uniform random over all outputs except self. */
@@ -61,6 +70,11 @@ class UniformRandom : public TrafficPattern
         return d >= src ? d + 1 : d;
     }
     std::string name() const override { return "uniform-random"; }
+    std::string
+    descriptor() const override
+    {
+        return "uniform-random/r" + std::to_string(radix_);
+    }
 
   private:
     std::uint32_t radix_;
@@ -85,6 +99,12 @@ class Hotspot : public TrafficPattern
         return double(radix_ - 1) / double(radix_);
     }
     std::string name() const override { return "hotspot"; }
+    std::string
+    descriptor() const override
+    {
+        return "hotspot/r" + std::to_string(radix_) + "/h" +
+               std::to_string(hot_);
+    }
 
   private:
     std::uint32_t radix_;
@@ -107,6 +127,7 @@ class Bursty : public TrafficPattern
     bool inject(std::uint32_t src, double rate, Rng &rng) override;
     std::uint32_t dest(std::uint32_t src, Rng &rng) override;
     std::string name() const override { return "bursty"; }
+    std::string descriptor() const override;
 
   private:
     std::uint32_t radix_;
@@ -136,6 +157,7 @@ class Adversarial : public TrafficPattern
         return double(numActive_) / double(active_.size());
     }
     std::string name() const override { return "adversarial"; }
+    std::string descriptor() const override;
 
   private:
     std::vector<bool> active_;
@@ -163,6 +185,7 @@ class InterLayerOnly : public TrafficPattern
     bool participates(std::uint32_t src) const override;
     double activeFraction() const override;
     std::string name() const override { return "inter-layer-only"; }
+    std::string descriptor() const override;
 
   private:
     std::uint32_t ppl_, channels_, srcLayer_, dstLayer_;
@@ -179,6 +202,11 @@ class Transpose : public TrafficPattern
         return perm_[src];
     }
     std::string name() const override { return "transpose"; }
+    std::string
+    descriptor() const override
+    {
+        return "transpose/r" + std::to_string(perm_.size());
+    }
 
   private:
     std::vector<std::uint32_t> perm_;
@@ -194,6 +222,11 @@ class BitComplement : public TrafficPattern
         return (radix_ - 1) - src;
     }
     std::string name() const override { return "bit-complement"; }
+    std::string
+    descriptor() const override
+    {
+        return "bit-complement/r" + std::to_string(radix_);
+    }
 
   private:
     std::uint32_t radix_;

@@ -1,6 +1,7 @@
 #include "traffic/trace.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -16,6 +17,14 @@ TraceReplay::TraceReplay(std::vector<TraceRecord> records,
                      [](const TraceRecord &a, const TraceRecord &b) {
                          return a.cycle < b.cycle;
                      });
+    digest_ = 0xcbf29ce484222325ull;
+    auto mix = [this](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            digest_ ^= (v >> (8 * i)) & 0xff;
+            digest_ *= 0x100000001b3ull;
+        }
+    };
+    mix(radix);
     for (const auto &r : records) {
         if (r.src >= radix || r.dst >= radix)
             fatal("trace record (%llu, %u, %u) outside radix %u",
@@ -23,6 +32,8 @@ TraceReplay::TraceReplay(std::vector<TraceRecord> records,
                   r.dst, radix);
         if (r.src == r.dst)
             fatal("trace record with src == dst == %u", r.src);
+        mix(r.cycle);
+        mix((static_cast<std::uint64_t>(r.src) << 32) | r.dst);
         perSrc_[r.src].push_back(r);
         ++pending_;
     }
@@ -79,6 +90,15 @@ bool
 TraceReplay::participates(std::uint32_t src) const
 {
     return !perSrc_[src].empty();
+}
+
+std::string
+TraceReplay::descriptor() const
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest_));
+    return std::string("trace-replay/") + buf;
 }
 
 } // namespace hirise::traffic

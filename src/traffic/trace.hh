@@ -48,6 +48,11 @@ class TraceReplay : public TrafficPattern
     bool participates(std::uint32_t src) const override;
     std::string name() const override { return "trace-replay"; }
 
+    /** Traces with identical record sets share a descriptor via a
+     *  content digest, so memoization never conflates two different
+     *  trace files. */
+    std::string descriptor() const override;
+
     /** Injections not yet replayed (for drain checks). */
     std::uint64_t pending() const { return pending_; }
 
@@ -55,6 +60,7 @@ class TraceReplay : public TrafficPattern
     std::vector<std::deque<TraceRecord>> perSrc_;
     std::vector<std::uint64_t> srcCycle_;
     std::uint64_t pending_ = 0;
+    std::uint64_t digest_ = 0; //!< FNV-1a over the sorted records
 };
 
 } // namespace hirise::traffic

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * SimCache tests: key stability and sensitivity, hit/miss/stores
+ * accounting, LRU eviction, the on-disk tier (round-trip through a
+ * fresh cache instance, i.e. a simulated second process run), and
+ * version-tag invalidation of stale disk records.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/sim_cache.hh"
+#include "sim/sweep.hh"
+#include "traffic/pattern.hh"
+
+namespace hirise {
+namespace {
+
+sim::SimConfig
+quickCfg()
+{
+    sim::SimConfig cfg;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 1000;
+    cfg.seed = 7;
+    return cfg;
+}
+
+SwitchSpec
+flatSpec(std::uint32_t radix = 16)
+{
+    SwitchSpec s;
+    s.topo = Topology::Flat2D;
+    s.radix = radix;
+    s.arb = ArbScheme::Lrg;
+    return s;
+}
+
+sim::PatternFactory
+uniformFactory(std::uint32_t radix)
+{
+    return [radix] {
+        return std::make_shared<traffic::UniformRandom>(radix);
+    };
+}
+
+sim::SimResult
+makeResult(double accepted)
+{
+    sim::SimResult r;
+    r.offeredFlitsPerCycle = 1.0;
+    r.acceptedFlitsPerCycle = accepted;
+    r.avgLatencyCycles = 12.5;
+    r.p99LatencyCycles = 40.0;
+    r.avgQueueingCycles = 3.25;
+    r.fairness = 0.875;
+    r.packetsDelivered = 1234;
+    r.perInputLatency = {1.0, 2.0, 3.0};
+    r.perInputThroughput = {0.5, 0.25};
+    return r;
+}
+
+void
+expectSameResult(const sim::SimResult &a, const sim::SimResult &b)
+{
+    EXPECT_EQ(a.offeredFlitsPerCycle, b.offeredFlitsPerCycle);
+    EXPECT_EQ(a.acceptedFlitsPerCycle, b.acceptedFlitsPerCycle);
+    EXPECT_EQ(a.avgLatencyCycles, b.avgLatencyCycles);
+    EXPECT_EQ(a.p99LatencyCycles, b.p99LatencyCycles);
+    EXPECT_EQ(a.avgQueueingCycles, b.avgQueueingCycles);
+    EXPECT_EQ(a.fairness, b.fairness);
+    EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+    EXPECT_EQ(a.perInputLatency, b.perInputLatency);
+    EXPECT_EQ(a.perInputThroughput, b.perInputThroughput);
+}
+
+/** Unique per-test scratch dir under the build tree. */
+std::string
+scratchDir(const char *tag)
+{
+    std::string dir = std::string("simcache_test_") + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(SimCacheKey, StableForEqualInputs)
+{
+    auto cfg = quickCfg();
+    auto k1 = sim::SimCache::key(flatSpec(), cfg, "uniform-random/r16");
+    auto k2 = sim::SimCache::key(flatSpec(), cfg, "uniform-random/r16");
+    EXPECT_EQ(k1, k2);
+}
+
+TEST(SimCacheKey, SensitiveToEveryRelevantField)
+{
+    auto cfg = quickCfg();
+    auto base = sim::SimCache::key(flatSpec(), cfg, "p");
+
+    SwitchSpec s2 = flatSpec();
+    s2.radix = 17;
+    EXPECT_NE(sim::SimCache::key(s2, cfg, "p"), base);
+
+    SwitchSpec s3 = flatSpec();
+    s3.flitBits = 64;
+    EXPECT_NE(sim::SimCache::key(s3, cfg, "p"), base);
+
+    auto cfg2 = cfg;
+    cfg2.seed = 8;
+    EXPECT_NE(sim::SimCache::key(flatSpec(), cfg2, "p"), base);
+
+    auto cfg3 = cfg;
+    cfg3.injectionRate = 0.5;
+    EXPECT_NE(sim::SimCache::key(flatSpec(), cfg3, "p"), base);
+
+    auto cfg4 = cfg;
+    cfg4.measureCycles += 1;
+    EXPECT_NE(sim::SimCache::key(flatSpec(), cfg4, "p"), base);
+
+    EXPECT_NE(sim::SimCache::key(flatSpec(), cfg, "q"), base);
+}
+
+TEST(SimCache, HitMissAccounting)
+{
+    sim::SimCache cache(8);
+    sim::SimResult out;
+    EXPECT_FALSE(cache.lookup(1, &out));
+    cache.store(1, makeResult(0.5));
+    EXPECT_TRUE(cache.lookup(1, &out));
+    EXPECT_EQ(out.acceptedFlitsPerCycle, 0.5);
+    EXPECT_FALSE(cache.lookup(2, &out));
+
+    auto s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 1.0 / 3.0);
+
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(SimCache, LruEvictsOldestEntry)
+{
+    sim::SimCache cache(2);
+    cache.store(1, makeResult(0.1));
+    cache.store(2, makeResult(0.2));
+    sim::SimResult out;
+    EXPECT_TRUE(cache.lookup(1, &out)); // 1 becomes most recent
+    cache.store(3, makeResult(0.3));    // evicts 2
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.lookup(1, &out));
+    EXPECT_FALSE(cache.lookup(2, &out));
+    EXPECT_TRUE(cache.lookup(3, &out));
+}
+
+TEST(SimCache, DiskRoundTripAcrossInstances)
+{
+    std::string dir = scratchDir("roundtrip");
+    sim::SimResult want = makeResult(0.75);
+    {
+        sim::SimCache writer(8, dir);
+        ASSERT_TRUE(writer.diskEnabled());
+        writer.store(99, want);
+    }
+    // A fresh instance (empty memory tier) must serve it from disk.
+    sim::SimCache reader(8, dir);
+    sim::SimResult out;
+    ASSERT_TRUE(reader.lookup(99, &out));
+    expectSameResult(out, want);
+    auto s = reader.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.diskHits, 1u);
+
+    // The disk hit was promoted into memory: a second lookup hits
+    // the memory tier.
+    ASSERT_TRUE(reader.lookup(99, &out));
+    EXPECT_EQ(reader.stats().diskHits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SimCache, VersionTagInvalidatesStaleRecords)
+{
+    std::string dir = scratchDir("version");
+    {
+        sim::SimCache writer(8, dir, /*version=*/1);
+        writer.store(7, makeResult(0.5));
+    }
+    // Same dir, bumped version: the old record is a miss, and a
+    // store overwrites it with the new tag.
+    sim::SimCache bumped(8, dir, /*version=*/2);
+    sim::SimResult out;
+    EXPECT_FALSE(bumped.lookup(7, &out));
+    bumped.store(7, makeResult(0.9));
+
+    sim::SimCache reader(8, dir, /*version=*/2);
+    ASSERT_TRUE(reader.lookup(7, &out));
+    EXPECT_EQ(out.acceptedFlitsPerCycle, 0.9);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SimCache, CorruptRecordIsAMiss)
+{
+    std::string dir = scratchDir("corrupt");
+    sim::SimCache cache(8, dir);
+    cache.store(5, makeResult(0.5));
+
+    // Truncate the record behind the cache's back; a fresh instance
+    // must treat it as a miss rather than crash or return garbage.
+    std::string path;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        path = e.path().string();
+    ASSERT_FALSE(path.empty());
+    std::filesystem::resize_file(path, 10);
+
+    sim::SimCache reader(8, dir);
+    sim::SimResult out;
+    EXPECT_FALSE(reader.lookup(5, &out));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RunAtLoadCached, SecondCallIsServedFromCache)
+{
+    sim::SimCache cache(32);
+    auto spec = flatSpec();
+    auto cfg = quickCfg();
+    auto r1 = sim::runAtLoadCached(spec, cfg, uniformFactory(16), 0.2,
+                                   &cache);
+    auto r2 = sim::runAtLoadCached(spec, cfg, uniformFactory(16), 0.2,
+                                   &cache);
+    expectSameResult(r1, r2);
+    auto s = cache.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.stores, 1u);
+
+    // And the cached value matches an uncached run exactly.
+    auto fresh = sim::runAtLoad(spec, cfg, uniformFactory(16), 0.2);
+    expectSameResult(r2, fresh);
+}
+
+TEST(RunAtLoadCached, DistinctPatternsDoNotCollide)
+{
+    sim::SimCache cache(32);
+    auto cfg = quickCfg();
+    auto spec = flatSpec();
+    auto hot = [] {
+        return std::make_shared<traffic::Hotspot>(16, 3);
+    };
+    auto r_uni = sim::runAtLoadCached(spec, cfg, uniformFactory(16),
+                                      0.2, &cache);
+    auto r_hot = sim::runAtLoadCached(spec, cfg, hot, 0.2, &cache);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_NE(r_uni.acceptedFlitsPerCycle, r_hot.acceptedFlitsPerCycle);
+}
+
+} // namespace
+} // namespace hirise

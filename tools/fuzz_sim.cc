@@ -29,6 +29,8 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "  --configs N   number of random configs to run (default 200)\n"
         "  --seed S      PRNG seed for config sampling (default 1)\n"
+        "  --threads N   worker threads for differential runs\n"
+        "                (0 = shared pool default, 1 = serial)\n"
         "  --mutate M    seed an oracle bug: lrg-off-by-one |\n"
         "                clrg-halve-winner\n"
         "  --expect-mismatch  exit 0 iff a mismatch WAS found\n"
@@ -58,6 +60,9 @@ main(int argc, char **argv)
             opt.configs = std::strtoull(next(), nullptr, 10);
         } else if (a == "--seed") {
             opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--threads") {
+            opt.threads = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else if (a == "--mutate") {
             std::string m = next();
             if (m == "lrg-off-by-one") {
