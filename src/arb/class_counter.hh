@@ -10,8 +10,30 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hirise::arb {
+
+namespace detail {
+
+inline obs::Counter &
+clrgPromoteCounter()
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::global().counter("arb.clrg_promotions");
+    return c;
+}
+
+inline obs::Counter &
+clrgHalveCounter()
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::global().counter("arb.clrg_halves");
+    return c;
+}
+
+} // namespace detail
 
 /**
  * One bank of per-primary-input usage counters, as kept inside every
@@ -62,14 +84,31 @@ class ClassCounterBank
         // Saturation rule: halve the whole bank first, then apply the
         // increment, so the winner keeps its relative penalty. (The
         // reverse order would reward the input that saturated.)
-        if (count_[input] == maxCount_) {
+        bool halved = (count_[input] == maxCount_);
+        if (halved) {
             for (auto &c : count_)
                 c >>= 1;
         }
         ++count_[input];
+        if (obs::on()) [[unlikely]]
+            recordWin(input, halved);
     }
 
   private:
+    /** Cold and out-of-line so the traced path costs the hot
+     *  arbitration loop nothing but the guard's test+branch. */
+    [[gnu::cold]] [[gnu::noinline]] void
+    recordWin(std::uint32_t input, bool halved)
+    {
+        auto &tr = obs::CycleTracer::global();
+        if (halved) {
+            tr.record(obs::Ev::ClassHalve, input, maxCount_);
+            detail::clrgHalveCounter().inc();
+        }
+        tr.record(obs::Ev::ClassPromote, input, count_[input]);
+        detail::clrgPromoteCounter().inc();
+    }
+
     std::uint32_t maxCount_;
     std::vector<std::uint32_t> count_;
 };

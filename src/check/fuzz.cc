@@ -150,6 +150,18 @@ sameResult(const sim::SimResult &a, const sim::SimResult &b,
                std::to_string(b.packetsDelivered);
         return false;
     }
+    if (a.inFlightAtMeasureEnd != b.inFlightAtMeasureEnd) {
+        *why = "inFlightAtMeasureEnd " +
+               std::to_string(a.inFlightAtMeasureEnd) + " vs " +
+               std::to_string(b.inFlightAtMeasureEnd);
+        return false;
+    }
+    if (a.latencyOverflowPackets != b.latencyOverflowPackets) {
+        *why = "latencyOverflowPackets " +
+               std::to_string(a.latencyOverflowPackets) + " vs " +
+               std::to_string(b.latencyOverflowPackets);
+        return false;
+    }
     if (a.perInputLatency.size() != b.perInputLatency.size() ||
         a.perInputThroughput.size() != b.perInputThroughput.size()) {
         *why = "per-input vector sizes differ";

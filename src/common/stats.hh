@@ -76,7 +76,11 @@ class Histogram
     add(double x)
     {
         ++n_;
-        auto idx = static_cast<std::size_t>(x / binWidth_);
+        // Clamp negatives (and NaN) to bin 0: casting a negative
+        // double to size_t is undefined behaviour.
+        std::size_t idx = 0;
+        if (x >= 0.0)
+            idx = static_cast<std::size_t>(x / binWidth_);
         if (idx >= bins_.size() - 1)
             idx = bins_.size() - 1;
         ++bins_[idx];
@@ -84,12 +88,31 @@ class Histogram
 
     std::uint64_t count() const { return n_; }
 
-    /** Value below which fraction q of the samples fall (bin upper edge). */
+    /** Samples that landed beyond the last regular bin. A nonzero
+     *  value means high quantiles are clamped to the overflow edge
+     *  and should be treated as ">= edge", not exact. */
+    std::uint64_t
+    overflowCount() const
+    {
+        return bins_.back();
+    }
+
+    /** Value below which fraction q of the samples fall (bin upper
+     *  edge). q >= 1.0 returns the highest occupied bin's edge rather
+     *  than the overflow edge, so an all-regular-bin population never
+     *  reports a value no sample reached. */
     double
     quantile(double q) const
     {
         if (n_ == 0)
             return 0.0;
+        if (q >= 1.0) {
+            for (std::size_t i = bins_.size(); i-- > 0;) {
+                if (bins_[i])
+                    return binWidth_ * static_cast<double>(i + 1);
+            }
+            return 0.0; // unreachable: n_ > 0 implies an occupied bin
+        }
         auto target = static_cast<std::uint64_t>(
             q * static_cast<double>(n_));
         std::uint64_t acc = 0;

@@ -84,6 +84,14 @@ class ThreadPool
      *  any. Lets waiters (and tests) make progress without a worker. */
     bool tryRunOne();
 
+    /** Submitted-but-unfinished task count (approximate under
+     *  concurrency; exact once the pool is quiescent). */
+    std::uint64_t
+    pendingTasks() const
+    {
+        return pending_.load(std::memory_order_relaxed);
+    }
+
     /** Is the calling thread one of this pool's workers? */
     bool onWorkerThread() const;
 

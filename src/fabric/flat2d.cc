@@ -1,10 +1,25 @@
 #include "fabric/flat2d.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 #ifdef HIRISE_CHECK_ENABLED
 #include "check/invariants.hh"
 #endif
 
 namespace hirise::fabric {
+
+namespace {
+
+[[gnu::cold]] [[gnu::noinline]] void
+countFlatGrants(std::uint32_t n)
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::global().counter("fabric.grants_flat");
+    c.inc(n);
+}
+
+} // namespace
 
 Flat2dFabric::Flat2dFabric(const SwitchSpec &spec)
     : Fabric(spec),
@@ -48,6 +63,10 @@ Flat2dFabric::arbitrate(std::span<const std::uint32_t> req)
         holder_[o] = w;
         grant_.set(w);
     });
+    // One guard per arbitrate, not per grant: the loop stays clean
+    // and the counter batches via popcount.
+    if (obs::on()) [[unlikely]]
+        countFlatGrants(grant_.count());
 #ifdef HIRISE_CHECK_ENABLED
     auto holder = [this](std::uint32_t o) { return holder_[o]; };
     check::verifyGrantMatching(req, grant_, spec_.radix, holder);

@@ -1,10 +1,61 @@
 #include "fabric/hirise.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 #ifdef HIRISE_CHECK_ENABLED
 #include "check/invariants.hh"
 #endif
 
 namespace hirise::fabric {
+
+namespace {
+
+/** Process-wide fabric counters; bumps are obs::on()-guarded. */
+struct FabricMetrics
+{
+    obs::Counter &grantsLocal;
+    obs::Counter &grantsCross;
+
+    static FabricMetrics &
+    get()
+    {
+        static FabricMetrics m{
+            obs::MetricsRegistry::global().counter(
+                "fabric.grants_local"),
+            obs::MetricsRegistry::global().counter(
+                "fabric.grants_cross"),
+        };
+        return m;
+    }
+};
+
+/**
+ * Cold, out-of-line batch recorder, called once per arbitrate() so
+ * the phase-2 grant loop carries no guard at all. ChanAlloc events
+ * are reconstructed from this cycle's grant set: a granted input's
+ * output is its request, and heldChan_ distinguishes cross-layer
+ * grants (channel id) from local ones (kNoRequest).
+ */
+[[gnu::cold]] [[gnu::noinline]] void
+recordArbitrateObs(const BitVec &grant,
+                   std::span<const std::uint32_t> req,
+                   const std::vector<std::uint32_t> &held_chan,
+                   std::uint64_t d_local, std::uint64_t d_cross)
+{
+    auto &m = FabricMetrics::get();
+    m.grantsLocal.inc(d_local);
+    m.grantsCross.inc(d_cross);
+    auto &tr = obs::CycleTracer::global();
+    grant.forEachSet([&](std::uint32_t in) {
+        std::uint32_t o = req[in];
+        std::uint32_t id = held_chan[o];
+        if (id != kNoRequest)
+            tr.record(obs::Ev::ChanAlloc, id, in, o);
+    });
+}
+
+} // namespace
 
 HiRiseFabric::HiRiseFabric(const SwitchSpec &spec)
     : Fabric(spec), ppl_(spec.portsPerLayer()), nlay_(spec.layers),
@@ -352,7 +403,13 @@ HiRiseFabric::arbitrate(std::span<const std::uint32_t> req)
             contendedOut_.set(o);
     }
 
+    const std::uint64_t local0 = stats_.grantsLocal;
+    const std::uint64_t cross0 = stats_.grantsCross;
     phase2();
+    if (obs::on()) [[unlikely]]
+        recordArbitrateObs(grant_, req, heldChan_,
+                           stats_.grantsLocal - local0,
+                           stats_.grantsCross - cross0);
 #ifdef HIRISE_CHECK_ENABLED
     checkInvariants(req);
 #endif

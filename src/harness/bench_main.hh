@@ -2,9 +2,15 @@
  * @file
  * Shared main() for the per-table/per-figure bench binaries.
  * Supports:
- *   --quick        shorter simulations (CI-friendly)
- *   --csv <dir>    also write each table as CSV into <dir>
- *   --seed <n>     change the simulation seed
+ *   --quick                shorter simulations (CI-friendly)
+ *   --csv <dir>            also write each table as CSV into <dir>
+ *   --seed <n>             change the simulation seed
+ *   --threads <n>          size the global worker pool
+ *   --trace <file>         record cycle events, export JSONL
+ *   --trace-chrome <file>  also export Chrome trace_event JSON
+ *   --trace-capacity <n>   ring size in events (default 1M)
+ *   --metrics <file>       export the metrics registry as JSON
+ *   --metrics-csv <file>   export the metrics registry as CSV
  */
 
 #ifndef HIRISE_HARNESS_BENCH_MAIN_HH

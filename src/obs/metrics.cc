@@ -1,0 +1,191 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace hirise::obs {
+
+const char *
+toString(MetricSnapshot::Kind k)
+{
+    switch (k) {
+      case MetricSnapshot::Kind::Counter:
+        return "counter";
+      case MetricSnapshot::Kind::Gauge:
+        return "gauge";
+      case MetricSnapshot::Kind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    }
+    return *it->second;
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(std::string_view name, double bin_width,
+                           std::size_t num_bins)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = hists_.find(name);
+    if (it == hists_.end()) {
+        it = hists_
+                 .emplace(std::string(name),
+                          std::make_unique<HistogramMetric>(bin_width,
+                                                            num_bins))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot() const
+{
+    std::vector<MetricSnapshot> out;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const auto &[name, c] : counters_) {
+            MetricSnapshot s;
+            s.name = name;
+            s.kind = MetricSnapshot::Kind::Counter;
+            s.value = static_cast<double>(c->value());
+            s.count = c->value();
+            out.push_back(std::move(s));
+        }
+        for (const auto &[name, g] : gauges_) {
+            MetricSnapshot s;
+            s.name = name;
+            s.kind = MetricSnapshot::Kind::Gauge;
+            s.value = g->value();
+            out.push_back(std::move(s));
+        }
+        for (const auto &[name, h] : hists_) {
+            MetricSnapshot s;
+            s.name = name;
+            s.kind = MetricSnapshot::Kind::Histogram;
+            Histogram snap = h->snapshot();
+            s.count = snap.count();
+            s.p50 = snap.quantile(0.5);
+            s.p99 = snap.quantile(0.99);
+            s.overflow = snap.overflowCount();
+            out.push_back(std::move(s));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSnapshot &a, const MetricSnapshot &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    auto snaps = snapshot();
+    os << "{\n";
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+        const auto &s = snaps[i];
+        os << "  \"" << s.name << "\": {\"kind\": \"" << toString(s.kind)
+           << "\"";
+        if (s.kind == MetricSnapshot::Kind::Histogram) {
+            os << ", \"count\": " << s.count << ", \"p50\": " << s.p50
+               << ", \"p99\": " << s.p99
+               << ", \"overflow\": " << s.overflow;
+        } else if (s.kind == MetricSnapshot::Kind::Counter) {
+            // Counters export the exact integer, not a %g double.
+            os << ", \"value\": " << s.count;
+        } else {
+            os << ", \"value\": " << s.value;
+        }
+        os << "}" << (i + 1 < snaps.size() ? "," : "") << "\n";
+    }
+    os << "}\n";
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    os << "name,kind,value,count,p50,p99,overflow\n";
+    for (const auto &s : snapshot()) {
+        os << s.name << ',' << toString(s.kind) << ',' << s.value << ','
+           << s.count << ',' << s.p50 << ',' << s.p99 << ','
+           << s.overflow << '\n';
+    }
+}
+
+bool
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("metrics: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    writeJson(f);
+    return static_cast<bool>(f);
+}
+
+bool
+MetricsRegistry::writeCsvFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("metrics: cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    writeCsv(f);
+    return static_cast<bool>(f);
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : hists_)
+        h->reset();
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return counters_.size() + gauges_.size() + hists_.size();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace hirise::obs

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * histograms registered by component ("sim.packets_injected",
+ * "fabric.grants_cross", "harness.table4.wall_ms", ...), with a
+ * consistent snapshot and JSON/CSV export for dashboards and CI.
+ *
+ * Modeled on the per-port/per-queue counter subsystems of production
+ * switch stacks (sonic-swss FlexCounter et al.): components obtain a
+ * stable reference once and bump it with a relaxed atomic increment.
+ * Hot-path call sites additionally guard the bump behind obs::on()
+ * (see obs/trace.hh) so the default-off configuration costs only a
+ * predictable never-taken branch.
+ */
+
+#ifndef HIRISE_OBS_METRICS_HH
+#define HIRISE_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace hirise::obs {
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void
+    inc(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Last-written instantaneous value (queue depth, wall time, ...). */
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    double
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+    void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/** Thread-safe wrapper over the fixed-bin Histogram accumulator. */
+class HistogramMetric
+{
+  public:
+    HistogramMetric(double bin_width, std::size_t num_bins)
+        : binWidth_(bin_width), numBins_(num_bins),
+          h_(bin_width, num_bins)
+    {}
+
+    void
+    observe(double x)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        h_.add(x);
+    }
+
+    Histogram
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return h_;
+    }
+
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        h_ = Histogram(binWidth_, numBins_);
+    }
+
+  private:
+    mutable std::mutex mu_;
+    double binWidth_;
+    std::size_t numBins_;
+    Histogram h_;
+};
+
+/** One exported metric value (see MetricsRegistry::snapshot). */
+struct MetricSnapshot
+{
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    double value = 0.0;        //!< counter/gauge value; histogram mean
+    std::uint64_t count = 0;   //!< histogram sample count
+    double p50 = 0.0;          //!< histogram only
+    double p99 = 0.0;          //!< histogram only
+    std::uint64_t overflow = 0; //!< histogram overflow-bin samples
+};
+
+const char *toString(MetricSnapshot::Kind k);
+
+/**
+ * Registry of named metrics. Registration returns a reference that
+ * stays valid for the registry's lifetime (node-based storage), so
+ * components look their metric up once and keep the handle.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Find-or-create; the same name always yields the same object. */
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    HistogramMetric &histogram(std::string_view name,
+                               double bin_width = 1.0,
+                               std::size_t num_bins = 1024);
+
+    /** All metrics, sorted by (kind-independent) name. */
+    std::vector<MetricSnapshot> snapshot() const;
+
+    void writeJson(std::ostream &os) const;
+    void writeCsv(std::ostream &os) const;
+    bool writeJsonFile(const std::string &path) const;
+    bool writeCsvFile(const std::string &path) const;
+
+    /** Zero every registered metric (registrations survive). */
+    void reset();
+
+    std::size_t size() const;
+
+    static MetricsRegistry &global();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+        hists_;
+};
+
+} // namespace hirise::obs
+
+#endif // HIRISE_OBS_METRICS_HH

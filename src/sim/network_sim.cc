@@ -1,10 +1,70 @@
 #include "sim/network_sim.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 #ifdef HIRISE_CHECK_ENABLED
 #include "check/invariants.hh"
 #endif
 
 namespace hirise::sim {
+
+namespace {
+
+/** Registry handles resolved once per process; every bump is behind
+ *  the obs::on() guard, so the disabled path never touches them. */
+struct SimMetrics
+{
+    obs::Counter &injected;
+    obs::Counter &delivered;
+    obs::Counter &flits;
+    obs::Counter &inFlightCensored;
+
+    static SimMetrics &
+    get()
+    {
+        static SimMetrics m{
+            obs::MetricsRegistry::global().counter(
+                "sim.packets_injected"),
+            obs::MetricsRegistry::global().counter(
+                "sim.packets_delivered"),
+            obs::MetricsRegistry::global().counter(
+                "sim.flits_delivered"),
+            obs::MetricsRegistry::global().counter(
+                "sim.in_flight_at_measure_end"),
+        };
+        return m;
+    }
+};
+
+/** Traced bodies live cold and out-of-line so the untraced hot loop
+ *  pays only the obs::on() test+branch at each site. */
+[[gnu::cold]] [[gnu::noinline]] void
+recordInject(std::uint32_t src, std::uint32_t dst, std::uint64_t id)
+{
+    SimMetrics::get().injected.inc();
+    obs::CycleTracer::global().record(obs::Ev::Inject, src, dst, 0, id);
+}
+
+[[gnu::cold]] [[gnu::noinline]] void
+recordGrant(std::uint32_t in, std::uint32_t out, std::uint32_t vc,
+            std::uint64_t packet)
+{
+    obs::CycleTracer::global().record(obs::Ev::Grant, in, out, vc,
+                                      packet);
+}
+
+[[gnu::cold]] [[gnu::noinline]] void
+recordRelease(std::uint32_t in, std::uint32_t out,
+              std::uint32_t packet_len, std::uint64_t packet)
+{
+    SimMetrics::get().delivered.inc();
+    SimMetrics::get().flits.inc(packet_len);
+    obs::CycleTracer::global().record(obs::Ev::Release, in, out, 0,
+                                      packet);
+}
+
+} // namespace
 
 NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
                        std::shared_ptr<traffic::TrafficPattern> pattern)
@@ -25,6 +85,8 @@ NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
     sim_assert(fabric_ != nullptr, "NetworkSim needs a fabric");
     ports_.assign(spec.radix,
                   net::InputPort(cfg.numVcs, cfg.vcDepth));
+    if (cfg_.trace && !obs::CycleTracer::global().enabled())
+        obs::CycleTracer::global().enable();
 }
 
 void
@@ -41,8 +103,12 @@ NetworkSim::injectCycle()
             p.genCycle = cycle_;
             ports_[i].sourceQueue().push_back(p);
             ++injected_;
-            if (measuring_)
+            if (measuring_) {
                 measFlitsOffered_ += p.lenFlits;
+                ++measPacketsInjected_;
+            }
+            if (obs::on()) [[unlikely]]
+                recordInject(i, p.dst, p.id);
         }
         ports_[i].fillCycle();
     }
@@ -85,6 +151,9 @@ NetworkSim::arbitrateCycle()
             queueing_.add(
                 static_cast<double>(cycle_ - head.genCycle));
         }
+        if (obs::on()) [[unlikely]]
+            recordGrant(i, req[i], cand_vc[i],
+                        ports_[i].vcs()[cand_vc[i]].front().packet);
         ports_[i].connect(cand_vc[i], req[i], cfg_.packetLen);
         connectedPorts_.set(i);
     });
@@ -121,7 +190,11 @@ NetworkSim::transferCycle()
                 latencyHist_.add(lat);
                 perInputLatency_[f.src].add(lat);
                 ++perInputPackets_[f.src];
+                if (f.genCycle >= measureStart_)
+                    ++measPacketsCompleted_;
             }
+            if (obs::on()) [[unlikely]]
+                recordRelease(i, out, cfg_.packetLen, f.packet);
         }
     });
 }
@@ -129,6 +202,8 @@ NetworkSim::transferCycle()
 void
 NetworkSim::step()
 {
+    if (obs::on()) [[unlikely]]
+        obs::setTraceCycle(cycle_);
     injectCycle();
     arbitrateCycle();
     transferCycle();
@@ -195,6 +270,15 @@ NetworkSim::run()
     r.avgQueueingCycles = queueing_.mean();
     r.p99LatencyCycles = latencyHist_.quantile(0.99);
     r.packetsDelivered = latency_.count();
+    sim_assert(measPacketsCompleted_ <= measPacketsInjected_,
+               "more window packets completed than injected");
+    r.inFlightAtMeasureEnd =
+        measPacketsInjected_ - measPacketsCompleted_;
+    r.latencyOverflowPackets = latencyHist_.overflowCount();
+    if (obs::on()) [[unlikely]] {
+        SimMetrics::get().inFlightCensored.inc(
+            r.inFlightAtMeasureEnd);
+    }
 
     r.perInputLatency.resize(spec_.radix, 0.0);
     r.perInputThroughput.resize(spec_.radix, 0.0);

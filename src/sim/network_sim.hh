@@ -32,6 +32,11 @@ struct SimConfig
     net::Cycle warmupCycles = 10000;
     net::Cycle measureCycles = 50000;
     std::uint64_t seed = 1;
+    /** Arm the process-wide cycle tracer for this run (convenience
+     *  switch-on; equivalent to obs::CycleTracer::global().enable()).
+     *  Never part of the SimCache key: tracing records events but
+     *  must not change any simulated outcome. */
+    bool trace = false;
 };
 
 /** Aggregated results over the measurement window. */
@@ -46,6 +51,17 @@ struct SimResult
      *  avgLatencyCycles is pure service time. */
     double avgQueueingCycles = 0.0;
     std::uint64_t packetsDelivered = 0;
+    /** Packets injected inside the measurement window but still in
+     *  flight (source queue, VC, or crossbar) when it closed. Their
+     *  latency is right-censored: avgLatencyCycles/p99LatencyCycles
+     *  cover delivered packets only, so a large value here means the
+     *  latency aggregates are biased low (saturation). See
+     *  docs/TESTING.md "Latency censoring". */
+    std::uint64_t inFlightAtMeasureEnd = 0;
+    /** Delivered-packet latency samples that fell beyond the latency
+     *  histogram's last regular bin. Nonzero means p99LatencyCycles
+     *  is clamped to the overflow edge and reads ">=", not "=". */
+    std::uint64_t latencyOverflowPackets = 0;
     /** Mean packet latency per source input (Fig 11a). */
     std::vector<double> perInputLatency;
     /** Delivered packets/cycle per source input (Fig 11c). */
@@ -125,6 +141,11 @@ class NetworkSim
     net::Cycle measureStart_ = 0;
     std::uint64_t measFlitsDelivered_ = 0;
     std::uint64_t measFlitsOffered_ = 0;
+    /** Packets injected during the window / delivered packets that
+     *  were injected during the window; the difference at window
+     *  close is the right-censored population (inFlightAtMeasureEnd). */
+    std::uint64_t measPacketsInjected_ = 0;
+    std::uint64_t measPacketsCompleted_ = 0;
     RunningStat latency_;
     RunningStat queueing_;
     Histogram latencyHist_{4.0, 4096};

@@ -1,6 +1,7 @@
 #include "sim/sim_cache.hh"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace hirise::sim {
 
@@ -38,9 +40,20 @@ class Fnv1a
         bytes(&v, sizeof(v));
     }
 
-    /** Doubles hash via their bit pattern so -0.0 vs 0.0 etc. are
-     *  distinct exactly when the simulation could distinguish them. */
-    void d(double v) { pod(std::bit_cast<std::uint64_t>(v)); }
+    /** Doubles hash via their bit pattern, canonicalized first: the
+     *  simulation cannot distinguish -0.0 from 0.0 (sweep arithmetic
+     *  like `lo + 0.5 * (hi - lo)` produces either spelling for the
+     *  same injection rate), so both must map to one key. NaN has no
+     *  canonical bit pattern and never names a valid simulation
+     *  point, so it is rejected outright. */
+    void
+    d(double v)
+    {
+        sim_assert(!std::isnan(v), "NaN in simulation cache key");
+        if (v == 0.0)
+            v = 0.0; // -0.0 == 0.0 compares true; store +0.0 bits
+        pod(std::bit_cast<std::uint64_t>(v));
+    }
 
     std::uint64_t value() const { return h_; }
 
@@ -56,6 +69,8 @@ struct RecordHeader
     std::uint32_t version;
     std::uint64_t key;
     std::uint64_t packetsDelivered;
+    std::uint64_t inFlightAtMeasureEnd;
+    std::uint64_t latencyOverflowPackets;
     double offered;
     double accepted;
     double avgLatency;
@@ -123,6 +138,9 @@ SimCache::lookup(std::uint64_t key, SimResult *out)
             lru_.splice(lru_.begin(), lru_, it->second);
             *out = it->second->second;
             ++stats_.hits;
+            if (obs::on()) [[unlikely]]
+                obs::CycleTracer::global().record(obs::Ev::CacheHit, 0,
+                                                  0, 0, key);
             return true;
         }
     }
@@ -131,10 +149,16 @@ SimCache::lookup(std::uint64_t key, SimResult *out)
         insertLocked(key, *out);
         ++stats_.hits;
         ++stats_.diskHits;
+        if (obs::on()) [[unlikely]]
+            obs::CycleTracer::global().record(obs::Ev::CacheHit, 1, 0,
+                                              0, key);
         return true;
     }
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.misses;
+    if (obs::on()) [[unlikely]]
+        obs::CycleTracer::global().record(obs::Ev::CacheMiss, 0, 0, 0,
+                                          key);
     return false;
 }
 
@@ -217,6 +241,8 @@ SimCache::readDisk(std::uint64_t key, SimResult *out) const
     r.avgQueueingCycles = hdr.avgQueueing;
     r.fairness = hdr.fairness;
     r.packetsDelivered = hdr.packetsDelivered;
+    r.inFlightAtMeasureEnd = hdr.inFlightAtMeasureEnd;
+    r.latencyOverflowPackets = hdr.latencyOverflowPackets;
     r.perInputLatency.resize(hdr.numPerInputLatency);
     r.perInputThroughput.resize(hdr.numPerInputThroughput);
     f.read(reinterpret_cast<char *>(r.perInputLatency.data()),
@@ -239,6 +265,8 @@ SimCache::writeDisk(std::uint64_t key, const SimResult &r) const
     hdr.version = version_;
     hdr.key = key;
     hdr.packetsDelivered = r.packetsDelivered;
+    hdr.inFlightAtMeasureEnd = r.inFlightAtMeasureEnd;
+    hdr.latencyOverflowPackets = r.latencyOverflowPackets;
     hdr.offered = r.offeredFlitsPerCycle;
     hdr.accepted = r.acceptedFlitsPerCycle;
     hdr.avgLatency = r.avgLatencyCycles;

@@ -37,8 +37,10 @@ namespace hirise::sim {
 
 /** Bump when NetworkSim / fabric / pattern semantics change: any
  *  difference in the produced SimResult for the same key must
- *  invalidate existing disk records. */
-constexpr std::uint32_t kSimCacheVersion = 1;
+ *  invalidate existing disk records. v2: SimResult gained
+ *  inFlightAtMeasureEnd / latencyOverflowPackets (disk layout and
+ *  result contents changed). */
+constexpr std::uint32_t kSimCacheVersion = 2;
 
 class SimCache
 {

@@ -67,6 +67,8 @@ expectBitIdentical(const sim::SimResult &a, const sim::SimResult &b)
     EXPECT_EQ(a.avgQueueingCycles, b.avgQueueingCycles);
     EXPECT_EQ(a.fairness, b.fairness);
     EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+    EXPECT_EQ(a.inFlightAtMeasureEnd, b.inFlightAtMeasureEnd);
+    EXPECT_EQ(a.latencyOverflowPackets, b.latencyOverflowPackets);
     EXPECT_EQ(a.perInputLatency, b.perInputLatency);
     EXPECT_EQ(a.perInputThroughput, b.perInputThroughput);
 }

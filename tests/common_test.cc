@@ -119,6 +119,57 @@ TEST(Histogram, OverflowBinCatchesLargeValues)
     EXPECT_GE(h.quantile(0.99), 8.0);
 }
 
+// Regression: quantile(1.0) used to walk past the cumulative target
+// and return the overflow-bin edge (num_bins + 1 bins in), reporting a
+// "max latency" no sample ever reached. It must return the highest
+// *occupied* bin's upper edge.
+TEST(Histogram, QuantileOneReturnsHighestOccupiedEdge)
+{
+    Histogram h(1.0, 128);
+    for (int i = 1; i <= 10; ++i)
+        h.add(i);
+    // Samples span bins 1..10; the largest sample (10.0) lands in
+    // bin 10, whose upper edge is 11.0 — nowhere near bin 129.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 11.0);
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), 11.0); // q > 1 clamps the same
+}
+
+TEST(Histogram, QuantileOneWithOnlyOverflowSamples)
+{
+    Histogram h(1.0, 8);
+    h.add(100.0);
+    // All mass in the overflow bin: its edge is the only honest answer.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.0);
+}
+
+// Regression: add() cast the raw double to size_t for binning, which
+// is undefined behaviour for negative values (and for NaN). Negatives
+// must clamp to bin 0 and still be counted.
+TEST(Histogram, NegativeSamplesClampToFirstBin)
+{
+    Histogram h(1.0, 8);
+    h.add(-3.5);
+    h.add(-1e18);
+    h.add(0.5);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    // All three samples sit in bin 0, so every quantile is its edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, OverflowCountAccounting)
+{
+    Histogram h(1.0, 8);
+    h.add(2.0);
+    h.add(7.5);
+    EXPECT_EQ(h.overflowCount(), 0u);
+    h.add(8.0); // first value past the last regular bin
+    h.add(1e9);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.count(), 4u);
+}
+
 TEST(Fairness, JainIndex)
 {
     EXPECT_DOUBLE_EQ(jainFairness({1, 1, 1, 1}), 1.0);

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -58,6 +59,8 @@ makeResult(double accepted)
     r.avgQueueingCycles = 3.25;
     r.fairness = 0.875;
     r.packetsDelivered = 1234;
+    r.inFlightAtMeasureEnd = 17;
+    r.latencyOverflowPackets = 3;
     r.perInputLatency = {1.0, 2.0, 3.0};
     r.perInputThroughput = {0.5, 0.25};
     return r;
@@ -73,6 +76,8 @@ expectSameResult(const sim::SimResult &a, const sim::SimResult &b)
     EXPECT_EQ(a.avgQueueingCycles, b.avgQueueingCycles);
     EXPECT_EQ(a.fairness, b.fairness);
     EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+    EXPECT_EQ(a.inFlightAtMeasureEnd, b.inFlightAtMeasureEnd);
+    EXPECT_EQ(a.latencyOverflowPackets, b.latencyOverflowPackets);
     EXPECT_EQ(a.perInputLatency, b.perInputLatency);
     EXPECT_EQ(a.perInputThroughput, b.perInputThroughput);
 }
@@ -120,6 +125,29 @@ TEST(SimCacheKey, SensitiveToEveryRelevantField)
     EXPECT_NE(sim::SimCache::key(flatSpec(), cfg4, "p"), base);
 
     EXPECT_NE(sim::SimCache::key(flatSpec(), cfg, "q"), base);
+}
+
+// Regression: the key hashed doubles via their raw bit pattern, so
+// -0.0 and +0.0 — equal injection rates as far as the simulator is
+// concerned, and both producible by sweep arithmetic like
+// `lo + t * (hi - lo)` — landed in different cache entries.
+TEST(SimCacheKey, NegativeZeroAndPositiveZeroCollide)
+{
+    auto cfg_pos = quickCfg();
+    cfg_pos.injectionRate = 0.0;
+    auto cfg_neg = quickCfg();
+    cfg_neg.injectionRate = -0.0;
+    EXPECT_EQ(sim::SimCache::key(flatSpec(), cfg_pos, "p"),
+              sim::SimCache::key(flatSpec(), cfg_neg, "p"));
+}
+
+TEST(SimCacheKeyDeathTest, NanInjectionRateIsRejected)
+{
+    auto cfg = quickCfg();
+    cfg.injectionRate = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DEATH(
+        { (void)sim::SimCache::key(flatSpec(), cfg, "p"); },
+        "NaN in simulation cache key");
 }
 
 TEST(SimCache, HitMissAccounting)

@@ -34,6 +34,9 @@ struct Golden
     double p99Latency;
     double avgQueueing;
     std::uint64_t packets;
+    /** Measurement-window packets still in flight at window close
+     *  (captured after the latency-censoring fix made it visible). */
+    std::uint64_t inFlight;
     double fairness;
     /** Spot probes of the per-input vectors: inputs 0, 17, 63. */
     double inLat0, inLat17, inLat63;
@@ -44,43 +47,43 @@ const Golden kGolden[] = {
     {"flat2d_lrg", Topology::Flat2D, ArbScheme::Lrg,
      ChannelAlloc::InputBinned,
      64.322000000000003, 40.926499999999997, 543.0817981920369, 972,
-     540.60726508262098, 20465, 0.99953391496252886,
+     540.60726508262098, 20465, 14575, 0.99953391496252886,
      468.97590361445771, 522.69400630914834, 566.19354838709694,
      0.16600000000000001, 0.1585, 0.155},
     {"folded3d_lrg", Topology::Folded3D, ArbScheme::Lrg,
      ChannelAlloc::InputBinned,
      64.322000000000003, 40.926499999999997, 543.0817981920369, 972,
-     540.60726508262098, 20465, 0.99953391496252886,
+     540.60726508262098, 20465, 14575, 0.99953391496252886,
      468.97590361445771, 522.69400630914834, 566.19354838709694,
      0.16600000000000001, 0.1585, 0.155},
     {"hirise_layerlrg", Topology::HiRise, ArbScheme::LayerLrg,
      ChannelAlloc::InputBinned,
      64.322000000000003, 36.061, 655.59212423737802, 1160,
-     653.28101602794902, 18030, 0.99923495478704794,
+     653.28101602794902, 18030, 17631, 0.99923495478704794,
      597.48421052631579, 607.50896057347677, 655.48226950354592,
      0.14249999999999999, 0.13950000000000001, 0.14099999999999999},
     {"hirise_clrg", Topology::HiRise, ArbScheme::Clrg,
      ChannelAlloc::InputBinned,
      64.322000000000003, 35.869, 658.41299498048295, 1164,
-     656.17304260539777, 17930, 0.99928852288682735,
+     656.17304260539777, 17930, 17732, 0.99928852288682735,
      602.444055944056, 630.68571428571477, 674.70895522388037,
      0.14299999999999999, 0.14000000000000001, 0.13400000000000001},
     {"hirise_wlrg", Topology::HiRise, ArbScheme::Wlrg,
      ChannelAlloc::InputBinned,
      64.322000000000003, 36.043999999999997, 653.62567260220521, 1148,
-     651.61793761793581, 18027, 0.99939141181461688,
+     651.61793761793581, 18027, 17628, 0.99939141181461688,
      604.96193771626292, 585.36491228070179, 648.98924731182808,
      0.14449999999999999, 0.14249999999999999, 0.13950000000000001},
     {"hirise_clrg_prio", Topology::HiRise, ArbScheme::Clrg,
      ChannelAlloc::Priority,
      64.322000000000003, 39.281999999999996, 579.04876558920853, 1024,
-     576.5677189409414, 19645, 0.99950458838789402,
+     576.5677189409414, 19645, 15596, 0.99950458838789402,
      521.44479495268138, 554.19063545150493, 578.21725239616615,
      0.1585, 0.14949999999999999, 0.1565},
     {"hirise_clrg_outbin", Topology::HiRise, ArbScheme::Clrg,
      ChannelAlloc::OutputBinned,
      64.322000000000003, 35.335000000000001, 670.94722835626726, 1168,
-     668.75028299751148, 17661, 0.999359230990296,
+     668.75028299751148, 17661, 18069, 0.999359230990296,
      598.40989399293301, 643.44565217391278, 648.63537906137162,
      0.14149999999999999, 0.13800000000000001, 0.13850000000000001},
 };
@@ -119,6 +122,10 @@ TEST_P(SimGolden, FixedSeedResultIsBitIdenticalToSeedImpl)
     EXPECT_DOUBLE_EQ(r.p99LatencyCycles, g.p99Latency);
     EXPECT_DOUBLE_EQ(r.avgQueueingCycles, g.avgQueueing);
     EXPECT_EQ(r.packetsDelivered, g.packets);
+    EXPECT_EQ(r.inFlightAtMeasureEnd, g.inFlight);
+    // 0.25 injection keeps every delivered latency inside the
+    // histogram's regular bins for all seven configurations.
+    EXPECT_EQ(r.latencyOverflowPackets, 0u);
     EXPECT_DOUBLE_EQ(r.fairness, g.fairness);
 
     ASSERT_EQ(r.perInputLatency.size(), 64u);

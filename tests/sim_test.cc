@@ -102,6 +102,28 @@ TEST(NetworkSim, AcceptedTracksOfferedBelowSaturation)
                 0.05 * r.offeredFlitsPerCycle);
 }
 
+// Regression for silent latency censoring: packets still in flight
+// when the measurement window closes never reach the latency
+// aggregates. The simulator now reports how many were censored so
+// saturated-load latency numbers can be read honestly (see
+// docs/TESTING.md, "Latency censoring").
+TEST(NetworkSim, CensoredInFlightPopulationIsReported)
+{
+    // Far above flat64's ~0.65 saturation point: queues grow without
+    // bound, so a large population must be pending at window close.
+    auto sat = runAtLoad(flat64(), quickCfg(0.0), uniformFactory(64),
+                         0.95);
+    EXPECT_GT(sat.inFlightAtMeasureEnd, 100u);
+
+    // At low load the pipeline drains almost immediately: only the
+    // handful of packets injected in the last few cycles can be
+    // censored. 64 inputs * 8-cycle pipe at 2% injection ≈ 10.
+    auto lo = runAtLoad(flat64(), quickCfg(0.0), uniformFactory(64),
+                        0.02);
+    EXPECT_LT(lo.inFlightAtMeasureEnd, 64u);
+    EXPECT_EQ(lo.latencyOverflowPackets, 0u);
+}
+
 TEST(NetworkSim, Flat64UniformSaturationNearPaperUtilization)
 {
     // Paper Table IV: 2D 64x64 at 9.24 Tbps / 1.69 GHz = 0.667

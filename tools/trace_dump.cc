@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Offline viewer/validator for hirise-trace-v1 JSONL files (written by
+ * obs::CycleTracer::exportJsonl or the bench --trace flag).
+ *
+ *   trace_dump <trace.jsonl>                per-kind summary
+ *   trace_dump --validate <trace.jsonl>     strict schema check; exit
+ *                                           nonzero on any violation
+ *   trace_dump --chrome out.json <t.jsonl>  convert to Chrome
+ *                                           trace_event JSON
+ */
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace {
+
+using hirise::obs::Ev;
+using hirise::obs::kNumEv;
+
+struct ParsedEvent
+{
+    std::uint64_t cycle = 0;
+    std::uint64_t id = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+    std::uint32_t tid = 0;
+    Ev kind = Ev::Inject;
+};
+
+struct ParsedTrace
+{
+    std::uint64_t headerEvents = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::vector<std::string> names;
+    std::vector<ParsedEvent> events;
+};
+
+[[noreturn]] void
+fail(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::fputs("trace_dump: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+    std::exit(1);
+}
+
+bool
+extractU64(const std::string &line, const char *key, std::uint64_t *out)
+{
+    std::string k = std::string("\"") + key + "\":";
+    std::size_t pos = line.find(k);
+    if (pos == std::string::npos)
+        return false;
+    pos += k.size();
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(line.c_str() + pos, &end, 10);
+    if (end == line.c_str() + pos)
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Read the JSON string starting at line[pos] == '"'; false on bad
+ *  escapes or a missing closing quote. Advances @p pos past it. */
+bool
+readJsonString(const std::string &line, std::size_t *pos,
+               std::string *out)
+{
+    std::size_t i = *pos;
+    if (i >= line.size() || line[i] != '"')
+        return false;
+    ++i;
+    out->clear();
+    while (i < line.size()) {
+        char ch = line[i];
+        if (ch == '"') {
+            *pos = i + 1;
+            return true;
+        }
+        if (ch == '\\') {
+            if (i + 1 >= line.size())
+                return false;
+            char esc = line[i + 1];
+            switch (esc) {
+              case '"':
+                out->push_back('"');
+                break;
+              case '\\':
+                out->push_back('\\');
+                break;
+              case 'n':
+                out->push_back('\n');
+                break;
+              case 't':
+                out->push_back('\t');
+                break;
+              case 'u': {
+                if (i + 5 >= line.size())
+                    return false;
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    line.substr(i + 2, 4).c_str(), nullptr, 16));
+                out->push_back(static_cast<char>(code & 0x7f));
+                i += 4;
+                break;
+              }
+              default:
+                return false;
+            }
+            i += 2;
+            continue;
+        }
+        out->push_back(ch);
+        ++i;
+    }
+    return false;
+}
+
+bool
+extractStr(const std::string &line, const char *key, std::string *out)
+{
+    std::string k = std::string("\"") + key + "\":";
+    std::size_t pos = line.find(k);
+    if (pos == std::string::npos)
+        return false;
+    pos += k.size();
+    return readJsonString(line, &pos, out);
+}
+
+void
+parseHeader(const std::string &line, int lineno, ParsedTrace *t)
+{
+    std::string schema;
+    if (!extractStr(line, "schema", &schema))
+        fail("line %d: header has no \"schema\" field", lineno);
+    if (schema != "hirise-trace-v1")
+        fail("line %d: unsupported schema '%s'", lineno,
+             schema.c_str());
+    if (!extractU64(line, "events", &t->headerEvents))
+        fail("line %d: header has no \"events\" count", lineno);
+    if (!extractU64(line, "recorded", &t->recorded))
+        fail("line %d: header has no \"recorded\" count", lineno);
+    if (!extractU64(line, "dropped", &t->dropped))
+        fail("line %d: header has no \"dropped\" count", lineno);
+
+    std::size_t pos = line.find("\"names\":[");
+    if (pos == std::string::npos)
+        fail("line %d: header has no \"names\" array", lineno);
+    pos += std::strlen("\"names\":[");
+    while (pos < line.size() && line[pos] != ']') {
+        std::string name;
+        if (!readJsonString(line, &pos, &name))
+            fail("line %d: malformed \"names\" array", lineno);
+        t->names.push_back(std::move(name));
+        if (pos < line.size() && line[pos] == ',')
+            ++pos;
+    }
+    if (pos >= line.size())
+        fail("line %d: unterminated \"names\" array", lineno);
+}
+
+void
+parseEvent(const std::string &line, int lineno, ParsedTrace *t)
+{
+    ParsedEvent e;
+    std::string kind;
+    std::uint64_t v;
+    if (!extractU64(line, "cycle", &v))
+        fail("line %d: event has no \"cycle\"", lineno);
+    e.cycle = v;
+    if (!extractStr(line, "kind", &kind))
+        fail("line %d: event has no \"kind\"", lineno);
+    if (!hirise::obs::evFromString(kind, &e.kind))
+        fail("line %d: unknown event kind '%s'", lineno, kind.c_str());
+    if (!extractU64(line, "tid", &v))
+        fail("line %d: event has no \"tid\"", lineno);
+    e.tid = static_cast<std::uint32_t>(v);
+    if (!extractU64(line, "a", &v))
+        fail("line %d: event has no \"a\"", lineno);
+    e.a = static_cast<std::uint32_t>(v);
+    if (!extractU64(line, "b", &v))
+        fail("line %d: event has no \"b\"", lineno);
+    e.b = static_cast<std::uint32_t>(v);
+    if (!extractU64(line, "c", &v))
+        fail("line %d: event has no \"c\"", lineno);
+    e.c = static_cast<std::uint32_t>(v);
+    if (!extractU64(line, "id", &v))
+        fail("line %d: event has no \"id\"", lineno);
+    e.id = v;
+    t->events.push_back(e);
+}
+
+ParsedTrace
+parseFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fail("cannot open '%s'", path.c_str());
+    ParsedTrace t;
+    std::string line;
+    int lineno = 0;
+    bool saw_header = false;
+    while (std::getline(f, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (!saw_header) {
+            parseHeader(line, lineno, &t);
+            saw_header = true;
+            continue;
+        }
+        parseEvent(line, lineno, &t);
+    }
+    if (!saw_header)
+        fail("'%s' is empty: no header line", path.c_str());
+    return t;
+}
+
+/** Strict checks beyond per-line syntax (the --validate contract). */
+void
+validate(const ParsedTrace &t)
+{
+    if (t.events.size() != t.headerEvents)
+        fail("header says %" PRIu64 " events but file has %zu",
+             t.headerEvents, t.events.size());
+    if (t.recorded != t.headerEvents + t.dropped)
+        fail("header inconsistent: recorded=%" PRIu64
+             " != events=%" PRIu64 " + dropped=%" PRIu64,
+             t.recorded, t.headerEvents, t.dropped);
+    if (t.events.empty())
+        fail("trace has no events (instrumentation never fired?)");
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+        const ParsedEvent &e = t.events[i];
+        if ((e.kind == Ev::ExpBegin || e.kind == Ev::ExpEnd) &&
+            e.a >= t.names.size())
+            fail("event %zu: name id %u out of range (%zu names)", i,
+                 e.a, t.names.size());
+    }
+}
+
+void
+summarize(const ParsedTrace &t)
+{
+    std::uint64_t per_kind[kNumEv] = {};
+    std::uint64_t cyc_min = ~0ull, cyc_max = 0;
+    std::uint64_t sim_events = 0;
+    std::uint32_t tid_max = 0;
+    for (const ParsedEvent &e : t.events) {
+        ++per_kind[static_cast<std::uint32_t>(e.kind)];
+        if (e.tid > tid_max)
+            tid_max = e.tid;
+        if (e.kind == Ev::ExpBegin || e.kind == Ev::ExpEnd)
+            continue; // wall-clock stamps, not cycles
+        ++sim_events;
+        if (e.cycle < cyc_min)
+            cyc_min = e.cycle;
+        if (e.cycle > cyc_max)
+            cyc_max = e.cycle;
+    }
+    std::printf("%zu events (%" PRIu64 " recorded, %" PRIu64
+                " dropped by ring wrap), threads<=%u\n",
+                t.events.size(), t.recorded, t.dropped, tid_max + 1);
+    if (sim_events)
+        std::printf("cycle range: [%" PRIu64 ", %" PRIu64 "]\n",
+                    cyc_min, cyc_max);
+    for (std::uint32_t k = 0; k < kNumEv; ++k) {
+        if (per_kind[k])
+            std::printf("  %-14s %" PRIu64 "\n",
+                        hirise::obs::toString(static_cast<Ev>(k)),
+                        per_kind[k]);
+    }
+    if (!t.names.empty()) {
+        std::printf("experiments:");
+        for (const auto &n : t.names)
+            std::printf(" %s", n.c_str());
+        std::printf("\n");
+    }
+}
+
+void
+writeChromeString(std::FILE *f, const std::string &s)
+{
+    std::fputc('"', f);
+    for (char ch : s) {
+        if (ch == '"' || ch == '\\')
+            std::fputc('\\', f);
+        if (static_cast<unsigned char>(ch) >= 0x20)
+            std::fputc(ch, f);
+    }
+    std::fputc('"', f);
+}
+
+void
+exportChrome(const ParsedTrace &t, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fail("cannot open '%s' for writing", path.c_str());
+    std::fputs("{\"traceEvents\":[", f);
+    bool first = true;
+    for (const ParsedEvent &e : t.events) {
+        if (!first)
+            std::fputc(',', f);
+        first = false;
+        if (e.kind == Ev::ExpBegin || e.kind == Ev::ExpEnd) {
+            const char *ph = e.kind == Ev::ExpBegin ? "B" : "E";
+            std::string name = e.a < t.names.size()
+                                   ? t.names[e.a]
+                                   : std::string("experiment");
+            std::fputs("{\"name\":", f);
+            writeChromeString(f, name);
+            std::fprintf(f,
+                         ",\"ph\":\"%s\",\"ts\":%" PRIu64
+                         ",\"pid\":1,\"tid\":%u}",
+                         ph, e.cycle, e.tid);
+            continue;
+        }
+        std::fprintf(f,
+                     "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                     "\"ts\":%" PRIu64 ",\"pid\":0,\"tid\":%u,"
+                     "\"args\":{\"a\":%u,\"b\":%u,\"c\":%u,"
+                     "\"id\":%" PRIu64 "}}",
+                     hirise::obs::toString(e.kind), e.cycle, e.tid, e.a,
+                     e.b, e.c, e.id);
+    }
+    std::fputs("]}\n", f);
+    if (std::ferror(f))
+        fail("I/O error writing '%s'", path.c_str());
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool do_validate = false;
+    std::string chrome_out;
+    std::string input;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--validate") == 0) {
+            do_validate = true;
+        } else if (std::strcmp(argv[i], "--chrome") == 0 &&
+                   i + 1 < argc) {
+            chrome_out = argv[++i];
+        } else if (argv[i][0] == '-') {
+            fail("unknown option '%s' (usage: trace_dump [--validate] "
+                 "[--chrome <out.json>] <trace.jsonl>)",
+                 argv[i]);
+        } else if (input.empty()) {
+            input = argv[i];
+        } else {
+            fail("more than one input file given");
+        }
+    }
+    if (input.empty())
+        fail("usage: trace_dump [--validate] [--chrome <out.json>] "
+             "<trace.jsonl>");
+
+    ParsedTrace t = parseFile(input);
+    if (do_validate) {
+        validate(t);
+        std::printf("OK: %zu events, %" PRIu64 " dropped, %zu "
+                    "experiment name(s)\n",
+                    t.events.size(), t.dropped, t.names.size());
+    }
+    if (!chrome_out.empty())
+        exportChrome(t, chrome_out);
+    if (!do_validate && chrome_out.empty())
+        summarize(t);
+    return 0;
+}
