@@ -228,4 +228,4 @@ BENCHMARK(BM_SaturationSearch_Speculative)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// main() is bench_gbench_main.cc (records hirise_build_type).

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared main for the google-benchmark suites. Replaces
+ * BENCHMARK_MAIN() so the JSON context records how *this repo* was
+ * compiled ("hirise_build_type"): google-benchmark's own
+ * library_build_type field describes the installed libbenchmark, which
+ * on some hosts is a debug build even when the suite itself is
+ * Release. scripts/run_microbench.sh refuses to record results unless
+ * hirise_build_type is "release".
+ */
+
+#include <benchmark/benchmark.h>
+
+int
+main(int argc, char **argv)
+{
+#ifdef NDEBUG
+    benchmark::AddCustomContext("hirise_build_type", "release");
+#else
+    benchmark::AddCustomContext("hirise_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -250,6 +250,7 @@ BM_NetworkSimCycle(benchmark::State &state)
 {
     sim::SimConfig cfg;
     cfg.injectionRate = 0.15;
+    cfg.denseStepping = state.range(1) != 0;
     auto spec = specFor(static_cast<int>(state.range(0)));
     sim::NetworkSim sim(spec, cfg,
                         std::make_shared<traffic::UniformRandom>(64));
@@ -261,6 +262,100 @@ BM_NetworkSimCycle(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_NetworkSimCycle)->Arg(0)->Arg(1)->Arg(2);
+// Second arg: 0 = event-driven core, 1 = dense reference core.
+BENCHMARK(BM_NetworkSimCycle)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1});
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------
+// Whole-run throughput at low load (the event-driven core's target
+// regime: most inputs idle most cycles, so active-set walks and idle
+// fast-forward dominate the win). Items = simulated cycles, so
+// items_per_second reads as simulated cycles per wall-clock second.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr net::Cycle kLowLoadWarmup = 500;
+constexpr net::Cycle kLowLoadMeasure = 20000;
+/** Per-input injection rate for the low-load A/B runs. 0.01 keeps a
+ *  radix-128 switch busy (~1.3 injections/cycle switch-wide) while
+ *  leaving most inputs idle most cycles — the regime the event core
+ *  targets. */
+constexpr double kLowLoadRate = 0.01;
+
+void
+loadedRun(benchmark::State &state, Topology topo, double rate,
+          net::Cycle measure)
+{
+    const auto radix = static_cast<std::uint32_t>(state.range(0));
+    SwitchSpec spec;
+    spec.radix = radix;
+    if (topo == Topology::HiRise) {
+        spec.topo = Topology::HiRise;
+        spec.layers = 4;
+        spec.channels = 4;
+        spec.arb = ArbScheme::Clrg;
+    } else {
+        spec.topo = Topology::Flat2D;
+        spec.arb = ArbScheme::Lrg;
+    }
+    sim::SimConfig cfg;
+    cfg.injectionRate = rate;
+    cfg.warmupCycles = kLowLoadWarmup;
+    cfg.measureCycles = measure;
+    cfg.denseStepping = state.range(1) != 0;
+    for (auto _ : state) {
+        sim::NetworkSim sim(
+            spec, cfg, std::make_shared<traffic::UniformRandom>(radix));
+        auto r = sim.run();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * (kLowLoadWarmup + measure)));
+}
+
+} // namespace
+
+static void
+BM_LowLoadRun_HiRise(benchmark::State &state)
+{
+    loadedRun(state, Topology::HiRise, kLowLoadRate, kLowLoadMeasure);
+}
+
+static void
+BM_LowLoadRun_Flat2d(benchmark::State &state)
+{
+    loadedRun(state, Topology::Flat2D, kLowLoadRate, kLowLoadMeasure);
+}
+
+/** Saturation A/B: guards the "event mode must not regress at high
+ *  load" side of the trade (the heap hands over to per-cycle polling
+ *  above NetworkSim::kInjHeapMaxRate). */
+static void
+BM_SaturationRun_HiRise(benchmark::State &state)
+{
+    loadedRun(state, Topology::HiRise, 1.0, 5000);
+}
+
+// Args: {radix, dense? 1 : 0}.
+BENCHMARK(BM_LowLoadRun_HiRise)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LowLoadRun_Flat2d)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SaturationRun_HiRise)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Unit(benchmark::kMillisecond);

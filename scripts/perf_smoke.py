@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Perf smoke check: compare a fresh google-benchmark JSON run against
+the committed baseline (BENCH_microperf.json) and fail on regressions.
+
+For every benchmark name present in both files, the throughput metric
+(items_per_second when both report it, else 1/real_time) must not drop
+more than --threshold (default 25%) below the baseline. New benchmarks
+with no baseline entry are reported and skipped; baseline entries
+missing from the fresh run fail, since a silently dropped benchmark
+would otherwise hide a regression forever.
+
+Usage:
+  scripts/perf_smoke.py <baseline.json> <fresh.json>
+      [--threshold 0.25] [--filter SUBSTRING]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def metric(entry):
+    """Throughput-style metric: higher is better."""
+    if "items_per_second" in entry:
+        return float(entry["items_per_second"]), "items/s"
+    return 1.0 / float(entry["real_time"]), "1/real_time"
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max fractional drop vs baseline (default .25)")
+    ap.add_argument("--filter", default="",
+                    help="only compare benchmarks containing SUBSTRING")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    if args.filter:
+        base = {k: v for k, v in base.items() if args.filter in k}
+        fresh = {k: v for k, v in fresh.items() if args.filter in k}
+    if not base:
+        sys.exit("no baseline benchmarks matched; nothing to compare")
+
+    width = max(len(n) for n in base) + 2
+    print(f"{'benchmark':<{width}}{'baseline':>14}{'fresh':>14}"
+          f"{'delta':>9}  status")
+    failures = []
+    for name in sorted(base):
+        if name not in fresh:
+            print(f"{name:<{width}}{'-':>14}{'-':>14}{'-':>9}  MISSING")
+            failures.append(f"{name}: present in baseline but not in "
+                            "the fresh run")
+            continue
+        b, _ = metric(base[name])
+        f, unit = metric(fresh[name])
+        delta = f / b - 1.0
+        bad = delta < -args.threshold
+        status = "FAIL" if bad else "ok"
+        print(f"{name:<{width}}{b:>14.4g}{f:>14.4g}"
+              f"{delta * 100:>8.1f}%  {status} ({unit})")
+        if bad:
+            failures.append(
+                f"{name}: {f:.4g} vs baseline {b:.4g} "
+                f"({delta * 100:+.1f}% < -{args.threshold * 100:.0f}%)")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name:<{width}}{'-':>14}{metric(fresh[name])[0]:>14.4g}"
+              f"{'-':>9}  new (no baseline)")
+
+    if failures:
+        print("\nperf smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,12 +9,14 @@
 # path) and bench_campaign (campaign layer: thread pool, sim cache,
 # speculative saturation search).
 #
-# The script refuses to write the output file unless google-benchmark
-# reports a release library build — debug numbers committed by
-# accident would poison every later comparison. On hosts whose
-# *installed* libbenchmark was itself compiled without NDEBUG (the
-# check reflects the library, not this repo's flags), set
-# HIRISE_BENCH_ALLOW_DEBUG=1 to downgrade the refusal to a warning.
+# The script refuses to write the output file unless the suite itself
+# was compiled Release ("hirise_build_type" custom context, from
+# bench_gbench_main.cc) — debug numbers committed by accident would
+# poison every later comparison. That check has NO override. A second,
+# softer check covers google-benchmark's own library_build_type field;
+# it describes the *installed* libbenchmark, which on some hosts is a
+# debug build no matter how this repo is compiled, so
+# HIRISE_BENCH_ALLOW_DEBUG=1 downgrades only that one to a warning.
 #
 # Usage: scripts/run_microbench.sh [extra google-benchmark args...]
 set -euo pipefail
@@ -55,13 +57,20 @@ for name in ("bench_microperf", "bench_campaign"):
                  "--benchmark_filter match nothing in this suite?")
     with open(path) as f:
         doc = json.load(f)
+    own_build = doc["context"].get("hirise_build_type", "")
+    if own_build != "release":
+        sys.exit(f"{name}: hirise_build_type is '{own_build}', "
+                 "expected 'release' — the suite itself was not "
+                 "compiled with NDEBUG; refusing to record debug "
+                 "numbers (no override: rebuild Release)")
     build_type = doc["context"].get("library_build_type", "")
     if build_type != "release":
         msg = (f"{name}: library_build_type is '{build_type}', "
-               "expected 'release'")
+               "expected 'release' (installed libbenchmark)")
         if not allow_debug:
-            sys.exit(msg + " — refusing to record debug numbers "
-                     "(HIRISE_BENCH_ALLOW_DEBUG=1 overrides)")
+            sys.exit(msg + " — refusing to record; set "
+                     "HIRISE_BENCH_ALLOW_DEBUG=1 if the library is "
+                     "known-debug on this host")
         print(f"WARNING: {msg}", file=sys.stderr)
     for bench in doc["benchmarks"]:
         bench["suite"] = name

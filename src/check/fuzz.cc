@@ -8,6 +8,8 @@
 #include "check/lockstep.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "fabric/fabric.hh"
+#include "fabric/hirise.hh"
 #include "traffic/pattern.hh"
 
 namespace hirise::check {
@@ -237,7 +239,8 @@ describe(const DiffConfig &c)
        << " len=" << c.cfg.packetLen
        << " warm=" << c.cfg.warmupCycles
        << " meas=" << c.cfg.measureCycles
-       << " seed=" << c.cfg.seed;
+       << " seed=" << c.cfg.seed
+       << " mode=" << (c.cfg.denseStepping ? "dense" : "event");
     if (!c.faults.empty())
         os << " faults=" << c.faults.size();
     if (c.mutation != Mutation::None)
@@ -280,6 +283,35 @@ runDifferential(const DiffConfig &c)
         out.ok = false;
         out.mismatchCycle = c.cfg.warmupCycles + c.cfg.measureCycles;
         out.detail = "SimResult diverged: " + why;
+        return out;
+    }
+
+    // Pass 3: the optimized fabric again in the opposite stepping
+    // mode; the event-driven and dense cores must agree bit-exactly.
+    // Skipped under an oracle mutation (it perturbs only the ref side,
+    // so this pass would compare two unmutated runs regardless).
+    if (c.mutation == Mutation::None) {
+        DiffConfig flip = c;
+        flip.cfg.denseStepping = !c.cfg.denseStepping;
+        auto alt_fab = fabric::makeFabric(flip.spec);
+        if (auto *hr =
+                dynamic_cast<fabric::HiRiseFabric *>(alt_fab.get())) {
+            for (const auto &f : flip.faults)
+                hr->failChannel(f.srcLayer, f.dstLayer, f.chan);
+        }
+        sim::NetworkSim alt_sim(flip.spec, flip.cfg, makePattern(flip),
+                                std::move(alt_fab));
+        sim::SimResult alt_res = alt_sim.run();
+        if (!sameResult(opt_res, alt_res, &why)) {
+            out.ok = false;
+            out.mismatchCycle =
+                c.cfg.warmupCycles + c.cfg.measureCycles;
+            out.detail = std::string("stepping-mode divergence (") +
+                         (c.cfg.denseStepping ? "dense" : "event") +
+                         " vs " +
+                         (flip.cfg.denseStepping ? "dense" : "event") +
+                         "): " + why;
+        }
     }
     return out;
 }
@@ -331,6 +363,7 @@ sampleConfig(Rng &rng)
     c.cfg.warmupCycles = u32(0, 100);
     c.cfg.measureCycles = u32(50, 400);
     c.cfg.seed = rng.next();
+    c.cfg.denseStepping = rng.below(2) == 1;
 
     switch (u32(0, 9)) {
       case 4:
@@ -540,6 +573,8 @@ toGtestRepro(const DiffConfig &c)
        << "    c.cfg.warmupCycles = " << c.cfg.warmupCycles << ";\n"
        << "    c.cfg.measureCycles = " << c.cfg.measureCycles << ";\n"
        << "    c.cfg.seed = " << c.cfg.seed << "ull;\n"
+       << "    c.cfg.denseStepping = "
+       << (c.cfg.denseStepping ? "true" : "false") << ";\n"
        << "    c.pattern = " << codeName(c.pattern) << ";\n";
     if (c.pattern == PatternKind::Hotspot)
         os << "    c.hotOutput = " << c.hotOutput << ";\n";

@@ -1,11 +1,14 @@
 /**
  * @file
  * Config-fuzzing harness for the simulation core. Samples random
- * SwitchSpec x traffic x seed x fault-set configurations, runs the
- * optimized simulator and the naive oracle in lockstep (per-cycle
- * grant matrices) plus a second pure-oracle end-to-end run (bit-exact
- * SimResult), and on any mismatch greedily shrinks the configuration
- * to a minimal reproducer printed as a ready-to-paste gtest case.
+ * SwitchSpec x traffic x seed x fault-set x stepping-mode
+ * configurations, runs the optimized simulator and the naive oracle
+ * in lockstep (per-cycle grant matrices), a second pure-oracle
+ * end-to-end run (bit-exact SimResult), and a third run of the
+ * optimized fabric in the opposite stepping mode (dense vs
+ * event-driven, also bit-exact), and on any mismatch greedily shrinks
+ * the configuration to a minimal reproducer printed as a
+ * ready-to-paste gtest case.
  */
 
 #ifndef HIRISE_CHECK_FUZZ_HH
@@ -72,9 +75,13 @@ struct DiffOutcome
 };
 
 /**
- * Run @p c twice: the optimized fabric in lockstep with the oracle
- * (compared every cycle), then the whole simulation on the pure
- * oracle, comparing the final SimResult bit-exactly.
+ * Run @p c three ways: the optimized fabric in lockstep with the
+ * oracle (compared every cycle), the whole simulation on the pure
+ * oracle (final SimResult compared bit-exactly), and — when the
+ * mutation is off, so the first pass defines a trusted result — the
+ * optimized fabric again in the opposite stepping mode
+ * (c.cfg.denseStepping flipped), whose SimResult must also match
+ * bit-exactly.
  */
 DiffOutcome runDifferential(const DiffConfig &c);
 

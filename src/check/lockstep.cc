@@ -77,6 +77,34 @@ LockstepFabric::arbitrate(std::span<const std::uint32_t> req)
     return grant_;
 }
 
+const BitVec &
+LockstepFabric::arbitrateActive(std::span<const std::uint32_t> req,
+                                std::span<const std::uint32_t> active)
+{
+    // The optimized side takes the sparse path under test; the oracle
+    // always sees the full request vector, so lockstep additionally
+    // checks arbitrateActive == arbitrate equivalence.
+    const BitVec &g = opt_->arbitrateActive(req, active);
+    reqScratch_.assign(req.begin(), req.end());
+    auto rg = ref_.arbitrate(reqScratch_);
+    if (!mismatched_)
+        compare(req, g, rg);
+    ++cycle_;
+    grant_.copyFrom(g);
+    return grant_;
+}
+
+void
+LockstepFabric::advanceIdle(std::uint64_t cycles)
+{
+    // The oracle keeps no per-call stats, so only the optimized side
+    // needs the idle accounting; the arbitration-cycle counter tracks
+    // skipped cycles so mismatchCycle() stays a sim-cycle index
+    // regardless of stepping mode.
+    opt_->advanceIdle(cycles);
+    cycle_ += cycles;
+}
+
 void
 LockstepFabric::release(std::uint32_t input, std::uint32_t output)
 {

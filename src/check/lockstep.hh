@@ -77,7 +77,11 @@ class LockstepFabric : public fabric::Fabric
 
     const BitVec &
     arbitrate(std::span<const std::uint32_t> req) override;
+    const BitVec &
+    arbitrateActive(std::span<const std::uint32_t> req,
+                    std::span<const std::uint32_t> active) override;
     void release(std::uint32_t input, std::uint32_t output) override;
+    void advanceIdle(std::uint64_t cycles) override;
     bool outputBusy(std::uint32_t output) const override;
     std::uint32_t outputHolder(std::uint32_t output) const override;
 

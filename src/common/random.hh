@@ -10,6 +10,7 @@
 #ifndef HIRISE_COMMON_RANDOM_HH
 #define HIRISE_COMMON_RANDOM_HH
 
+#include <cmath>
 #include <cstdint>
 
 namespace hirise {
@@ -36,6 +37,96 @@ constexpr std::uint64_t
 shardSeed(std::uint64_t seed, std::uint64_t index)
 {
     return splitmix64(seed ^ (0xd1b54a32d192ed03ull * (index + 1)));
+}
+
+// ---------------------------------------------------------------------
+// Counter-based (stateless) streams
+// ---------------------------------------------------------------------
+//
+// A counter stream is a pure function of (seed, lane, tick): lane
+// identifies an independent logical stream (e.g. one per input port
+// and draw purpose), tick is the position within it (e.g. the sim
+// cycle). Unlike the sequential Rng below, draws are order-independent
+// and skippable, so an event-driven consumer can evaluate exactly the
+// ticks it needs and still agree bit-for-bit with a dense consumer
+// that evaluates every tick.
+
+/** Per-(seed, lane) stream key; hoist out of tick loops. */
+constexpr std::uint64_t
+counterKey(std::uint64_t seed, std::uint64_t lane)
+{
+    return splitmix64(seed ^ (0xd1b54a32d192ed03ull * (lane + 1)));
+}
+
+/** Raw 64-bit draw at @p tick of the stream keyed by @p key. */
+constexpr std::uint64_t
+counterDrawKeyed(std::uint64_t key, std::uint64_t tick)
+{
+    return splitmix64(key + 0x9e3779b97f4a7c15ull * tick);
+}
+
+/** Raw 64-bit draw at (seed, lane, tick). */
+constexpr std::uint64_t
+counterDraw(std::uint64_t seed, std::uint64_t lane, std::uint64_t tick)
+{
+    return counterDrawKeyed(counterKey(seed, lane), tick);
+}
+
+/** Map a raw draw to a uniform double in [0, 1) (same 53-bit mantissa
+ *  construction as Rng::uniform). */
+constexpr double
+counterUniform(std::uint64_t draw)
+{
+    return static_cast<double>(draw >> 11) * 0x1.0p-53;
+}
+
+/**
+ * Integer threshold T such that, for every raw draw d,
+ *     (d >> 11) < T  <=>  counterUniform(d) < p.
+ * Proof: m = d >> 11 is an integer < 2^53, m * 2^-53 is exact in
+ * double, so the float compare is the real compare m < p * 2^53; for
+ * integer m that is m < ceil(p * 2^53). p * 2^53 is computed exactly
+ * (scaling by a power of two). Lets the geometric-skip scan test one
+ * shift+compare per cycle instead of an int->double conversion.
+ */
+constexpr std::uint64_t
+bernoulliThreshold(double p)
+{
+    if (!(p > 0.0))
+        return 0;
+    if (p >= 1.0)
+        return 1ull << 53;
+    const double s = p * 0x1.0p53;
+    const auto t = static_cast<std::uint64_t>(s); // floor (s > 0)
+    return t + (static_cast<double>(t) < s ? 1 : 0);
+}
+
+/** Bernoulli(p) decision for a raw draw. */
+constexpr bool
+counterBernoulli(std::uint64_t draw, double p)
+{
+    return (draw >> 11) < bernoulliThreshold(p);
+}
+
+/** Uniform integer in [0, bound) from a raw draw (Lemire reduction,
+ *  same map as Rng::below). @pre bound > 0. */
+constexpr std::uint64_t
+counterBelow(std::uint64_t draw, std::uint64_t bound)
+{
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(draw) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+/** Geometric draw (failures before first success) via the inverse
+ *  CDF, so one raw draw suffices; mean (1-p)/p like Rng::geometric. */
+inline std::uint64_t
+counterGeometric(std::uint64_t draw, double p)
+{
+    if (p >= 1.0)
+        return 0;
+    const double u = counterUniform(draw);
+    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
 }
 
 /**

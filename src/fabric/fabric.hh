@@ -55,8 +55,35 @@ class Fabric
     virtual const BitVec &
     arbitrate(std::span<const std::uint32_t> req) = 0;
 
+    /**
+     * As arbitrate(), but with the requesting inputs enumerated in
+     * @p active (ascending, exactly the i with req[i] != kNoRequest).
+     * Semantically identical to arbitrate(req) — the list only lets
+     * implementations skip the O(radix) scan for idle inputs, which
+     * is what the event-driven simulator's active-set arbitration
+     * feeds. Default: full arbitrate(req).
+     */
+    virtual const BitVec &
+    arbitrateActive(std::span<const std::uint32_t> req,
+                    std::span<const std::uint32_t> /*active*/)
+    {
+        return arbitrate(req);
+    }
+
     /** Tear down the connection input -> output (tail flit sent). */
     virtual void release(std::uint32_t input, std::uint32_t output) = 0;
+
+    /**
+     * Account @p cycles arbitration cycles in which no input
+     * requested, without running arbitration. An all-kNoRequest
+     * arbitrate() call leaves every arbiter and connection untouched,
+     * so the event-driven simulator skips it entirely for request-free
+     * cycles (including whole fast-forwarded idle spans) and calls
+     * this instead; implementations that keep per-call statistics
+     * (HiRise's channel-utilization denominators) override it so the
+     * stats match dense stepping exactly. Default: no-op.
+     */
+    virtual void advanceIdle(std::uint64_t /*cycles*/) {}
 
     virtual bool outputBusy(std::uint32_t output) const = 0;
 

@@ -32,6 +32,21 @@ Flat2dFabric::Flat2dFabric(const SwitchSpec &spec)
                "Flat2dFabric models 2D and folded switches only");
 }
 
+// Group one request into its output column; a column's mask is
+// cleared lazily when it first gains a requestor this cycle.
+inline void
+Flat2dFabric::collectRequest(std::uint32_t i, std::uint32_t o)
+{
+    sim_assert(o < spec_.radix, "request to bad output %u", o);
+    if (holder_[o] != kNoRequest)
+        return; // busy output: request loses this cycle
+    if (!contended_[o]) {
+        contended_.set(o);
+        want_[o].clear();
+    }
+    want_[o].set(i);
+}
+
 const BitVec &
 Flat2dFabric::arbitrate(std::span<const std::uint32_t> req)
 {
@@ -39,22 +54,35 @@ Flat2dFabric::arbitrate(std::span<const std::uint32_t> req)
     grant_.clear();
     contended_.clear();
 
-    // Group requests per output column; a column's mask is cleared
-    // lazily when it first gains a requestor this cycle.
     for (std::uint32_t i = 0; i < spec_.radix; ++i) {
-        std::uint32_t o = req[i];
-        if (o == kNoRequest)
-            continue;
-        sim_assert(o < spec_.radix, "request to bad output %u", o);
-        if (holder_[o] != kNoRequest)
-            continue; // busy output: request loses this cycle
-        if (!contended_[o]) {
-            contended_.set(o);
-            want_[o].clear();
-        }
-        want_[o].set(i);
+        if (req[i] != kNoRequest)
+            collectRequest(i, req[i]);
     }
+    return finishArbitrate(req);
+}
 
+const BitVec &
+Flat2dFabric::arbitrateActive(std::span<const std::uint32_t> req,
+                              std::span<const std::uint32_t> active)
+{
+    sim_assert(req.size() == spec_.radix, "bad request vector");
+    grant_.clear();
+    contended_.clear();
+
+    // active is ascending, so columns fill in the same order as the
+    // dense scan above — the arbiter outcomes are bit-identical.
+    for (std::uint32_t i : active) {
+        sim_assert(i < spec_.radix && req[i] != kNoRequest,
+                   "active list entry %u has no request", i);
+        collectRequest(i, req[i]);
+    }
+    return finishArbitrate(req);
+}
+
+const BitVec &
+Flat2dFabric::finishArbitrate(std::span<const std::uint32_t> req)
+{
+    (void)req; // used by the HIRISE_CHECK build only
     contended_.forEachSet([this](std::uint32_t o) {
         std::uint32_t w = outputArb_[o].pick(want_[o]);
         if (w == arb::MatrixArbiter::kNone)

@@ -21,11 +21,17 @@ class Flat2dFabric : public Fabric
 
     const BitVec &
     arbitrate(std::span<const std::uint32_t> req) override;
+    const BitVec &
+    arbitrateActive(std::span<const std::uint32_t> req,
+                    std::span<const std::uint32_t> active) override;
     void release(std::uint32_t input, std::uint32_t output) override;
     bool outputBusy(std::uint32_t output) const override;
     std::uint32_t outputHolder(std::uint32_t output) const override;
 
   private:
+    void collectRequest(std::uint32_t i, std::uint32_t o);
+    const BitVec &finishArbitrate(std::span<const std::uint32_t> req);
+
     /** One LRG arbiter per output column (the crosspoint priority
      *  vectors of that column). */
     std::vector<arb::MatrixArbiter> outputArb_;

@@ -187,68 +187,75 @@ HiRiseFabric::resetScratch()
     activeChan_.clear();
 }
 
+// Bin one request into its phase-1 column(s). Shared by the dense
+// full-radix scan and the active-list path; column fill order depends
+// only on the (ascending) order of calls, so both paths are
+// bit-identical when the active list is ascending.
+inline void
+HiRiseFabric::collectRequest(std::uint32_t i, std::uint32_t o)
+{
+    sim_assert(o < spec_.radix, "request to bad output %u", o);
+    std::uint32_t s = layerOf(i);
+    std::uint32_t d = layerOf(o);
+
+    if (d == s) {
+        // Same-layer: contend for the dedicated intermediate
+        // output column. The column is in use iff the output is
+        // held through it.
+        if (holder_[o] != kNoRequest && heldChan_[o] == kNoRequest &&
+            layerOf(holder_[o]) == d)
+            return;
+        auto &col = interCol_[o];
+        if (!col.active) {
+            col.active = true;
+            col.mask.clear();
+            activeInter_.push_back(o);
+        }
+        col.mask.set(localIdx(i));
+        ++col.weight;
+        return;
+    }
+
+    if (spec_.alloc == ChannelAlloc::Priority) {
+        // Pool request: mark interest on every channel (s,d,*);
+        // phase1 serializes the choice across free channels.
+        for (std::uint32_t k = 0; k < chan_; ++k) {
+            std::uint32_t id = chanId(s, d, k);
+            auto &col = chanCol_[id];
+            if (!col.active) {
+                col.active = true;
+                col.mask.clear();
+                activeChan_.push_back(id);
+            }
+            col.mask.set(localIdx(i));
+        }
+        // weight counted once per input on channel 0's column
+        ++chanCol_[chanId(s, d, 0)].weight;
+        return;
+    }
+
+    std::uint32_t k = channelFor(i, o);
+    if (k == kNoRequest)
+        return; // every channel to that layer has failed
+    std::uint32_t id = chanId(s, d, k);
+    if (chanBusy_[id])
+        return; // channel mid-transfer: retry next cycle
+    auto &col = chanCol_[id];
+    if (!col.active) {
+        col.active = true;
+        col.mask.clear();
+        activeChan_.push_back(id);
+    }
+    col.mask.set(localIdx(i));
+    ++col.weight;
+}
+
 void
 HiRiseFabric::collectRequests(std::span<const std::uint32_t> req)
 {
     for (std::uint32_t i = 0; i < spec_.radix; ++i) {
-        std::uint32_t o = req[i];
-        if (o == kNoRequest)
-            continue;
-        sim_assert(o < spec_.radix, "request to bad output %u", o);
-        std::uint32_t s = layerOf(i);
-        std::uint32_t d = layerOf(o);
-
-        if (d == s) {
-            // Same-layer: contend for the dedicated intermediate
-            // output column. The column is in use iff the output is
-            // held through it.
-            if (holder_[o] != kNoRequest &&
-                heldChan_[o] == kNoRequest &&
-                layerOf(holder_[o]) == d)
-                continue;
-            auto &col = interCol_[o];
-            if (!col.active) {
-                col.active = true;
-                col.mask.clear();
-                activeInter_.push_back(o);
-            }
-            col.mask.set(localIdx(i));
-            ++col.weight;
-            continue;
-        }
-
-        if (spec_.alloc == ChannelAlloc::Priority) {
-            // Pool request: mark interest on every channel (s,d,*);
-            // phase1 serializes the choice across free channels.
-            for (std::uint32_t k = 0; k < chan_; ++k) {
-                std::uint32_t id = chanId(s, d, k);
-                auto &col = chanCol_[id];
-                if (!col.active) {
-                    col.active = true;
-                    col.mask.clear();
-                    activeChan_.push_back(id);
-                }
-                col.mask.set(localIdx(i));
-            }
-            // weight counted once per input on channel 0's column
-            ++chanCol_[chanId(s, d, 0)].weight;
-            continue;
-        }
-
-        std::uint32_t k = channelFor(i, o);
-        if (k == kNoRequest)
-            continue; // every channel to that layer has failed
-        std::uint32_t id = chanId(s, d, k);
-        if (chanBusy_[id])
-            continue; // channel mid-transfer: retry next cycle
-        auto &col = chanCol_[id];
-        if (!col.active) {
-            col.active = true;
-            col.mask.clear();
-            activeChan_.push_back(id);
-        }
-        col.mask.set(localIdx(i));
-        ++col.weight;
+        if (req[i] != kNoRequest)
+            collectRequest(i, req[i]);
     }
 }
 
@@ -373,17 +380,47 @@ HiRiseFabric::phase2()
     });
 }
 
-const BitVec &
-HiRiseFabric::arbitrate(std::span<const std::uint32_t> req)
+// Per-call prologue shared by both arbitrate entry points: clear the
+// grant scratch, keep the stats denominators dense-identical, and
+// lazily reset last cycle's touched columns.
+void
+HiRiseFabric::beginArbitrate()
 {
-    sim_assert(req.size() == spec_.radix, "bad request vector");
     grant_.clear();
     ++arbitrateCalls_;
     for (std::uint32_t id = 0; id < chanBusy_.size(); ++id)
         stats_.chanBusyCycles[id] += chanBusy_[id] ? 1 : 0;
     resetScratch();
-    collectRequests(req);
+}
 
+const BitVec &
+HiRiseFabric::arbitrate(std::span<const std::uint32_t> req)
+{
+    sim_assert(req.size() == spec_.radix, "bad request vector");
+    beginArbitrate();
+    collectRequests(req);
+    return finishArbitrate(req);
+}
+
+const BitVec &
+HiRiseFabric::arbitrateActive(std::span<const std::uint32_t> req,
+                              std::span<const std::uint32_t> active)
+{
+    sim_assert(req.size() == spec_.radix, "bad request vector");
+    beginArbitrate();
+    // active is ascending, so columns fill in the same order as the
+    // dense collectRequests scan — phase-1 picks are bit-identical.
+    for (std::uint32_t i : active) {
+        sim_assert(i < spec_.radix && req[i] != kNoRequest,
+                   "active list entry %u has no request", i);
+        collectRequest(i, req[i]);
+    }
+    return finishArbitrate(req);
+}
+
+const BitVec &
+HiRiseFabric::finishArbitrate(std::span<const std::uint32_t> req)
+{
     // Record each channel winner's destination before phase 2, and
     // mark the outputs that have at least one phase-1 winner so
     // phase 2 visits only those sub-blocks.
@@ -473,6 +510,21 @@ HiRiseFabric::checkInvariants(std::span<const std::uint32_t> req) const
     }
 }
 #endif
+
+void
+HiRiseFabric::advanceIdle(std::uint64_t cycles)
+{
+    // Mirror the per-call stats prologue of arbitrate() for cycles in
+    // which the simulator had no requests to submit, so utilization
+    // denominators and busy-cycle counts are independent of stepping
+    // mode. Channels stay busy across request-free cycles while their
+    // connection is still transferring.
+    arbitrateCalls_ += cycles;
+    for (std::uint32_t id = 0; id < chanBusy_.size(); ++id) {
+        if (chanBusy_[id])
+            stats_.chanBusyCycles[id] += cycles;
+    }
+}
 
 void
 HiRiseFabric::release(std::uint32_t input, std::uint32_t output)

@@ -29,7 +29,11 @@ class HiRiseFabric : public Fabric
 
     const BitVec &
     arbitrate(std::span<const std::uint32_t> req) override;
+    const BitVec &
+    arbitrateActive(std::span<const std::uint32_t> req,
+                    std::span<const std::uint32_t> active) override;
     void release(std::uint32_t input, std::uint32_t output) override;
+    void advanceIdle(std::uint64_t cycles) override;
     bool outputBusy(std::uint32_t output) const override;
     std::uint32_t outputHolder(std::uint32_t output) const override;
 
@@ -149,7 +153,10 @@ class HiRiseFabric : public Fabric
     std::vector<arb::SubBlockRequest> subReqs_; //!< phase-2 scratch
 
     void resetScratch();
+    void beginArbitrate();
+    void collectRequest(std::uint32_t i, std::uint32_t o);
     void collectRequests(std::span<const std::uint32_t> req);
+    const BitVec &finishArbitrate(std::span<const std::uint32_t> req);
     void phase1();
     void phase2();
 #ifdef HIRISE_CHECK_ENABLED

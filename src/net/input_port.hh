@@ -164,6 +164,21 @@ class InputPort
         return vcs_[vc].front().dst;
     }
 
+    /** Any flit buffered in any VC? For a non-connected port this is
+     *  equivalent to "some VC is head-ready" (packets enter a VC head
+     *  first and drain only while connected), which is what makes it
+     *  a valid arbitration-eligibility signal for the event-driven
+     *  simulator core. */
+    bool
+    anyVcOccupied() const
+    {
+        for (const auto &vc : vcs_) {
+            if (!vc.empty())
+                return true;
+        }
+        return false;
+    }
+
     /** Total flits buffered in VCs plus queued at the source. */
     std::uint64_t backlogFlits() const;
 

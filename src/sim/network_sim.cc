@@ -1,5 +1,7 @@
 #include "sim/network_sim.hh"
 
+#include <algorithm>
+
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -64,6 +66,19 @@ recordRelease(std::uint32_t in, std::uint32_t out,
                                       packet);
 }
 
+/** Min-heap order on (cycle, input): ties pop in ascending input
+ *  order, matching the dense core's per-cycle input scan. */
+struct EvLater
+{
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        return a.cycle != b.cycle ? a.cycle > b.cycle
+                                  : a.input > b.input;
+    }
+};
+
 } // namespace
 
 NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
@@ -76,47 +91,147 @@ NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
                        std::shared_ptr<traffic::TrafficPattern> pattern,
                        std::unique_ptr<fabric::Fabric> fabric)
     : spec_(spec), cfg_(cfg), pattern_(std::move(pattern)),
-      fabric_(std::move(fabric)), rng_(cfg.seed),
+      fabric_(std::move(fabric)), event_(!cfg.denseStepping),
+      memoryless_(pattern_->memoryless()),
+      injHeapOn_(!cfg.denseStepping && pattern_->memoryless() &&
+                 cfg.injectionRate <= kInjHeapMaxRate),
       reqScratch_(spec.radix, fabric::kNoRequest),
       candVcScratch_(spec.radix, net::InputPort::kNoVc),
       dstFreeScratch_(spec.radix), connectedPorts_(spec.radix),
+      eligibleInputs_(spec.radix), fillPending_(spec.radix),
       perInputLatency_(spec.radix), perInputPackets_(spec.radix, 0)
 {
     sim_assert(fabric_ != nullptr, "NetworkSim needs a fabric");
     ports_.assign(spec.radix,
                   net::InputPort(cfg.numVcs, cfg.vcDepth));
+    dstFreeScratch_.fill(); // no output is held at reset
+    activeReq_.reserve(spec.radix);
+    if (injHeapOn_) {
+        injHeap_.reserve(spec.radix);
+        for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+            if (pattern_->participates(i))
+                scheduleNextInjection(i, 0);
+        }
+    }
     if (cfg_.trace && !obs::CycleTracer::global().enabled())
         obs::CycleTracer::global().enable();
 }
 
 void
-NetworkSim::injectCycle()
+NetworkSim::injectPacket(std::uint32_t i, std::uint32_t dst)
+{
+    net::Packet p;
+    p.id = nextId_++;
+    p.src = i;
+    p.dst = dst;
+    sim_assert(p.dst < spec_.radix, "pattern dst out of range");
+    p.lenFlits = static_cast<std::uint16_t>(cfg_.packetLen);
+    p.genCycle = cycle_;
+    ports_[i].sourceQueue().push_back(p);
+    fillPending_.set(i);
+    ++injected_;
+    if (measuring_) {
+        measFlitsOffered_ += p.lenFlits;
+        ++measPacketsInjected_;
+    }
+    if (obs::on()) [[unlikely]]
+        recordInject(i, p.dst, p.id);
+}
+
+void
+NetworkSim::injectDenseCycle()
 {
     for (std::uint32_t i = 0; i < spec_.radix; ++i) {
-        if (pattern_->inject(i, cfg_.injectionRate, rng_)) {
-            net::Packet p;
-            p.id = nextId_++;
-            p.src = i;
-            p.dst = pattern_->dest(i, rng_);
-            sim_assert(p.dst < spec_.radix, "pattern dst out of range");
-            p.lenFlits = static_cast<std::uint16_t>(cfg_.packetLen);
-            p.genCycle = cycle_;
-            ports_[i].sourceQueue().push_back(p);
-            ++injected_;
-            if (measuring_) {
-                measFlitsOffered_ += p.lenFlits;
-                ++measPacketsInjected_;
-            }
-            if (obs::on()) [[unlikely]]
-                recordInject(i, p.dst, p.id);
+        if (pattern_->injectAt(i, cycle_, cfg_.injectionRate,
+                               cfg_.seed)) {
+            injectPacket(i,
+                         pattern_->destAt(i, cycle_, cfg_.seed));
         }
-        ports_[i].fillCycle();
     }
+}
+
+void
+NetworkSim::heapPush(InjEvent ev)
+{
+    injHeap_.push_back(ev);
+    std::push_heap(injHeap_.begin(), injHeap_.end(), EvLater{});
+}
+
+void
+NetworkSim::scheduleNextInjection(std::uint32_t i, net::Cycle from)
+{
+    const net::Cycle limit = from + kInjectScanChunk;
+    net::Cycle next = pattern_->nextInjectionFrom(
+        i, from, cfg_.injectionRate, cfg_.seed, limit);
+    // next == limit means no hit inside the chunk: the entry acts as
+    // a probe (injectAt is re-evaluated on pop and the scan resumes).
+    heapPush({next, i});
+}
+
+void
+NetworkSim::injectEventCycle()
+{
+    // Due events pop in ascending input order, so packet ids are
+    // assigned exactly as the dense core's per-cycle input scan does.
+    while (!injHeap_.empty() && injHeap_.front().cycle <= cycle_) {
+        sim_assert(injHeap_.front().cycle == cycle_,
+                   "missed injection event");
+        std::pop_heap(injHeap_.begin(), injHeap_.end(), EvLater{});
+        const std::uint32_t i = injHeap_.back().input;
+        injHeap_.pop_back();
+        if (pattern_->injectAt(i, cycle_, cfg_.injectionRate,
+                               cfg_.seed)) {
+            injectPacket(i, pattern_->destAt(i, cycle_, cfg_.seed));
+            scheduleNextInjection(i, cycle_ + 1);
+        } else {
+            // Probe entry: rescan forward from here.
+            scheduleNextInjection(i, cycle_);
+        }
+    }
+}
+
+void
+NetworkSim::fillPhase()
+{
+    // Only inputs with source-queue backlog can move a flit; an
+    // in-flight fill implies a non-empty queue (the packet leaves the
+    // queue only with its last flit). Resetting the current bit
+    // inside forEachSet is safe (iteration copies each word).
+    fillPending_.forEachSet([&](std::uint32_t i) {
+        net::InputPort &port = ports_[i];
+        port.fillCycle();
+        if (!port.connected() && port.anyVcOccupied())
+            eligibleInputs_.set(i);
+        if (port.sourceQueue().empty())
+            fillPending_.reset(i);
+    });
+}
+
+void
+NetworkSim::applyGrant(std::uint32_t i)
+{
+    auto &req = reqScratch_;
+    auto &cand_vc = candVcScratch_;
+    sim_assert(req[i] != fabric::kNoRequest,
+               "grant to non-requesting input %u", i);
+    if (measuring_) {
+        const net::Flit &head = ports_[i].vcs()[cand_vc[i]].front();
+        queueing_.add(static_cast<double>(cycle_ - head.genCycle));
+    }
+    if (obs::on()) [[unlikely]]
+        recordGrant(i, req[i], cand_vc[i],
+                    ports_[i].vcs()[cand_vc[i]].front().packet);
+    ports_[i].connect(cand_vc[i], req[i], cfg_.packetLen);
+    connectedPorts_.set(i);
+    eligibleInputs_.reset(i);
+    dstFreeScratch_.reset(req[i]);
 }
 
 void
 NetworkSim::arbitrateCycle()
 {
+    // Dense reference: rebuild output availability from the fabric
+    // and offer every non-connected input a candidate pick.
     auto &req = reqScratch_;
     auto &cand_vc = candVcScratch_;
     dstFreeScratch_.clear();
@@ -142,21 +257,51 @@ NetworkSim::arbitrateCycle()
         std::span<const std::uint32_t>(req), grant, spec_.radix,
         [this](std::uint32_t o) { return fabric_->outputHolder(o); });
 #endif
-    grant.forEachSet([&](std::uint32_t i) {
-        sim_assert(req[i] != fabric::kNoRequest,
-                   "grant to non-requesting input %u", i);
-        if (measuring_) {
-            const net::Flit &head =
-                ports_[i].vcs()[cand_vc[i]].front();
-            queueing_.add(
-                static_cast<double>(cycle_ - head.genCycle));
-        }
-        if (obs::on()) [[unlikely]]
-            recordGrant(i, req[i], cand_vc[i],
-                        ports_[i].vcs()[cand_vc[i]].front().packet);
-        ports_[i].connect(cand_vc[i], req[i], cfg_.packetLen);
-        connectedPorts_.set(i);
+    grant.forEachSet([&](std::uint32_t i) { applyGrant(i); });
+}
+
+void
+NetworkSim::arbitrateCycleActive()
+{
+    // Event mode: only eligible inputs (non-connected with an occupied
+    // VC) can request, and a non-connected occupied VC always has a
+    // ready head, so skipping the rest is pick-state-neutral:
+    // pickCandidateVc leaves its round-robin pointer untouched when no
+    // VC is head-ready. dstFreeScratch_ is maintained incrementally
+    // (grant clears, release sets) instead of rebuilt per cycle.
+    auto &req = reqScratch_;
+    auto &cand_vc = candVcScratch_;
+    activeReq_.clear();
+    eligibleInputs_.forEachSet([&](std::uint32_t i) {
+        std::uint32_t v = ports_[i].pickCandidateVc(&dstFreeScratch_);
+        if (v == net::InputPort::kNoVc)
+            return;
+        cand_vc[i] = v;
+        req[i] = ports_[i].vcDest(v);
+        activeReq_.push_back(i);
     });
+    if (activeReq_.empty()) {
+        // An all-kNoRequest arbitrate() is state-neutral in every
+        // fabric; skip it and account the idle call for stats parity.
+        fabric_->advanceIdle(1);
+        return;
+    }
+
+    // eligibleInputs_.forEachSet walks ascending, so activeReq_ is the
+    // ascending enumeration the sparse fabric path requires.
+    const BitVec &grant = fabric_->arbitrateActive(req, activeReq_);
+#ifdef HIRISE_CHECK_ENABLED
+    check::verifyGrantMatching(
+        std::span<const std::uint32_t>(req), grant, spec_.radix,
+        [this](std::uint32_t o) { return fabric_->outputHolder(o); });
+#endif
+    grant.forEachSet([&](std::uint32_t i) { applyGrant(i); });
+    // Sparse reset keeps req/cand_vc all-idle between cycles without
+    // an O(radix) wipe.
+    for (std::uint32_t i : activeReq_) {
+        req[i] = fabric::kNoRequest;
+        cand_vc[i] = net::InputPort::kNoVc;
+    }
 }
 
 void
@@ -183,6 +328,9 @@ NetworkSim::transferCycle()
             sim_assert(f.tail, "connection ended mid-packet");
             fabric_->release(i, out);
             connectedPorts_.reset(i);
+            dstFreeScratch_.set(out);
+            if (port.anyVcOccupied())
+                eligibleInputs_.set(i);
             ++delivered_;
             if (measuring_) {
                 double lat = static_cast<double>(cycle_ - f.genCycle);
@@ -199,18 +347,58 @@ NetworkSim::transferCycle()
     });
 }
 
+bool
+NetworkSim::canFastForward() const
+{
+    // Quiescent: no queued packet, no buffered flit, no connection.
+    // With the injection heap live the next state change is its head
+    // event, so whole idle spans can be skipped. Without it (stateful
+    // pattern, or high-rate polling) the next injection time is
+    // unknown, so every cycle must be stepped.
+    return injHeapOn_ && eligibleInputs_.none() &&
+           connectedPorts_.none() && fillPending_.none();
+}
+
 void
-NetworkSim::step()
+NetworkSim::stepOnce()
 {
     if (obs::on()) [[unlikely]]
         obs::setTraceCycle(cycle_);
-    injectCycle();
-    arbitrateCycle();
+    if (injHeapOn_)
+        injectEventCycle();
+    else
+        injectDenseCycle(); // stateful / high-rate: per-cycle polls
+    fillPhase();
+    if (event_)
+        arbitrateCycleActive();
+    else
+        arbitrateCycle();
     transferCycle();
     ++cycle_;
 #ifdef HIRISE_CHECK_ENABLED
     checkInvariants();
 #endif
+}
+
+void
+NetworkSim::stepTo(net::Cycle bound)
+{
+    sim_assert(cycle_ < bound, "stepTo must advance");
+    if (event_ && canFastForward()) {
+        net::Cycle next =
+            injHeap_.empty()
+                ? bound
+                : std::min(bound, injHeap_.front().cycle);
+        if (next > cycle_) {
+            // Nothing can happen before `next`; account the skipped
+            // request-free arbitration cycles for stats parity.
+            fabric_->advanceIdle(next - cycle_);
+            cycle_ = next;
+            if (cycle_ >= bound)
+                return;
+        }
+    }
+    stepOnce();
 }
 
 #ifdef HIRISE_CHECK_ENABLED
@@ -227,6 +415,13 @@ NetworkSim::checkInvariants() const
         check::verifyVcState(ports_[i], cfg_.vcDepth);
         sim_assert(connectedPorts_.test(i) == ports_[i].connected(),
                    "connectedPorts_ bit %u out of sync", i);
+        sim_assert(fillPending_.test(i) ==
+                       !ports_[i].sourceQueue().empty(),
+                   "fillPending_ bit %u out of sync", i);
+        sim_assert(eligibleInputs_.test(i) ==
+                       (!ports_[i].connected() &&
+                        ports_[i].anyVcOccupied()),
+                   "eligibleInputs_ bit %u out of sync", i);
         // A connected port and the fabric's holder table must agree:
         // the connection-held matrix switch has exactly one grantee
         // per output bus.
@@ -235,6 +430,14 @@ NetworkSim::checkInvariants() const
                            i,
                        "connected port %u does not hold output %u", i,
                        ports_[i].connOutput());
+        }
+    }
+    if (event_) {
+        // Incrementally maintained output availability must match the
+        // fabric's ground truth (dense mode rebuilds it per cycle).
+        for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+            sim_assert(dstFreeScratch_.test(o) == !fabric_->outputBusy(o),
+                       "dstFreeScratch_ bit %u out of sync", o);
         }
     }
 }
@@ -252,12 +455,14 @@ NetworkSim::backlogFlits() const
 SimResult
 NetworkSim::run()
 {
-    for (net::Cycle t = 0; t < cfg_.warmupCycles; ++t)
-        step();
+    const net::Cycle warm_end = cycle_ + cfg_.warmupCycles;
+    while (cycle_ < warm_end)
+        stepTo(warm_end);
     measuring_ = true;
     measureStart_ = cycle_;
-    for (net::Cycle t = 0; t < cfg_.measureCycles; ++t)
-        step();
+    const net::Cycle end = cycle_ + cfg_.measureCycles;
+    while (cycle_ < end)
+        stepTo(end);
     measuring_ = false;
 
     double window = static_cast<double>(cycle_ - measureStart_);

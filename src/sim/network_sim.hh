@@ -37,6 +37,17 @@ struct SimConfig
      *  Never part of the SimCache key: tracing records events but
      *  must not change any simulated outcome. */
     bool trace = false;
+    /**
+     * Use the dense per-cycle reference core instead of the
+     * event-driven core: scan every input every cycle for injection,
+     * fill, and arbitration candidates, and rebuild output-free state
+     * from the fabric each cycle. Both cores consume the same
+     * counter-based RNG streams and produce bit-identical SimResults
+     * (enforced by tests/stepping_test.cc and the fuzzer's
+     * stepping-mode axis); dense mode exists for A/B validation and
+     * perf baselines. Never part of the SimCache key.
+     */
+    bool denseStepping = false;
 };
 
 /** Aggregated results over the measurement window. */
@@ -91,8 +102,9 @@ class NetworkSim
     /** Run warmup + measurement; returns the aggregated result. */
     SimResult run();
 
-    /** Advance one switch cycle (exposed for unit tests). */
-    void step();
+    /** Advance exactly one switch cycle (exposed for unit tests).
+     *  Identical observable semantics in both stepping modes. */
+    void step() { stepTo(cycle_ + 1); }
 
     net::Cycle now() const { return cycle_; }
     const fabric::Fabric &fabricRef() const { return *fabric_; }
@@ -106,9 +118,31 @@ class NetworkSim
     std::uint64_t totalDeliveredFlits() const { return flitsDelivered_; }
 
   private:
-    void injectCycle();
-    void arbitrateCycle();
+    /** One pending injection event: input @c input next injects (or,
+     *  for scan-chunk probes, must be re-scanned) at @c cycle. */
+    struct InjEvent
+    {
+        net::Cycle cycle;
+        std::uint32_t input;
+    };
+
+    /** Advance at least one cycle, never past @p bound (so warmup /
+     *  measurement boundaries stay exact across fast-forwards). */
+    void stepTo(net::Cycle bound);
+    void stepOnce();
+
+    void injectDenseCycle();
+    void injectEventCycle();
+    void injectPacket(std::uint32_t i, std::uint32_t dst);
+    void fillPhase();
+    void arbitrateCycle();       //!< dense reference: full input scan
+    void arbitrateCycleActive(); //!< event mode: eligible-set walk
+    void applyGrant(std::uint32_t i);
     void transferCycle();
+
+    void scheduleNextInjection(std::uint32_t i, net::Cycle from);
+    void heapPush(InjEvent ev);
+    bool canFastForward() const;
 #ifdef HIRISE_CHECK_ENABLED
     void checkInvariants() const;
 #endif
@@ -118,17 +152,62 @@ class NetworkSim
     std::shared_ptr<traffic::TrafficPattern> pattern_;
     std::unique_ptr<fabric::Fabric> fabric_;
     std::vector<net::InputPort> ports_;
-    Rng rng_;
+    /** Event-driven core enabled (== !cfg_.denseStepping). */
+    bool event_;
+    /** Pattern has no per-input state: injections can be scheduled
+     *  ahead as events and idle spans fast-forwarded. */
+    bool memoryless_;
+    /** Event mode schedules injections through injHeap_. False at
+     *  high injection rates, where nearly every (input, cycle) fires
+     *  and the heap churn costs more than the per-cycle poll it
+     *  replaces; the counter RNG makes both strategies produce the
+     *  same injections, so this is a pure perf knob. Implies no idle
+     *  fast-forward (the next injection time is then unknown, and at
+     *  such rates quiescent spans do not occur anyway). */
+    bool injHeapOn_;
 
     // Per-cycle scratch, preallocated in the constructor and reused
     // every step() so the steady-state loop never touches the heap.
     std::vector<std::uint32_t> reqScratch_;    //!< input -> output
     std::vector<std::uint32_t> candVcScratch_; //!< input -> VC
-    BitVec dstFreeScratch_;                    //!< free outputs
+    /** Free outputs. Dense mode rebuilds it from fabric state every
+     *  arbitration; event mode maintains it incrementally (clear on
+     *  grant, set on release), which checkInvariants() verifies
+     *  against outputBusy(). */
+    BitVec dstFreeScratch_;
     /** Inputs currently holding a connection; transferCycle() visits
      *  only these instead of scanning all radix ports (at moderate
      *  load most ports are idle most cycles). */
     BitVec connectedPorts_;
+    /** Inputs that could request this cycle: not connected and with at
+     *  least one occupied (hence head-ready) VC. Updated at fill,
+     *  grant, and release boundaries; the event-mode arbitration walks
+     *  only these bits. */
+    BitVec eligibleInputs_;
+    /** Inputs with a non-empty source queue (covers in-flight fills:
+     *  a packet streams out of the queue only after its last flit).
+     *  fillPhase() visits only these. */
+    BitVec fillPending_;
+    /** Min-heap on (cycle, input) of pending injection events, one
+     *  outstanding entry per participating input (memoryless event
+     *  mode only). Ascending input order at equal cycle keeps packet
+     *  ids identical to the dense core's per-cycle input scan. */
+    std::vector<InjEvent> injHeap_;
+    /** Inputs that submitted a request this cycle, for sparse reset
+     *  of reqScratch_/candVcScratch_ (event mode keeps both in their
+     *  all-idle state between cycles). */
+    std::vector<std::uint32_t> activeReq_;
+
+    /** Cycles scanned per nextInjectionFrom call before conceding a
+     *  probe event (bounds single-call latency at very low rates; a
+     *  probe re-scans when popped). */
+    static constexpr net::Cycle kInjectScanChunk = 1u << 20;
+
+    /** Above this per-input injection rate the event heap is skipped
+     *  in favour of per-cycle polling (see injHeapOn_): the expected
+     *  inter-injection gap is < 1/rate cycles, too short for the
+     *  O(log radix) heap churn per injection to pay off. */
+    static constexpr double kInjHeapMaxRate = 0.125;
 
     net::Cycle cycle_ = 0;
     net::PacketId nextId_ = 1;

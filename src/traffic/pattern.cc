@@ -11,7 +11,8 @@ namespace hirise::traffic {
 // ---------------------------------------------------------------------
 
 bool
-Bursty::inject(std::uint32_t src, double rate, Rng &rng)
+Bursty::injectAt(std::uint32_t src, std::uint64_t cycle, double rate,
+                 std::uint64_t seed)
 {
     if (state_[src] > 0) {
         --state_[src];
@@ -24,12 +25,15 @@ Bursty::inject(std::uint32_t src, double rate, Rng &rng)
     // ~= rate/B for small rates; use the exact form.
     double b = meanBurst_;
     double p = rate >= 1.0 ? 1.0 : rate / (b * (1.0 - rate) + rate);
-    if (rng.bernoulli(p)) {
+    if (counterBernoulli(
+            counterDraw(seed, lane(src, kLaneInject), cycle), p)) {
         // Geometric burst length with mean B (>= 1).
-        std::uint32_t len =
-            1 + static_cast<std::uint32_t>(rng.geometric(1.0 / b));
-        burstDst_[src] = static_cast<std::uint32_t>(
-            rng.below(radix_ - 1));
+        auto len = 1 + static_cast<std::uint32_t>(counterGeometric(
+            counterDraw(seed, lane(src, kLaneBurstLen), cycle),
+            1.0 / b));
+        burstDst_[src] = static_cast<std::uint32_t>(counterBelow(
+            counterDraw(seed, lane(src, kLaneDest), cycle),
+            radix_ - 1));
         if (burstDst_[src] >= src)
             ++burstDst_[src];
         state_[src] = len - 1;
@@ -39,7 +43,7 @@ Bursty::inject(std::uint32_t src, double rate, Rng &rng)
 }
 
 std::uint32_t
-Bursty::dest(std::uint32_t src, Rng &)
+Bursty::destAt(std::uint32_t src, std::uint64_t, std::uint64_t)
 {
     return burstDst_[src];
 }
@@ -113,7 +117,7 @@ InterLayerOnly::activeFraction() const
 }
 
 std::uint32_t
-InterLayerOnly::dest(std::uint32_t src, Rng &)
+InterLayerOnly::destAt(std::uint32_t src, std::uint64_t, std::uint64_t)
 {
     // Each participating input targets a distinct output on the
     // destination layer so only the shared L2LC is the bottleneck.

@@ -4,6 +4,13 @@
  * hotspot, bursty, the adversarial pattern of section III-B, the
  * inter-layer-only pathological pattern of section VI-B, and the
  * standard permutation patterns, plus trace replay.
+ *
+ * Patterns draw from counter-based streams (common/random.hh): every
+ * decision is a pure function of (seed, input, cycle), so injection is
+ * order-independent across inputs and skippable across cycles. The
+ * event-driven simulator core depends on both properties; the dense
+ * reference core consumes the exact same streams, which is what makes
+ * the two stepping modes bit-identical.
  */
 
 #ifndef HIRISE_TRAFFIC_PATTERN_HH
@@ -20,24 +27,89 @@ namespace hirise::traffic {
 
 /**
  * A traffic pattern decides which inputs inject and where packets go.
- * Patterns may keep per-input state (e.g. burst phases) and must be
- * deterministic given the Rng.
+ *
+ * Stream-lane layout: each input owns kLaneDomains consecutive lanes
+ * of the counter stream space, one per draw purpose, so the draws an
+ * input makes at one cycle are mutually independent and independent of
+ * every other input's.
  */
 class TrafficPattern
 {
   public:
-    virtual ~TrafficPattern() = default;
+    static constexpr std::uint64_t kLaneInject = 0;
+    static constexpr std::uint64_t kLaneDest = 1;
+    static constexpr std::uint64_t kLaneBurstLen = 2;
+    static constexpr std::uint64_t kLaneDomains = 3;
 
-    /** Does @p src generate a new packet this cycle at @p rate
-     *  (packets/input/cycle)? Default: Bernoulli draw. */
-    virtual bool
-    inject(std::uint32_t src, double rate, Rng &rng)
+    static constexpr std::uint64_t
+    lane(std::uint32_t src, std::uint64_t domain)
     {
-        return participates(src) && rng.bernoulli(rate);
+        return std::uint64_t(src) * kLaneDomains + domain;
     }
 
-    /** Destination for a new packet from @p src. */
-    virtual std::uint32_t dest(std::uint32_t src, Rng &rng) = 0;
+    virtual ~TrafficPattern() = default;
+
+    /**
+     * Does @p src generate a new packet at @p cycle under @p rate
+     * (packets/input/cycle)? Default: Bernoulli draw on the input's
+     * inject lane.
+     *
+     * Memoryless patterns must make this a pure function of
+     * (seed, src, cycle). Stateful patterns (memoryless() == false)
+     * may keep per-input state, under the contract that the simulator
+     * calls injectAt exactly once per (src, cycle) with cycles
+     * strictly increasing per source.
+     */
+    virtual bool
+    injectAt(std::uint32_t src, std::uint64_t cycle, double rate,
+             std::uint64_t seed)
+    {
+        return participates(src) &&
+               counterBernoulli(
+                   counterDraw(seed, lane(src, kLaneInject), cycle),
+                   rate);
+    }
+
+    /** Destination for the packet @p src injects at @p cycle. Called
+     *  at most once per (src, cycle), only after injectAt returned
+     *  true there. */
+    virtual std::uint32_t destAt(std::uint32_t src, std::uint64_t cycle,
+                                 std::uint64_t seed) = 0;
+
+    /**
+     * True when injectAt is the pure per-cycle Bernoulli above (no
+     * per-input state), which makes nextInjectionFrom() valid and
+     * lets the simulator schedule injections as events instead of
+     * polling every input every cycle.
+     */
+    virtual bool memoryless() const { return true; }
+
+    /**
+     * First cycle in [from, limit) where @p src injects, or @p limit
+     * when there is none in range. A tight scan over the input's
+     * counter stream (one hash + integer threshold compare per cycle),
+     * exactly equal to evaluating injectAt cycle by cycle — that
+     * equality is what keeps event-driven stepping bit-identical to
+     * dense stepping. @pre memoryless().
+     */
+    std::uint64_t
+    nextInjectionFrom(std::uint32_t src, std::uint64_t from,
+                      double rate, std::uint64_t seed,
+                      std::uint64_t limit) const
+    {
+        if (!participates(src))
+            return limit;
+        const std::uint64_t thr = bernoulliThreshold(rate);
+        if (thr == 0) // rate 0: no draw can ever pass
+            return limit;
+        const std::uint64_t key =
+            counterKey(seed, lane(src, kLaneInject));
+        for (std::uint64_t t = from; t < limit; ++t) {
+            if ((counterDrawKeyed(key, t) >> 11) < thr)
+                return t;
+        }
+        return limit;
+    }
 
     /** Inputs outside the pattern never inject (adversarial cases). */
     virtual bool participates(std::uint32_t) const { return true; }
@@ -51,7 +123,7 @@ class TrafficPattern
      * Canonical, parameter-laden identity string for memoization
      * (sim::SimCache). Two patterns with equal descriptors must
      * produce identical injection/destination sequences for the same
-     * Rng; every constructor parameter that affects behavior has to
+     * seed; every constructor parameter that affects behavior has to
      * appear here.
      */
     virtual std::string descriptor() const { return name(); }
@@ -63,10 +135,12 @@ class UniformRandom : public TrafficPattern
   public:
     explicit UniformRandom(std::uint32_t radix) : radix_(radix) {}
     std::uint32_t
-    dest(std::uint32_t src, Rng &rng) override
+    destAt(std::uint32_t src, std::uint64_t cycle,
+           std::uint64_t seed) override
     {
-        std::uint32_t d = static_cast<std::uint32_t>(
-            rng.below(radix_ - 1));
+        auto d = static_cast<std::uint32_t>(counterBelow(
+            counterDraw(seed, lane(src, kLaneDest), cycle),
+            radix_ - 1));
         return d >= src ? d + 1 : d;
     }
     std::string name() const override { return "uniform-random"; }
@@ -87,7 +161,11 @@ class Hotspot : public TrafficPattern
     Hotspot(std::uint32_t radix, std::uint32_t hot)
         : radix_(radix), hot_(hot)
     {}
-    std::uint32_t dest(std::uint32_t, Rng &) override { return hot_; }
+    std::uint32_t
+    destAt(std::uint32_t, std::uint64_t, std::uint64_t) override
+    {
+        return hot_;
+    }
     bool
     participates(std::uint32_t src) const override
     {
@@ -115,6 +193,11 @@ class Hotspot : public TrafficPattern
  * Markov on/off uniform-random traffic: geometric burst and idle
  * period lengths; within a burst the input injects every cycle to a
  * per-burst destination. Mean offered load matches the requested rate.
+ *
+ * Stateful (per-input burst countdown), so memoryless() is false and
+ * the simulator polls it cycle by cycle. The burst-start, length, and
+ * destination draws still come from the input's own counter lanes at
+ * the burst's start cycle, so inputs remain mutually independent.
  */
 class Bursty : public TrafficPattern
 {
@@ -124,8 +207,11 @@ class Bursty : public TrafficPattern
           state_(radix), burstDst_(radix, 0)
     {}
 
-    bool inject(std::uint32_t src, double rate, Rng &rng) override;
-    std::uint32_t dest(std::uint32_t src, Rng &rng) override;
+    bool injectAt(std::uint32_t src, std::uint64_t cycle, double rate,
+                  std::uint64_t seed) override;
+    std::uint32_t destAt(std::uint32_t src, std::uint64_t cycle,
+                         std::uint64_t seed) override;
+    bool memoryless() const override { return false; }
     std::string name() const override { return "bursty"; }
     std::string descriptor() const override;
 
@@ -145,7 +231,11 @@ class Adversarial : public TrafficPattern
   public:
     Adversarial(std::vector<std::uint32_t> sources, std::uint32_t dst,
                 std::uint32_t radix);
-    std::uint32_t dest(std::uint32_t, Rng &) override { return dst_; }
+    std::uint32_t
+    destAt(std::uint32_t, std::uint64_t, std::uint64_t) override
+    {
+        return dst_;
+    }
     bool
     participates(std::uint32_t src) const override
     {
@@ -181,7 +271,8 @@ class InterLayerOnly : public TrafficPattern
      */
     InterLayerOnly(std::uint32_t ports_per_layer, std::uint32_t channels,
                    std::uint32_t src_layer, std::uint32_t dst_layer);
-    std::uint32_t dest(std::uint32_t src, Rng &rng) override;
+    std::uint32_t destAt(std::uint32_t src, std::uint64_t cycle,
+                         std::uint64_t seed) override;
     bool participates(std::uint32_t src) const override;
     double activeFraction() const override;
     std::string name() const override { return "inter-layer-only"; }
@@ -197,7 +288,7 @@ class Transpose : public TrafficPattern
   public:
     explicit Transpose(std::uint32_t radix);
     std::uint32_t
-    dest(std::uint32_t src, Rng &) override
+    destAt(std::uint32_t src, std::uint64_t, std::uint64_t) override
     {
         return perm_[src];
     }
@@ -217,7 +308,7 @@ class BitComplement : public TrafficPattern
   public:
     explicit BitComplement(std::uint32_t radix) : radix_(radix) {}
     std::uint32_t
-    dest(std::uint32_t src, Rng &) override
+    destAt(std::uint32_t src, std::uint64_t, std::uint64_t) override
     {
         return (radix_ - 1) - src;
     }

@@ -11,7 +11,7 @@ namespace hirise::traffic {
 
 TraceReplay::TraceReplay(std::vector<TraceRecord> records,
                          std::uint32_t radix)
-    : perSrc_(radix), srcCycle_(radix, 0)
+    : perSrc_(radix)
 {
     std::stable_sort(records.begin(), records.end(),
                      [](const TraceRecord &a, const TraceRecord &b) {
@@ -66,20 +66,19 @@ TraceReplay::fromFile(const std::string &path, std::uint32_t radix)
 }
 
 bool
-TraceReplay::inject(std::uint32_t src, double /*rate*/, Rng &)
+TraceReplay::injectAt(std::uint32_t src, std::uint64_t cycle,
+                      double /*rate*/, std::uint64_t /*seed*/)
 {
-    std::uint64_t now = srcCycle_[src]++;
-    auto &q = perSrc_[src];
-    if (q.empty() || q.front().cycle > now)
-        return false;
-    return true; // dest() pops the record
+    const auto &q = perSrc_[src];
+    return !q.empty() && q.front().cycle <= cycle;
 }
 
 std::uint32_t
-TraceReplay::dest(std::uint32_t src, Rng &)
+TraceReplay::destAt(std::uint32_t src, std::uint64_t /*cycle*/,
+                    std::uint64_t /*seed*/)
 {
     auto &q = perSrc_[src];
-    sim_assert(!q.empty(), "dest() without a due record");
+    sim_assert(!q.empty(), "destAt() without a due record");
     std::uint32_t d = q.front().dst;
     q.pop_front();
     --pending_;

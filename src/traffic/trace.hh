@@ -27,11 +27,14 @@ struct TraceRecord
 };
 
 /**
- * Replays a schedule of injections. The simulator polls inject() once
- * per input per cycle; the pattern tracks each input's local cycle
- * count to know when its next record is due. Records must be sorted
- * by cycle per source (the constructor sorts globally). The
- * injection-rate argument is ignored: the trace is the load.
+ * Replays a schedule of injections: a source injects at @p cycle when
+ * its next record is due (record cycle <= current cycle; a backlog of
+ * same-cycle records drains one per cycle, since the port injects at
+ * most one packet per cycle). Records must be sorted by cycle per
+ * source (the constructor sorts globally). The injection-rate
+ * argument is ignored: the trace is the load. Stateful (records are
+ * consumed), so memoryless() is false and the simulator polls it
+ * cycle by cycle.
  */
 class TraceReplay : public TrafficPattern
 {
@@ -43,8 +46,11 @@ class TraceReplay : public TrafficPattern
     static TraceReplay fromFile(const std::string &path,
                                 std::uint32_t radix);
 
-    bool inject(std::uint32_t src, double rate, Rng &rng) override;
-    std::uint32_t dest(std::uint32_t src, Rng &rng) override;
+    bool injectAt(std::uint32_t src, std::uint64_t cycle, double rate,
+                  std::uint64_t seed) override;
+    std::uint32_t destAt(std::uint32_t src, std::uint64_t cycle,
+                         std::uint64_t seed) override;
+    bool memoryless() const override { return false; }
     bool participates(std::uint32_t src) const override;
     std::string name() const override { return "trace-replay"; }
 
@@ -58,7 +64,6 @@ class TraceReplay : public TrafficPattern
 
   private:
     std::vector<std::deque<TraceRecord>> perSrc_;
-    std::vector<std::uint64_t> srcCycle_;
     std::uint64_t pending_ = 0;
     std::uint64_t digest_ = 0; //!< FNV-1a over the sorted records
 };

@@ -1,15 +1,20 @@
 /**
  * @file
  * Golden-determinism regression: fixed-seed SimResult values for every
- * topology x arbitration-scheme combination, asserted bit-exactly
- * against numbers captured from the pre-BitVec (std::vector<bool>)
- * implementation. Any refactor of the arbitration hot path must keep
- * the simulation bit-identical; a drift here means the optimization
+ * topology x arbitration-scheme combination, asserted bit-exactly in
+ * BOTH stepping modes (the event-driven core and the dense reference
+ * core must agree with the goldens and hence with each other). Any
+ * refactor of the arbitration or injection hot path must keep the
+ * simulation bit-identical; a drift here means the optimization
  * changed semantics, not just speed.
  *
- * Captured with: radix 64, L4/c4, 4 VCs x 4 flits, 4-flit packets,
- * injection 0.25, warmup 500, measure 2000, seed 12345, uniform
- * random traffic; doubles recorded with %.17g (round-trip exact).
+ * Values captured from the counter-based-RNG implementation (the
+ * injection/destination streams are pure functions of
+ * (seed, input, cycle), so they are the same in both stepping modes
+ * by construction). Captured with: radix 64, L4/c4, 4 VCs x 4 flits,
+ * 4-flit packets, injection 0.25, warmup 500, measure 2000, seed
+ * 12345, uniform random traffic; doubles recorded with %.17g
+ * (round-trip exact).
  */
 
 #include <gtest/gtest.h>
@@ -46,46 +51,46 @@ struct Golden
 const Golden kGolden[] = {
     {"flat2d_lrg", Topology::Flat2D, ArbScheme::Lrg,
      ChannelAlloc::InputBinned,
-     64.322000000000003, 40.926499999999997, 543.0817981920369, 972,
-     540.60726508262098, 20465, 14575, 0.99953391496252886,
-     468.97590361445771, 522.69400630914834, 566.19354838709694,
-     0.16600000000000001, 0.1585, 0.155},
+     64.475999999999999, 41.072000000000003, 551.96947122407107, 976,
+     549.40895144401736, 20538, 14729, 0.99945204337447102,
+     527.78378378378375, 626.00900900900876, 643.26948051948034,
+     0.16650000000000001, 0.16650000000000001, 0.154},
     {"folded3d_lrg", Topology::Folded3D, ArbScheme::Lrg,
      ChannelAlloc::InputBinned,
-     64.322000000000003, 40.926499999999997, 543.0817981920369, 972,
-     540.60726508262098, 20465, 14575, 0.99953391496252886,
-     468.97590361445771, 522.69400630914834, 566.19354838709694,
-     0.16600000000000001, 0.1585, 0.155},
+     64.475999999999999, 41.072000000000003, 551.96947122407107, 976,
+     549.40895144401736, 20538, 14729, 0.99945204337447102,
+     527.78378378378375, 626.00900900900876, 643.26948051948034,
+     0.16650000000000001, 0.16650000000000001, 0.154},
     {"hirise_layerlrg", Topology::HiRise, ArbScheme::LayerLrg,
      ChannelAlloc::InputBinned,
-     64.322000000000003, 36.061, 655.59212423737802, 1160,
-     653.28101602794902, 18030, 17631, 0.99923495478704794,
-     597.48421052631579, 607.50896057347677, 655.48226950354592,
-     0.14249999999999999, 0.13950000000000001, 0.14099999999999999},
+     64.475999999999999, 36.089500000000001, 664.8308024828201, 1144,
+     662.38895664707798, 18044, 17806, 0.99932941363201144,
+     693.56521739130403, 722.16262975778591, 752.525925925926,
+     0.13800000000000001, 0.14449999999999999, 0.13500000000000001},
     {"hirise_clrg", Topology::HiRise, ArbScheme::Clrg,
      ChannelAlloc::InputBinned,
-     64.322000000000003, 35.869, 658.41299498048295, 1164,
-     656.17304260539777, 17930, 17732, 0.99928852288682735,
-     602.444055944056, 630.68571428571477, 674.70895522388037,
-     0.14299999999999999, 0.14000000000000001, 0.13400000000000001},
+     64.475999999999999, 36.048000000000002, 667.11727504715429, 1152,
+     664.8132800798785, 18026, 17850, 0.99942078891308361,
+     677.68928571428569, 748.72962962963004, 727.00000000000045,
+     0.14000000000000001, 0.13500000000000001, 0.13450000000000001},
     {"hirise_wlrg", Topology::HiRise, ArbScheme::Wlrg,
      ChannelAlloc::InputBinned,
-     64.322000000000003, 36.043999999999997, 653.62567260220521, 1148,
-     651.61793761793581, 18027, 17628, 0.99939141181461688,
-     604.96193771626292, 585.36491228070179, 648.98924731182808,
-     0.14449999999999999, 0.14249999999999999, 0.13950000000000001},
+     64.475999999999999, 35.963500000000003, 668.22949452260502, 1152,
+     666.02141029918562, 17983, 17880, 0.99916929689846601,
+     641.29285714285754, 698.39222614840992, 703.10332103321036,
+     0.14000000000000001, 0.14149999999999999, 0.13550000000000001},
     {"hirise_clrg_prio", Topology::HiRise, ArbScheme::Clrg,
      ChannelAlloc::Priority,
-     64.322000000000003, 39.281999999999996, 579.04876558920853, 1024,
-     576.5677189409414, 19645, 15596, 0.99950458838789402,
-     521.44479495268138, 554.19063545150493, 578.21725239616615,
-     0.1585, 0.14949999999999999, 0.1565},
+     64.475999999999999, 39.357500000000002, 592.13250317661891, 1028,
+     589.86194276419815, 19675, 15809, 0.99953207034802238,
+     597.6528662420385, 671.00630914826502, 655.07586206896542,
+     0.157, 0.1585, 0.14499999999999999},
     {"hirise_clrg_outbin", Topology::HiRise, ArbScheme::Clrg,
      ChannelAlloc::OutputBinned,
-     64.322000000000003, 35.335000000000001, 670.94722835626726, 1168,
-     668.75028299751148, 17661, 18069, 0.999359230990296,
-     598.40989399293301, 643.44565217391278, 648.63537906137162,
-     0.14149999999999999, 0.13800000000000001, 0.13850000000000001},
+     64.475999999999999, 35.341500000000003, 679.67070272716887, 1184,
+     677.31627801675279, 17674, 18274, 0.99918185959987649,
+     722.60305343511413, 760.51672862453563, 717.21641791044749,
+     0.13100000000000001, 0.13450000000000001, 0.13400000000000001},
 };
 
 class SimGolden : public ::testing::TestWithParam<Golden>
@@ -106,36 +111,41 @@ TEST_P(SimGolden, FixedSeedResultIsBitIdenticalToSeedImpl)
     spec.arb = g.arb;
     spec.alloc = g.alloc;
 
-    sim::SimConfig cfg;
-    cfg.injectionRate = 0.25;
-    cfg.warmupCycles = 500;
-    cfg.measureCycles = 2000;
-    cfg.seed = 12345;
+    for (bool dense : {false, true}) {
+        SCOPED_TRACE(dense ? "dense stepping" : "event stepping");
 
-    sim::NetworkSim s(spec, cfg,
-                      std::make_shared<traffic::UniformRandom>(64));
-    auto r = s.run();
+        sim::SimConfig cfg;
+        cfg.injectionRate = 0.25;
+        cfg.warmupCycles = 500;
+        cfg.measureCycles = 2000;
+        cfg.seed = 12345;
+        cfg.denseStepping = dense;
 
-    EXPECT_DOUBLE_EQ(r.offeredFlitsPerCycle, g.offered);
-    EXPECT_DOUBLE_EQ(r.acceptedFlitsPerCycle, g.accepted);
-    EXPECT_DOUBLE_EQ(r.avgLatencyCycles, g.avgLatency);
-    EXPECT_DOUBLE_EQ(r.p99LatencyCycles, g.p99Latency);
-    EXPECT_DOUBLE_EQ(r.avgQueueingCycles, g.avgQueueing);
-    EXPECT_EQ(r.packetsDelivered, g.packets);
-    EXPECT_EQ(r.inFlightAtMeasureEnd, g.inFlight);
-    // 0.25 injection keeps every delivered latency inside the
-    // histogram's regular bins for all seven configurations.
-    EXPECT_EQ(r.latencyOverflowPackets, 0u);
-    EXPECT_DOUBLE_EQ(r.fairness, g.fairness);
+        sim::NetworkSim s(spec, cfg,
+                          std::make_shared<traffic::UniformRandom>(64));
+        auto r = s.run();
 
-    ASSERT_EQ(r.perInputLatency.size(), 64u);
-    ASSERT_EQ(r.perInputThroughput.size(), 64u);
-    EXPECT_DOUBLE_EQ(r.perInputLatency[0], g.inLat0);
-    EXPECT_DOUBLE_EQ(r.perInputLatency[17], g.inLat17);
-    EXPECT_DOUBLE_EQ(r.perInputLatency[63], g.inLat63);
-    EXPECT_DOUBLE_EQ(r.perInputThroughput[0], g.inTput0);
-    EXPECT_DOUBLE_EQ(r.perInputThroughput[17], g.inTput17);
-    EXPECT_DOUBLE_EQ(r.perInputThroughput[63], g.inTput63);
+        EXPECT_DOUBLE_EQ(r.offeredFlitsPerCycle, g.offered);
+        EXPECT_DOUBLE_EQ(r.acceptedFlitsPerCycle, g.accepted);
+        EXPECT_DOUBLE_EQ(r.avgLatencyCycles, g.avgLatency);
+        EXPECT_DOUBLE_EQ(r.p99LatencyCycles, g.p99Latency);
+        EXPECT_DOUBLE_EQ(r.avgQueueingCycles, g.avgQueueing);
+        EXPECT_EQ(r.packetsDelivered, g.packets);
+        EXPECT_EQ(r.inFlightAtMeasureEnd, g.inFlight);
+        // 0.25 injection keeps every delivered latency inside the
+        // histogram's regular bins for all seven configurations.
+        EXPECT_EQ(r.latencyOverflowPackets, 0u);
+        EXPECT_DOUBLE_EQ(r.fairness, g.fairness);
+
+        ASSERT_EQ(r.perInputLatency.size(), 64u);
+        ASSERT_EQ(r.perInputThroughput.size(), 64u);
+        EXPECT_DOUBLE_EQ(r.perInputLatency[0], g.inLat0);
+        EXPECT_DOUBLE_EQ(r.perInputLatency[17], g.inLat17);
+        EXPECT_DOUBLE_EQ(r.perInputLatency[63], g.inLat63);
+        EXPECT_DOUBLE_EQ(r.perInputThroughput[0], g.inTput0);
+        EXPECT_DOUBLE_EQ(r.perInputThroughput[17], g.inTput17);
+        EXPECT_DOUBLE_EQ(r.perInputThroughput[63], g.inTput63);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

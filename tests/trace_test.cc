@@ -40,34 +40,35 @@ class TempTraceFile
 TEST(TraceReplay, InjectsAtScheduledCycles)
 {
     TraceReplay t({{0, 1, 2}, {3, 1, 4}, {1, 2, 5}}, 8);
-    Rng rng(1);
     EXPECT_EQ(t.pending(), 3u);
+    EXPECT_FALSE(t.memoryless());
 
     // Source 1, cycle 0: due.
-    EXPECT_TRUE(t.inject(1, 0.0, rng));
-    EXPECT_EQ(t.dest(1, rng), 2u);
+    EXPECT_TRUE(t.injectAt(1, 0, 0.0, 1));
+    EXPECT_EQ(t.destAt(1, 0, 1), 2u);
     // Source 2, cycle 0: not yet due.
-    EXPECT_FALSE(t.inject(2, 0.0, rng));
+    EXPECT_FALSE(t.injectAt(2, 0, 0.0, 1));
     // Source 1, cycles 1-2: nothing.
-    EXPECT_FALSE(t.inject(1, 0.0, rng));
-    EXPECT_FALSE(t.inject(1, 0.0, rng));
+    EXPECT_FALSE(t.injectAt(1, 1, 0.0, 1));
+    EXPECT_FALSE(t.injectAt(1, 2, 0.0, 1));
     // Source 2, cycle 1: due now.
-    EXPECT_TRUE(t.inject(2, 0.0, rng));
-    EXPECT_EQ(t.dest(2, rng), 5u);
+    EXPECT_TRUE(t.injectAt(2, 1, 0.0, 1));
+    EXPECT_EQ(t.destAt(2, 1, 1), 5u);
     // Source 1, cycle 3: due.
-    EXPECT_TRUE(t.inject(1, 0.0, rng));
-    EXPECT_EQ(t.dest(1, rng), 4u);
+    EXPECT_TRUE(t.injectAt(1, 3, 0.0, 1));
+    EXPECT_EQ(t.destAt(1, 3, 1), 4u);
     EXPECT_EQ(t.pending(), 0u);
 }
 
 TEST(TraceReplay, SameCycleRecordsSpillToNextCycle)
 {
     TraceReplay t({{0, 1, 2}, {0, 1, 3}}, 8);
-    Rng rng(1);
-    EXPECT_TRUE(t.inject(1, 0.0, rng));
-    EXPECT_EQ(t.dest(1, rng), 2u);
-    EXPECT_TRUE(t.inject(1, 0.0, rng)); // next cycle, still due
-    EXPECT_EQ(t.dest(1, rng), 3u);
+    EXPECT_TRUE(t.injectAt(1, 0, 0.0, 1));
+    EXPECT_EQ(t.destAt(1, 0, 1), 2u);
+    // Both records are due at cycle 0, but the source injects at most
+    // one packet per cycle; the backlog drains on the next cycle.
+    EXPECT_TRUE(t.injectAt(1, 1, 0.0, 1));
+    EXPECT_EQ(t.destAt(1, 1, 1), 3u);
 }
 
 TEST(TraceReplay, ParticipationFollowsTraceContents)

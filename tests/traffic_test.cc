@@ -1,6 +1,6 @@
 /**
  * @file
- * Tests for the synthetic traffic patterns.
+ * Tests for the synthetic traffic patterns (counter-stream API).
  */
 
 #include <gtest/gtest.h>
@@ -13,14 +13,17 @@
 using namespace hirise;
 using namespace hirise::traffic;
 
+namespace {
+constexpr std::uint64_t kSeed = 1;
+} // namespace
+
 TEST(UniformRandomPattern, NeverSelfAndRoughlyUniform)
 {
     UniformRandom p(16);
-    Rng rng(1);
     std::map<std::uint32_t, int> hist;
     const int n = 15000;
-    for (int i = 0; i < n; ++i) {
-        auto d = p.dest(5, rng);
+    for (int t = 0; t < n; ++t) {
+        auto d = p.destAt(5, t, kSeed);
         ASSERT_NE(d, 5u);
         ASSERT_LT(d, 16u);
         ++hist[d];
@@ -29,12 +32,27 @@ TEST(UniformRandomPattern, NeverSelfAndRoughlyUniform)
         EXPECT_NEAR(cnt, n / 15.0, n / 15.0 * 0.15) << "dst " << d;
 }
 
+TEST(UniformRandomPattern, DrawsArePureFunctionsOfCoordinates)
+{
+    UniformRandom p(64), q(64);
+    for (std::uint64_t t = 0; t < 64; ++t) {
+        EXPECT_EQ(p.destAt(7, t, 42), q.destAt(7, t, 42));
+        EXPECT_EQ(p.injectAt(7, t, 0.3, 42), q.injectAt(7, t, 0.3, 42));
+    }
+    // Different seeds / inputs give different streams (spot check).
+    int diff = 0;
+    for (std::uint64_t t = 0; t < 64; ++t) {
+        diff += p.destAt(7, t, 42) != p.destAt(7, t, 43);
+        diff += p.destAt(7, t, 42) != p.destAt(8, t, 42);
+    }
+    EXPECT_GT(diff, 32);
+}
+
 TEST(HotspotPattern, AllToOne)
 {
     Hotspot p(64, 63);
-    Rng rng(1);
-    EXPECT_EQ(p.dest(0, rng), 63u);
-    EXPECT_EQ(p.dest(50, rng), 63u);
+    EXPECT_EQ(p.destAt(0, 0, kSeed), 63u);
+    EXPECT_EQ(p.destAt(50, 999, kSeed), 63u);
     EXPECT_FALSE(p.participates(63));
     EXPECT_TRUE(p.participates(0));
     EXPECT_NEAR(p.activeFraction(), 63.0 / 64.0, 1e-12);
@@ -44,26 +62,24 @@ TEST(BurstyPattern, MeanRateMatchesRequest)
 {
     const double rate = 0.2;
     Bursty p(64, 8.0);
-    Rng rng(7);
     std::uint64_t injections = 0;
     const int cycles = 200000;
     for (int t = 0; t < cycles; ++t)
-        injections += p.inject(3, rate, rng);
+        injections += p.injectAt(3, t, rate, 7);
     EXPECT_NEAR(injections / double(cycles), rate, 0.02);
 }
 
 TEST(BurstyPattern, BurstsShareDestination)
 {
     Bursty p(64, 16.0);
-    Rng rng(11);
     // Drive at rate 1.0 so bursts are back to back; destinations
     // change only between bursts -> long runs of equal dst.
     std::uint32_t runs = 1, total = 0;
     std::uint32_t prev = ~0u;
     for (int t = 0; t < 2000; ++t) {
-        if (!p.inject(0, 1.0, rng))
+        if (!p.injectAt(0, t, 1.0, 11))
             continue;
-        auto d = p.dest(0, rng);
+        auto d = p.destAt(0, t, 11);
         if (prev != ~0u && d != prev)
             ++runs;
         prev = d;
@@ -74,20 +90,27 @@ TEST(BurstyPattern, BurstsShareDestination)
     EXPECT_GT(double(total) / runs, 8.0);
 }
 
+TEST(BurstyPattern, IsStatefulSoNotMemoryless)
+{
+    Bursty p(64, 8.0);
+    EXPECT_FALSE(p.memoryless());
+    UniformRandom u(64);
+    EXPECT_TRUE(u.memoryless());
+}
+
 TEST(AdversarialPattern, OnlyConfiguredSourcesInject)
 {
     Adversarial p({3, 7, 11, 15, 20}, 63, 64);
-    Rng rng(1);
     for (std::uint32_t i = 0; i < 64; ++i) {
         bool expect = (i == 3 || i == 7 || i == 11 || i == 15 ||
                        i == 20);
         EXPECT_EQ(p.participates(i), expect) << i;
     }
-    EXPECT_EQ(p.dest(3, rng), 63u);
+    EXPECT_EQ(p.destAt(3, 0, kSeed), 63u);
     EXPECT_NEAR(p.activeFraction(), 5.0 / 64.0, 1e-12);
     // Non-participants never inject even at rate 1.
-    EXPECT_FALSE(p.inject(0, 1.0, rng));
-    EXPECT_TRUE(p.inject(20, 1.0, rng));
+    EXPECT_FALSE(p.injectAt(0, 0, 1.0, kSeed));
+    EXPECT_TRUE(p.injectAt(20, 0, 1.0, kSeed));
 }
 
 TEST(InterLayerOnlyPattern, ParticipantsShareOneChannel)
@@ -95,7 +118,6 @@ TEST(InterLayerOnlyPattern, ParticipantsShareOneChannel)
     // 16 ports/layer, c = 4: participants on layer 0 are local
     // indices {0,4,8,12} (bin 0), each to a distinct layer-2 output.
     InterLayerOnly p(16, 4, 0, 2);
-    Rng rng(1);
     int participants = 0;
     for (std::uint32_t i = 0; i < 64; ++i) {
         if (!p.participates(i))
@@ -103,29 +125,79 @@ TEST(InterLayerOnlyPattern, ParticipantsShareOneChannel)
         ++participants;
         EXPECT_EQ(i / 16, 0u);
         EXPECT_EQ((i % 16) % 4, 0u);
-        auto d = p.dest(i, rng);
+        auto d = p.destAt(i, 0, kSeed);
         EXPECT_EQ(d / 16, 2u);
     }
     EXPECT_EQ(participants, 4);
     // Distinct destinations.
-    EXPECT_NE(p.dest(0, rng), p.dest(4, rng));
+    EXPECT_NE(p.destAt(0, 0, kSeed), p.destAt(4, 0, kSeed));
 }
 
 TEST(TransposePattern, IsAnInvolutionOnTheGrid)
 {
     Transpose p(64); // 8x8 grid
-    Rng rng(1);
     for (std::uint32_t s = 0; s < 64; ++s) {
-        auto d = p.dest(s, rng);
-        EXPECT_EQ(p.dest(d, rng), s);
+        auto d = p.destAt(s, 0, kSeed);
+        EXPECT_EQ(p.destAt(d, 0, kSeed), s);
     }
 }
 
 TEST(BitComplementPattern, MirrorsIndex)
 {
     BitComplement p(64);
-    Rng rng(1);
-    EXPECT_EQ(p.dest(0, rng), 63u);
-    EXPECT_EQ(p.dest(63, rng), 0u);
-    EXPECT_EQ(p.dest(20, rng), 43u);
+    EXPECT_EQ(p.destAt(0, 0, kSeed), 63u);
+    EXPECT_EQ(p.destAt(63, 0, kSeed), 0u);
+    EXPECT_EQ(p.destAt(20, 0, kSeed), 43u);
+}
+
+TEST(NextInjectionFrom, MatchesCycleByCycleEvaluation)
+{
+    // Satellite 3 (unit half): the geometric/scan skip must land on
+    // exactly the first cycle where injectAt fires, across seeds and
+    // rates including very low ones.
+    UniformRandom p(32);
+    Rng meta(2024);
+    int checked = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t seed = meta.next();
+        const auto src = static_cast<std::uint32_t>(meta.below(32));
+        double rate;
+        switch (meta.below(4)) {
+          case 0: rate = 1e-4 + 1e-3 * meta.uniform(); break;
+          case 1: rate = 0.01 + 0.09 * meta.uniform(); break;
+          case 2: rate = 0.1 + 0.8 * meta.uniform(); break;
+          default: rate = 0.95 + 0.05 * meta.uniform(); break;
+        }
+        const std::uint64_t from = meta.below(100);
+        const std::uint64_t limit = from + 1 + meta.below(5000);
+        const std::uint64_t skip =
+            p.nextInjectionFrom(src, from, rate, seed, limit);
+        std::uint64_t naive = limit;
+        for (std::uint64_t t = from; t < limit; ++t) {
+            if (p.injectAt(src, t, rate, seed)) {
+                naive = t;
+                break;
+            }
+        }
+        ASSERT_EQ(skip, naive)
+            << "seed=" << seed << " src=" << src << " rate=" << rate
+            << " from=" << from << " limit=" << limit;
+        checked += naive != limit;
+    }
+    // Sanity: a healthy share of samples actually found an injection.
+    EXPECT_GT(checked, 5000);
+}
+
+TEST(NextInjectionFrom, EdgeRates)
+{
+    UniformRandom p(8);
+    // rate 0: never injects, returns limit.
+    EXPECT_EQ(p.nextInjectionFrom(1, 0, 0.0, 9, 10000), 10000u);
+    EXPECT_FALSE(p.injectAt(1, 0, 0.0, 9));
+    // rate 1: injects immediately.
+    EXPECT_EQ(p.nextInjectionFrom(1, 17, 1.0, 9, 10000), 17u);
+    EXPECT_TRUE(p.injectAt(1, 17, 1.0, 9));
+    // Non-participant: returns limit regardless of rate.
+    Hotspot h(8, 3);
+    EXPECT_EQ(h.nextInjectionFrom(3, 0, 1.0, 9, 10000), 10000u);
 }
