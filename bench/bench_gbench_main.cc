@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/simd.hh"
+
 int
 main(int argc, char **argv)
 {
@@ -19,6 +21,12 @@ main(int argc, char **argv)
 #else
     benchmark::AddCustomContext("hirise_build_type", "debug");
 #endif
+    // Which kernel tier the run dispatched to (scalar vs avx2), so a
+    // baseline captured on one tier is never silently compared against
+    // the other (scripts/perf_smoke.py surfaces the field).
+    benchmark::AddCustomContext(
+        "hirise_simd_tier",
+        hirise::simd::tierName(hirise::simd::activeTier()));
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -9,14 +9,28 @@ with no baseline entry are reported and skipped; baseline entries
 missing from the fresh run fail, since a silently dropped benchmark
 would otherwise hide a regression forever.
 
+Host-context guard: a baseline captured on a different machine is not
+a meaningful throughput reference, so when the recorded context
+differs from the fresh run on num_cpus, mhz_per_cpu, or the dispatched
+SIMD tier (hirise_simd_tier), regressions are downgraded to warnings
+and the differing context fields are printed as a delta table.
+--strict restores hard failure regardless of context (for CI jobs that
+pin the runner). Missing benchmarks always fail: dropping a benchmark
+is a suite change, not a host effect.
+
 Usage:
   scripts/perf_smoke.py <baseline.json> <fresh.json>
-      [--threshold 0.25] [--filter SUBSTRING]
+      [--threshold 0.25] [--filter SUBSTRING] [--strict]
 """
 
 import argparse
 import json
 import sys
+
+# Context fields that make throughput numbers comparable. A mismatch
+# in any of them means the baseline was captured on effectively a
+# different machine.
+HOST_CONTEXT_KEYS = ("num_cpus", "mhz_per_cpu", "hirise_simd_tier")
 
 
 def load(path):
@@ -27,7 +41,7 @@ def load(path):
         if b.get("run_type") == "aggregate":
             continue
         out[b["name"]] = b
-    return out
+    return doc.get("context", {}), out
 
 
 def metric(entry):
@@ -35,6 +49,16 @@ def metric(entry):
     if "items_per_second" in entry:
         return float(entry["items_per_second"]), "items/s"
     return 1.0 / float(entry["real_time"]), "1/real_time"
+
+
+def context_deltas(base_ctx, fresh_ctx):
+    """Host-context fields that differ between the two runs."""
+    deltas = []
+    for key in HOST_CONTEXT_KEYS:
+        b, f = base_ctx.get(key), fresh_ctx.get(key)
+        if b != f:
+            deltas.append((key, b, f))
+    return deltas
 
 
 def main():
@@ -45,20 +69,38 @@ def main():
                     help="max fractional drop vs baseline (default .25)")
     ap.add_argument("--filter", default="",
                     help="only compare benchmarks containing SUBSTRING")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail on regressions even when the baseline "
+                         "host context differs from this machine")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+    base_ctx, base = load(args.baseline)
+    fresh_ctx, fresh = load(args.fresh)
     if args.filter:
         base = {k: v for k, v in base.items() if args.filter in k}
         fresh = {k: v for k, v in fresh.items() if args.filter in k}
     if not base:
         sys.exit("no baseline benchmarks matched; nothing to compare")
 
+    deltas = context_deltas(base_ctx, fresh_ctx)
+    downgrade = bool(deltas) and not args.strict
+    if deltas:
+        kw = max(len(k) for k, _, _ in deltas) + 2
+        print("host context differs from baseline:")
+        print(f"  {'field':<{kw}}{'baseline':>14}{'fresh':>14}")
+        for key, b, f in deltas:
+            print(f"  {key:<{kw}}{str(b):>14}{str(f):>14}")
+        if downgrade:
+            print("  -> regressions reported as warnings only "
+                  "(pass --strict to enforce)\n")
+        else:
+            print("  -> --strict: regressions still enforced\n")
+
     width = max(len(n) for n in base) + 2
     print(f"{'benchmark':<{width}}{'baseline':>14}{'fresh':>14}"
           f"{'delta':>9}  status")
     failures = []
+    warnings = []
     for name in sorted(base):
         if name not in fresh:
             print(f"{name:<{width}}{'-':>14}{'-':>14}{'-':>9}  MISSING")
@@ -69,17 +111,24 @@ def main():
         f, unit = metric(fresh[name])
         delta = f / b - 1.0
         bad = delta < -args.threshold
-        status = "FAIL" if bad else "ok"
+        status = "ok"
+        if bad:
+            status = "WARN" if downgrade else "FAIL"
         print(f"{name:<{width}}{b:>14.4g}{f:>14.4g}"
               f"{delta * 100:>8.1f}%  {status} ({unit})")
         if bad:
-            failures.append(
-                f"{name}: {f:.4g} vs baseline {b:.4g} "
-                f"({delta * 100:+.1f}% < -{args.threshold * 100:.0f}%)")
+            msg = (f"{name}: {f:.4g} vs baseline {b:.4g} "
+                   f"({delta * 100:+.1f}% < -{args.threshold * 100:.0f}%)")
+            (warnings if downgrade else failures).append(msg)
     for name in sorted(set(fresh) - set(base)):
         print(f"{name:<{width}}{'-':>14}{metric(fresh[name])[0]:>14.4g}"
               f"{'-':>9}  new (no baseline)")
 
+    if warnings:
+        print("\nperf smoke WARNINGS (baseline host differs; "
+              "not failing):", file=sys.stderr)
+        for w in warnings:
+            print(f"  {w}", file=sys.stderr)
     if failures:
         print("\nperf smoke FAILED:", file=sys.stderr)
         for f in failures:

@@ -16,7 +16,9 @@
 # softer check covers google-benchmark's own library_build_type field;
 # it describes the *installed* libbenchmark, which on some hosts is a
 # debug build no matter how this repo is compiled, so
-# HIRISE_BENCH_ALLOW_DEBUG=1 downgrades only that one to a warning.
+# HIRISE_BENCH_ALLOW_DEBUG=1 downgrades only that one to a loud
+# warning and stamps a 'library_build_type_waiver' key into the
+# recorded JSON context so the committed baseline self-documents.
 #
 # Usage: scripts/run_microbench.sh [extra google-benchmark args...]
 set -euo pipefail
@@ -50,6 +52,7 @@ tmp_dir, out_file, git_sha = sys.argv[1], sys.argv[2], sys.argv[3]
 allow_debug = os.environ.get("HIRISE_BENCH_ALLOW_DEBUG") == "1"
 
 merged = None
+debug_library = None
 for name in ("bench_microperf", "bench_campaign"):
     path = f"{tmp_dir}/{name}.json"
     if os.path.getsize(path) == 0:
@@ -71,7 +74,7 @@ for name in ("bench_microperf", "bench_campaign"):
             sys.exit(msg + " — refusing to record; set "
                      "HIRISE_BENCH_ALLOW_DEBUG=1 if the library is "
                      "known-debug on this host")
-        print(f"WARNING: {msg}", file=sys.stderr)
+        debug_library = build_type
     for bench in doc["benchmarks"]:
         bench["suite"] = name
     if merged is None:
@@ -80,6 +83,25 @@ for name in ("bench_microperf", "bench_campaign"):
         merged["benchmarks"].extend(doc["benchmarks"])
 
 merged["context"]["git_sha"] = git_sha
+if debug_library is not None:
+    # Stamp the waiver into the recorded context so the committed
+    # baseline self-documents that its timing loop linked a non-release
+    # libbenchmark (the loop overhead is in the library, so per-cycle
+    # numbers are still comparable across runs on the same host).
+    merged["context"]["library_build_type_waiver"] = (
+        f"HIRISE_BENCH_ALLOW_DEBUG=1: installed libbenchmark is a "
+        f"'{debug_library}' build")
+    banner = "!" * 68
+    print(f"\n{banner}\n"
+          f"!! WARNING: libbenchmark is a '{debug_library}' build; "
+          "recording anyway\n"
+          "!! under HIRISE_BENCH_ALLOW_DEBUG=1. Waiver stamped into "
+          "the JSON\n"
+          "!! context as 'library_build_type_waiver'. Compare this "
+          "baseline only\n"
+          "!! against runs recorded with the same library build.\n"
+          f"{banner}\n",
+          file=sys.stderr)
 with open(out_file, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")

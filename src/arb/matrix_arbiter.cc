@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace hirise::arb {
 
@@ -23,6 +24,13 @@ MatrixArbiter::pick(const BitVec &req) const
     sim_assert(req.size() == n_, "request vector size %u != %u",
                req.size(), n_);
     const Word *rw = req.words();
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    // Hoisted tier test: the AVX2 dominance kernel only pays off once
+    // a priority row spans at least one full 256-bit vector (radix >
+    // 192, e.g. the flat-2D monolithic arbiter at radix 256); smaller
+    // arbiters stay on the scalar word loop.
+    const bool wide = rowWords_ >= 4 && simd::avx2();
+#endif
     for (std::uint32_t k = 0; k < rowWords_; ++k) {
         Word cand = rw[k];
         while (cand) {
@@ -33,16 +41,15 @@ MatrixArbiter::pick(const BitVec &req) const
             // i wins iff no other requestor outranks it:
             // (req & ~row(i)) must contain no bit besides i itself.
             const Word *ri = row(i);
-            bool wins = true;
-            for (std::uint32_t w = 0; w < rowWords_; ++w) {
-                Word losing = rw[w] & ~ri[w];
-                if (w == k)
-                    losing &= ~(Word(1) << bit);
-                if (losing) {
-                    wins = false;
-                    break;
-                }
-            }
+            const Word self = Word(1) << bit;
+            bool wins;
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+            if (wide)
+                wins = !simd::losingAnyAvx2(rw, ri, rowWords_, k, self);
+            else
+#endif
+                wins = !simd::losingAnyScalar(rw, ri, rowWords_, k,
+                                              self);
             if (wins)
                 return i;
         }

@@ -55,6 +55,12 @@ struct DiffConfig
     double meanBurstLen = 4.0;   //!< Bursty only
     std::vector<FaultSpec> faults;
     Mutation mutation = Mutation::None;
+    /** When >= 2 (and the mutation is off), a fourth pass runs this
+     *  many replica lanes through sim::BatchSim — lane 0 on the
+     *  config's own seed, lanes j > 0 on shardSeed(seed, j) — and
+     *  every lane must match its independent scalar run bit-exactly.
+     *  0 disables the pass. */
+    std::uint32_t batchReplicas = 0;
 };
 
 /** Non-fatal counterpart of SwitchSpec::validate() plus fuzz-side
@@ -81,7 +87,9 @@ struct DiffOutcome
  * mutation is off, so the first pass defines a trusted result — the
  * optimized fabric again in the opposite stepping mode
  * (c.cfg.denseStepping flipped), whose SimResult must also match
- * bit-exactly.
+ * bit-exactly. When @p c.batchReplicas >= 2 (mutation off), a fourth
+ * pass runs that many lanes through the batched engine and compares
+ * each against its own scalar run bit-exactly.
  */
 DiffOutcome runDifferential(const DiffConfig &c);
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace hirise {
 
@@ -74,8 +75,7 @@ class BitVec
     void
     clear()
     {
-        for (auto &w : w_)
-            w = 0;
+        simd::zeroWords(w_.data(), w_.size());
     }
 
     /** Set every bit in [0, size()). */
@@ -90,10 +90,7 @@ class BitVec
     bool
     any() const
     {
-        for (Word w : w_)
-            if (w)
-                return true;
-        return false;
+        return simd::anyWord(w_.data(), w_.size());
     }
     bool none() const { return !any(); }
 
@@ -153,20 +150,21 @@ class BitVec
     }
 
     // -- word-parallel combination (operands must match in size) ------
+    // Routed through the simd kernels (common/simd.hh): the fabric
+    // phase-1 column binning and phase-2 contended-output walks are
+    // built from exactly these ops plus clear()/copyFrom().
     BitVec &
     operator&=(const BitVec &o)
     {
         sim_assert(o.nbits_ == nbits_, "size mismatch");
-        for (std::size_t k = 0; k < w_.size(); ++k)
-            w_[k] &= o.w_[k];
+        simd::andWords(w_.data(), o.w_.data(), w_.size());
         return *this;
     }
     BitVec &
     operator|=(const BitVec &o)
     {
         sim_assert(o.nbits_ == nbits_, "size mismatch");
-        for (std::size_t k = 0; k < w_.size(); ++k)
-            w_[k] |= o.w_[k];
+        simd::orWords(w_.data(), o.w_.data(), w_.size());
         return *this;
     }
     /** this &= ~o */
@@ -174,8 +172,7 @@ class BitVec
     andNot(const BitVec &o)
     {
         sim_assert(o.nbits_ == nbits_, "size mismatch");
-        for (std::size_t k = 0; k < w_.size(); ++k)
-            w_[k] &= ~o.w_[k];
+        simd::andNotWords(w_.data(), o.w_.data(), w_.size());
         return *this;
     }
 
@@ -200,8 +197,7 @@ class BitVec
     copyFrom(const BitVec &o)
     {
         sim_assert(o.nbits_ == nbits_, "size mismatch");
-        for (std::size_t k = 0; k < w_.size(); ++k)
-            w_[k] = o.w_[k];
+        simd::copyWords(w_.data(), o.w_.data(), w_.size());
     }
 
     const Word *words() const { return w_.data(); }
@@ -218,6 +214,87 @@ class BitVec
 
     std::uint32_t nbits_ = 0;
     std::vector<Word> w_;
+};
+
+/**
+ * Non-owning bit-plane view over externally managed words: one
+ * replica's lane inside a batched structure-of-arrays buffer
+ * (sim/batch_sim.cc keeps R replica planes contiguous and hands out
+ * one BitSpan per replica). Mirrors the BitVec per-bit interface; the
+ * caller owns word storage and lifetime, and planes of one buffer
+ * must not overlap.
+ */
+class BitSpan
+{
+  public:
+    using Word = BitVec::Word;
+    static constexpr std::uint32_t kWordBits = BitVec::kWordBits;
+
+    BitSpan(Word *words, std::uint32_t nbits)
+        : w_(words), nbits_(nbits),
+          nwords_((nbits + kWordBits - 1) / kWordBits)
+    {}
+
+    std::uint32_t size() const { return nbits_; }
+    std::uint32_t numWords() const { return nwords_; }
+    const Word *words() const { return w_; }
+    Word *words() { return w_; }
+
+    bool
+    test(std::uint32_t i) const
+    {
+        return (w_[i / kWordBits] >> (i % kWordBits)) & 1u;
+    }
+
+    void
+    set(std::uint32_t i)
+    {
+        sim_assert(i < nbits_, "bit %u out of range", i);
+        w_[i / kWordBits] |= Word(1) << (i % kWordBits);
+    }
+    void
+    reset(std::uint32_t i)
+    {
+        sim_assert(i < nbits_, "bit %u out of range", i);
+        w_[i / kWordBits] &= ~(Word(1) << (i % kWordBits));
+    }
+
+    void clear() { simd::zeroWords(w_, nwords_); }
+
+    /** Set every bit in [0, size()), zeroing the word tail. */
+    void
+    fill()
+    {
+        for (std::uint32_t k = 0; k < nwords_; ++k)
+            w_[k] = ~Word(0);
+        std::uint32_t tail = nbits_ % kWordBits;
+        if (tail && nwords_)
+            w_[nwords_ - 1] &= (Word(1) << tail) - 1;
+    }
+
+    bool any() const { return simd::anyWord(w_, nwords_); }
+    bool none() const { return !any(); }
+
+    /** Call @p fn(index) for each set bit in ascending order. Safe to
+     *  reset the current bit inside @p fn (iteration copies words). */
+    template <typename Fn>
+    void
+    forEachSet(Fn fn) const
+    {
+        for (std::uint32_t k = 0; k < nwords_; ++k) {
+            Word w = w_[k];
+            while (w) {
+                fn(k * kWordBits +
+                   static_cast<std::uint32_t>(std::countr_zero(w)));
+                w &= w - 1;
+            }
+        }
+    }
+
+  private:
+    Word *w_;
+    std::uint32_t nbits_;
+    std::uint32_t nwords_;
 };
 
 } // namespace hirise

@@ -1,0 +1,56 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace hirise::simd {
+
+namespace {
+
+Tier
+probeTier()
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (const char *e = std::getenv("HIRISE_SIMD_FORCE_SCALAR");
+        e != nullptr && e[0] == '1')
+        return Tier::Scalar;
+    if (__builtin_cpu_supports("avx2"))
+        return Tier::Avx2;
+#endif
+    return Tier::Scalar;
+}
+
+std::atomic<Tier> &
+tierSlot()
+{
+    static std::atomic<Tier> t{probeTier()};
+    return t;
+}
+
+} // namespace
+
+Tier
+activeTier()
+{
+    return tierSlot().load(std::memory_order_relaxed);
+}
+
+void
+forceTier(Tier t)
+{
+    if (t == Tier::Avx2 && probeTier() != Tier::Avx2)
+        t = Tier::Scalar; // clamp to what build + host can run
+    tierSlot().store(t, std::memory_order_relaxed);
+}
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Scalar: return "scalar";
+      case Tier::Avx2: return "avx2";
+    }
+    return "?";
+}
+
+} // namespace hirise::simd

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Explicit SIMD kernels for the arbitration and batched-simulation
+ * hot paths, with a scalar fallback that is always compiled and a
+ * runtime-dispatched AVX2 tier.
+ *
+ * Build gating: the HIRISE_SIMD CMake option (ON by default) defines
+ * HIRISE_SIMD_ENABLED; together with an x86-64 target that compiles
+ * the AVX2 bodies (per-function `target("avx2")` attributes, so the
+ * rest of the binary stays portable). At runtime activeTier() probes
+ * __builtin_cpu_supports("avx2") once and caches the answer;
+ * HIRISE_SIMD_FORCE_SCALAR=1 in the environment pins the scalar tier
+ * for A/B runs on the same host.
+ *
+ * Determinism contract: every kernel computes the exact same bits as
+ * its scalar counterpart (same word ops, same splitmix64 scramble),
+ * so tier selection can never change a simulated outcome — only how
+ * many lanes are processed per instruction. tests/bitvec_test.cc
+ * compares the tiers word for word.
+ */
+
+#ifndef HIRISE_COMMON_SIMD_HH
+#define HIRISE_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(HIRISE_SIMD_ENABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define HIRISE_SIMD_AVX2_COMPILED 1
+#include <immintrin.h>
+#endif
+
+namespace hirise::simd {
+
+using Word = std::uint64_t;
+
+enum class Tier : std::uint8_t
+{
+    Scalar = 0,
+    Avx2 = 1,
+};
+
+/** Highest tier this build + host supports; resolved once per process
+ *  (cpuid probe + HIRISE_SIMD_FORCE_SCALAR env check, cached). */
+Tier activeTier();
+
+const char *tierName(Tier t);
+
+/** Test hook: pin the dispatch tier (Tier::Avx2 is clamped to what
+ *  the build/host supports). Not thread-safe against concurrent
+ *  kernel calls; call it between runs only. */
+void forceTier(Tier t);
+
+inline bool
+avx2()
+{
+    return activeTier() == Tier::Avx2;
+}
+
+// ---------------------------------------------------------------------
+// Word-array kernels (BitVec storage: little-endian uint64 words)
+// ---------------------------------------------------------------------
+
+inline void
+zeroWordsScalar(Word *dst, std::size_t n)
+{
+    for (std::size_t k = 0; k < n; ++k)
+        dst[k] = 0;
+}
+
+inline void
+copyWordsScalar(Word *dst, const Word *src, std::size_t n)
+{
+    for (std::size_t k = 0; k < n; ++k)
+        dst[k] = src[k];
+}
+
+inline void
+andWordsScalar(Word *dst, const Word *src, std::size_t n)
+{
+    for (std::size_t k = 0; k < n; ++k)
+        dst[k] &= src[k];
+}
+
+inline void
+orWordsScalar(Word *dst, const Word *src, std::size_t n)
+{
+    for (std::size_t k = 0; k < n; ++k)
+        dst[k] |= src[k];
+}
+
+inline void
+andNotWordsScalar(Word *dst, const Word *src, std::size_t n)
+{
+    for (std::size_t k = 0; k < n; ++k)
+        dst[k] &= ~src[k];
+}
+
+inline bool
+anyWordScalar(const Word *src, std::size_t n)
+{
+    for (std::size_t k = 0; k < n; ++k)
+        if (src[k])
+            return true;
+    return false;
+}
+
+/**
+ * Matrix-arbiter dominance test: does any requestor other than the
+ * candidate itself outrank it? True iff (req & ~row) has a set bit
+ * besides the candidate's own (word @p self_word, mask @p self_mask).
+ * This is the inner loop of arb::MatrixArbiter::pick().
+ */
+inline bool
+losingAnyScalar(const Word *req, const Word *row, std::size_t n,
+                std::size_t self_word, Word self_mask)
+{
+    for (std::size_t w = 0; w < n; ++w) {
+        Word losing = req[w] & ~row[w];
+        if (w == self_word)
+            losing &= ~self_mask;
+        if (losing)
+            return true;
+    }
+    return false;
+}
+
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+
+__attribute__((target("avx2"))) inline void
+zeroWordsAvx2(Word *dst, std::size_t n)
+{
+    std::size_t k = 0;
+    const __m256i z = _mm256_setzero_si256();
+    for (; k + 4 <= n; k += 4)
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k), z);
+    for (; k < n; ++k)
+        dst[k] = 0;
+}
+
+__attribute__((target("avx2"))) inline void
+copyWordsAvx2(Word *dst, const Word *src, std::size_t n)
+{
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + k),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(src + k)));
+    }
+    for (; k < n; ++k)
+        dst[k] = src[k];
+}
+
+__attribute__((target("avx2"))) inline void
+andWordsAvx2(Word *dst, const Word *src, std::size_t n)
+{
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + k));
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_and_si256(d, s));
+    }
+    for (; k < n; ++k)
+        dst[k] &= src[k];
+}
+
+__attribute__((target("avx2"))) inline void
+orWordsAvx2(Word *dst, const Word *src, std::size_t n)
+{
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + k));
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_or_si256(d, s));
+    }
+    for (; k < n; ++k)
+        dst[k] |= src[k];
+}
+
+__attribute__((target("avx2"))) inline void
+andNotWordsAvx2(Word *dst, const Word *src, std::size_t n)
+{
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + k));
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k));
+        // vpandn computes ~a & b, so src is the first operand.
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + k),
+                            _mm256_andnot_si256(s, d));
+    }
+    for (; k < n; ++k)
+        dst[k] &= ~src[k];
+}
+
+__attribute__((target("avx2"))) inline bool
+anyWordAvx2(const Word *src, std::size_t n)
+{
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + k));
+        if (!_mm256_testz_si256(s, s))
+            return true;
+    }
+    for (; k < n; ++k)
+        if (src[k])
+            return true;
+    return false;
+}
+
+__attribute__((target("avx2"))) inline bool
+losingAnyAvx2(const Word *req, const Word *row, std::size_t n,
+              std::size_t self_word, Word self_mask)
+{
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        __m256i r = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(req + w));
+        __m256i p = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row + w));
+        __m256i losing = _mm256_andnot_si256(p, r);
+        if (self_word >= w && self_word < w + 4) {
+            alignas(32) Word m[4] = {~Word(0), ~Word(0), ~Word(0),
+                                     ~Word(0)};
+            m[self_word - w] = ~self_mask;
+            losing = _mm256_and_si256(
+                losing,
+                _mm256_load_si256(reinterpret_cast<const __m256i *>(m)));
+        }
+        if (!_mm256_testz_si256(losing, losing))
+            return true;
+    }
+    for (; w < n; ++w) {
+        Word losing = req[w] & ~row[w];
+        if (w == self_word)
+            losing &= ~self_mask;
+        if (losing)
+            return true;
+    }
+    return false;
+}
+
+#endif // HIRISE_SIMD_AVX2_COMPILED
+
+// Dispatching fronts. The tier test is one cached load + predictable
+// branch; callers in per-candidate loops should hoist simd::avx2()
+// themselves and call the *Scalar/*Avx2 variants directly.
+
+inline void
+zeroWords(Word *dst, std::size_t n)
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (avx2())
+        return zeroWordsAvx2(dst, n);
+#endif
+    zeroWordsScalar(dst, n);
+}
+
+inline void
+copyWords(Word *dst, const Word *src, std::size_t n)
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (avx2())
+        return copyWordsAvx2(dst, src, n);
+#endif
+    copyWordsScalar(dst, src, n);
+}
+
+inline void
+andWords(Word *dst, const Word *src, std::size_t n)
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (avx2())
+        return andWordsAvx2(dst, src, n);
+#endif
+    andWordsScalar(dst, src, n);
+}
+
+inline void
+orWords(Word *dst, const Word *src, std::size_t n)
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (avx2())
+        return orWordsAvx2(dst, src, n);
+#endif
+    orWordsScalar(dst, src, n);
+}
+
+inline void
+andNotWords(Word *dst, const Word *src, std::size_t n)
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (avx2())
+        return andNotWordsAvx2(dst, src, n);
+#endif
+    andNotWordsScalar(dst, src, n);
+}
+
+inline bool
+anyWord(const Word *src, std::size_t n)
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (avx2())
+        return anyWordAvx2(src, n);
+#endif
+    return anyWordScalar(src, n);
+}
+
+inline bool
+losingAny(const Word *req, const Word *row, std::size_t n,
+          std::size_t self_word, Word self_mask)
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (avx2())
+        return losingAnyAvx2(req, row, n, self_word, self_mask);
+#endif
+    return losingAnyScalar(req, row, n, self_word, self_mask);
+}
+
+// ---------------------------------------------------------------------
+// Batched-transpose counter draws: the same tick evaluated across four
+// replica-lane stream keys at once (sim/batch_sim.cc injection plane).
+// ---------------------------------------------------------------------
+
+/** splitmix64 increment; counterDrawKeyed's per-tick multiplier is the
+ *  same constant (common/random.hh). */
+constexpr Word kSplitmixGolden = 0x9e3779b97f4a7c15ull;
+
+/** Scalar reference: out[j] = counterDrawKeyed(keys[j], tick). */
+inline void
+counterDraw4Scalar(const Word keys[4], Word tick, Word out[4])
+{
+    const Word add = kSplitmixGolden * tick + kSplitmixGolden;
+    for (int j = 0; j < 4; ++j) {
+        Word x = keys[j] + add; // == splitmix64(key + golden*tick)
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        out[j] = x ^ (x >> 31);
+    }
+}
+
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+
+/** 4x64-bit multiply by a broadcast constant; AVX2 has no 64-bit
+ *  vpmullq (that is AVX-512DQ), so synthesize it from 32x32 partial
+ *  products. */
+__attribute__((target("avx2"))) inline __m256i
+mullo64Avx2(__m256i a, __m256i b)
+{
+    __m256i lo = _mm256_mul_epu32(a, b);
+    __m256i cross = _mm256_add_epi64(
+        _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+        _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline void
+counterDraw4Avx2(const Word keys[4], Word tick, Word out[4])
+{
+    const Word add = kSplitmixGolden * tick + kSplitmixGolden;
+    __m256i x = _mm256_add_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(keys)),
+        _mm256_set1_epi64x(static_cast<long long>(add)));
+    x = mullo64Avx2(
+        _mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+        _mm256_set1_epi64x(
+            static_cast<long long>(0xbf58476d1ce4e5b9ull)));
+    x = mullo64Avx2(
+        _mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+        _mm256_set1_epi64x(
+            static_cast<long long>(0x94d049bb133111ebull)));
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), x);
+}
+
+#endif // HIRISE_SIMD_AVX2_COMPILED
+
+/** Four draws of one tick across four lane keys; bit-identical to
+ *  counterDrawKeyed on each lane in either tier. */
+inline void
+counterDraw4(const Word keys[4], Word tick, Word out[4])
+{
+#ifdef HIRISE_SIMD_AVX2_COMPILED
+    if (avx2())
+        return counterDraw4Avx2(keys, tick, out);
+#endif
+    counterDraw4Scalar(keys, tick, out);
+}
+
+} // namespace hirise::simd
+
+#endif // HIRISE_COMMON_SIMD_HH

@@ -295,14 +295,27 @@ fig10(const ExperimentOptions &opt)
                              pkt_per_cycle <= 0.25});
         }
     }
-    std::vector<sim::SimResult> results =
-        parallelMap(cells, [&](const Cell &c) {
-            if (!c.run)
-                return sim::SimResult{};
-            return sim::runAtLoadCached(entries[c.entry].spec,
+    // One design's runnable cells form one point family, so cache
+    // misses run as multi-replica batches (sim::BatchSim) instead of
+    // independent scalar simulations; every lane is bit-identical to
+    // the per-cell run it replaces.
+    std::vector<sim::SimResult> results(cells.size());
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+        std::vector<std::size_t> idx;
+        std::vector<sim::RunPoint> pts;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].entry == e && cells[i].run) {
+                idx.push_back(i);
+                pts.push_back(
+                    {cells[i].pktPerCycle, opt.simConfig().seed});
+            }
+        }
+        auto res = sim::runPointsCached(entries[e].spec,
                                         opt.simConfig(), uniform(64),
-                                        c.pktPerCycle);
-        });
+                                        pts);
+        for (std::size_t k = 0; k < idx.size(); ++k)
+            results[idx[k]] = std::move(res[k]);
+    }
 
     for (std::size_t i = 0; i < cells.size();) {
         std::vector<std::string> row{Table::num(cells[i].loadPns, 2)};
@@ -402,12 +415,25 @@ fig11b(const ExperimentOptions &opt)
                  std::min(load_pns / entries[e].freq, 1.0)});
         }
     }
-    std::vector<sim::SimResult> results =
-        parallelMap(cells, [&](const Cell &c) {
-            return sim::runAtLoadCached(entries[c.entry].spec,
+    // Per-design point families again: each scheme's load column
+    // batches its cache misses through sim::BatchSim.
+    std::vector<sim::SimResult> results(cells.size());
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+        std::vector<std::size_t> idx;
+        std::vector<sim::RunPoint> pts;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].entry == e) {
+                idx.push_back(i);
+                pts.push_back(
+                    {cells[i].pktPerCycle, opt.simConfig().seed});
+            }
+        }
+        auto res = sim::runPointsCached(entries[e].spec,
                                         opt.simConfig(), uniform(64),
-                                        c.pktPerCycle);
-        });
+                                        pts);
+        for (std::size_t k = 0; k < idx.size(); ++k)
+            results[idx[k]] = std::move(res[k]);
+    }
 
     for (std::size_t i = 0; i < cells.size();) {
         std::vector<std::string> row{Table::num(cells[i].loadPns, 2)};

@@ -9,43 +9,54 @@ InputPort::fillCycle()
 {
     if (sourceQueue_.empty())
         return;
+    if (fillFrom(sourceQueue_.front()))
+        sourceQueue_.pop_front();
+}
 
+bool
+InputPort::fillFrom(const Packet &head)
+{
     // Continue streaming the current packet into its VC.
     if (fillVc_ != kNoVc) {
         VirtualChannel &vc = vcs_[fillVc_];
         if (vc.full())
-            return; // backpressure: wait for the crossbar to drain it
-        const Packet &p = sourceQueue_.front();
-        vc.pushFlit(p.flit(fillIdx_));
+            return false; // backpressure: wait for the crossbar
+        vc.pushFlit(head.flit(fillIdx_));
         ++fillIdx_;
-        if (fillIdx_ == p.lenFlits) {
-            sourceQueue_.pop_front();
+        if (fillIdx_ == head.lenFlits) {
             fillVc_ = kNoVc;
             fillIdx_ = 0;
+            return true;
         }
-        return;
+        return false;
     }
 
     // Allocate a free VC (idle, empty) for the next packet.
     for (std::uint32_t v = 0; v < vcs_.size(); ++v) {
         if (!vcs_[v].busy() && vcs_[v].empty()) {
             fillVc_ = v;
-            fillIdx_ = 0;
-            const Packet &p = sourceQueue_.front();
-            vcs_[v].pushFlit(p.flit(0));
+            vcs_[v].pushFlit(head.flit(0));
             fillIdx_ = 1;
-            if (fillIdx_ == p.lenFlits) {
-                sourceQueue_.pop_front();
+            if (fillIdx_ == head.lenFlits) {
                 fillVc_ = kNoVc;
                 fillIdx_ = 0;
+                return true;
             }
-            return;
+            return false;
         }
     }
+    return false;
 }
 
 std::uint32_t
 InputPort::pickCandidateVc(const BitVec *dst_free)
+{
+    return pickCandidateVcWords(dst_free ? dst_free->words()
+                                         : nullptr);
+}
+
+std::uint32_t
+InputPort::pickCandidateVcWords(const BitVec::Word *dst_free)
 {
     sim_assert(!connected(), "busy input must not arbitrate");
     const std::uint32_t n = static_cast<std::uint32_t>(vcs_.size());
@@ -53,8 +64,13 @@ InputPort::pickCandidateVc(const BitVec *dst_free)
         std::uint32_t v = (rrNext_ + k) % n;
         if (!vcs_[v].headReady())
             continue;
-        if (dst_free && !(*dst_free)[vcs_[v].front().dst])
-            continue;
+        if (dst_free) {
+            std::uint32_t d = vcs_[v].front().dst;
+            if (!((dst_free[d / BitVec::kWordBits] >>
+                   (d % BitVec::kWordBits)) &
+                  1u))
+                continue;
+        }
         rrNext_ = (v + 1) % n;
         return v;
     }

@@ -103,6 +103,25 @@ class InputPort
      *  Prefers continuing the packet currently streaming in. */
     void fillCycle();
 
+    /**
+     * Core of fillCycle for an externally supplied head packet:
+     * streams at most one flit of @p head into a VC. Returns true
+     * when @p head 's last flit went in (the caller advances its
+     * queue). While a packet is mid-stream (fillProgress() > 0) the
+     * caller must keep passing the same packet. Used by the batched
+     * simulator's virtual source queues, which reconstruct head
+     * packets from the counter streams instead of materializing them.
+     */
+    bool fillFrom(const Packet &head);
+
+    /** Flits of the currently streaming packet already moved into a
+     *  VC (0 when no packet is mid-stream). */
+    std::uint32_t
+    fillProgress() const
+    {
+        return fillVc_ == kNoVc ? 0u : fillIdx_;
+    }
+
     // -- connection state ------------------------------------------
     bool connected() const { return connVc_ != kNoVc; }
     std::uint32_t connVc() const { return connVc_; }
@@ -156,6 +175,12 @@ class InputPort
      */
     std::uint32_t
     pickCandidateVc(const BitVec *dst_free = nullptr);
+
+    /** As pickCandidateVc, but reading availability straight from a
+     *  word array (a BitSpan plane inside the batched simulator's
+     *  structure-of-arrays state). Same round-robin semantics. */
+    std::uint32_t
+    pickCandidateVcWords(const BitVec::Word *dst_free);
 
     /** Destination requested by the candidate VC. */
     std::uint32_t

@@ -1,0 +1,560 @@
+#include "sim/batch_sim.hh"
+
+#include "common/logging.hh"
+#include "common/simd.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+#ifdef HIRISE_CHECK_ENABLED
+#include "check/invariants.hh"
+#endif
+
+namespace hirise::sim {
+
+namespace {
+
+/** Same registry names as the scalar simulator, so campaign metrics
+ *  aggregate identically whichever engine served a point. */
+struct BatchMetrics
+{
+    obs::Counter &injected;
+    obs::Counter &delivered;
+    obs::Counter &flits;
+    obs::Counter &inFlightCensored;
+
+    static BatchMetrics &
+    get()
+    {
+        static BatchMetrics m{
+            obs::MetricsRegistry::global().counter(
+                "sim.packets_injected"),
+            obs::MetricsRegistry::global().counter(
+                "sim.packets_delivered"),
+            obs::MetricsRegistry::global().counter(
+                "sim.flits_delivered"),
+            obs::MetricsRegistry::global().counter(
+                "sim.in_flight_at_measure_end"),
+        };
+        return m;
+    }
+};
+
+/** Cold out-of-line metric bumps, as in network_sim.cc. The tracer
+ *  record() calls are structurally dead here — usable() keeps batched
+ *  runs off armed tracers — and no-op if reached. */
+[[gnu::cold]] [[gnu::noinline]] void
+recordInject(std::uint32_t src, std::uint32_t dst, std::uint64_t id)
+{
+    BatchMetrics::get().injected.inc();
+    obs::CycleTracer::global().record(obs::Ev::Inject, src, dst, 0, id);
+}
+
+/** Bulk form for virtual-queue replicas: one bump covers the whole
+ *  cycle's injections (same final counter value as n recordInject
+ *  calls; the tracer is off whenever a BatchSim exists). */
+[[gnu::cold]] [[gnu::noinline]] void
+recordInjectBulk(std::uint64_t n)
+{
+    BatchMetrics::get().injected.inc(n);
+}
+
+[[gnu::cold]] [[gnu::noinline]] void
+recordGrant(std::uint32_t in, std::uint32_t out, std::uint32_t vc,
+            std::uint64_t packet)
+{
+    obs::CycleTracer::global().record(obs::Ev::Grant, in, out, vc,
+                                      packet);
+}
+
+[[gnu::cold]] [[gnu::noinline]] void
+recordRelease(std::uint32_t in, std::uint32_t out,
+              std::uint32_t packet_len, std::uint64_t packet)
+{
+    BatchMetrics::get().delivered.inc();
+    BatchMetrics::get().flits.inc(packet_len);
+    obs::CycleTracer::global().record(obs::Ev::Release, in, out, 0,
+                                      packet);
+}
+
+} // namespace
+
+bool
+BatchSim::usable()
+{
+    return !obs::CycleTracer::global().enabled();
+}
+
+BatchSim::BatchSim(const SwitchSpec &spec, const SimConfig &base,
+                   std::vector<std::shared_ptr<traffic::TrafficPattern>>
+                       patterns,
+                   std::vector<BatchPoint> points,
+                   const FabricFactory &make_fabric)
+    : spec_(spec), base_(base), pts_(std::move(points)),
+      R_(static_cast<std::uint32_t>(pts_.size())), N_(spec.radix),
+      wpr_((spec.radix + BitVec::kWordBits - 1) / BitVec::kWordBits),
+      patterns_(std::move(patterns)),
+      dstFree_(std::size_t(R_) * wpr_, 0),
+      connected_(std::size_t(R_) * wpr_, 0),
+      eligible_(std::size_t(R_) * wpr_, 0),
+      fillPend_(std::size_t(R_) * wpr_, 0),
+      reqScratch_(spec.radix, fabric::kNoRequest),
+      candVcScratch_(spec.radix, net::InputPort::kNoVc)
+{
+    sim_assert(R_ >= 1, "batch needs at least one replica");
+    sim_assert(patterns_.size() == R_,
+               "one pattern per replica required (%zu != %u)",
+               patterns_.size(), R_);
+    sim_assert(!base_.trace, "traced runs must use NetworkSim");
+    sim_assert(usable(), "batching is disabled while a tracer is armed");
+
+    ports_.assign(std::size_t(R_) * N_,
+                  net::InputPort(base_.numVcs, base_.vcDepth));
+    fabrics_.reserve(R_);
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        fabrics_.push_back(make_fabric ? make_fabric()
+                                       : fabric::makeFabric(spec_));
+        sim_assert(fabrics_.back() != nullptr,
+                   "fabric factory returned null");
+        plane(dstFree_, r).fill(); // no output is held at reset
+    }
+    activeReq_.reserve(N_);
+
+    injKeys_.resize(std::size_t(N_) * R_);
+    destKeys_.resize(std::size_t(N_) * R_);
+    part_.resize(std::size_t(R_) * N_);
+    thr_.resize(R_);
+    allMemoryless_ = true;
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        sim_assert(patterns_[r] != nullptr, "null pattern");
+        allMemoryless_ = allMemoryless_ && patterns_[r]->memoryless();
+        thr_[r] = bernoulliThreshold(pts_[r].load);
+        for (std::uint32_t i = 0; i < N_; ++i) {
+            // Replica-major: a replica's keys for four consecutive
+            // inputs are contiguous, so a cycle's draws batch four
+            // lanes per AVX2 step inside that replica's fused walk.
+            injKeys_[std::size_t(r) * N_ + i] = counterKey(
+                pts_[r].seed,
+                traffic::TrafficPattern::lane(
+                    i, traffic::TrafficPattern::kLaneInject));
+            destKeys_[std::size_t(r) * N_ + i] = counterKey(
+                pts_[r].seed,
+                traffic::TrafficPattern::lane(
+                    i, traffic::TrafficPattern::kLaneDest));
+            part_[std::size_t(r) * N_ + i] =
+                patterns_[r]->participates(i) ? 1 : 0;
+        }
+    }
+
+    satVirt_.assign(R_, 0);
+    satP_.assign(R_, 0);
+    satHead_.assign(std::size_t(R_) * N_, net::Packet{});
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        if (!allMemoryless_ || thr_[r] != (std::uint64_t(1) << 53))
+            continue;
+        satVirt_[r] = 1;
+        std::uint32_t rank = 0;
+        for (std::uint32_t i = 0; i < N_; ++i) {
+            if (!part_[std::size_t(r) * N_ + i])
+                continue;
+            net::Packet &head = satHead_[std::size_t(r) * N_ + i];
+            head.id = rank + 1; // rank'th injection of cycle 0
+            head.src = i;
+            head.dst = patterns_[r]->destAt(i, 0, pts_[r].seed);
+            head.lenFlits =
+                static_cast<std::uint16_t>(base_.packetLen);
+            head.genCycle = 0;
+            ++rank;
+        }
+        satP_[r] = rank;
+    }
+
+    lanes_.resize(R_);
+    for (auto &lane : lanes_) {
+        lane.perInputLatency.resize(N_);
+        lane.perInputPackets.assign(N_, 0);
+    }
+}
+
+void
+BatchSim::injectPacket(std::uint32_t r, std::uint32_t i,
+                       std::uint32_t dst)
+{
+    Lane &lane = lanes_[r];
+    net::Packet p;
+    p.id = lane.nextId++;
+    p.src = i;
+    p.dst = dst;
+    sim_assert(p.dst < N_, "pattern dst out of range");
+    p.lenFlits = static_cast<std::uint16_t>(base_.packetLen);
+    p.genCycle = cycle_;
+    port(r, i).sourceQueue().push_back(p);
+    plane(fillPend_, r).set(i);
+    ++lane.injected;
+    if (measuring_) {
+        lane.measFlitsOffered += p.lenFlits;
+        ++lane.measPacketsInjected;
+    }
+    if (obs::on()) [[unlikely]]
+        recordInject(i, p.dst, p.id);
+}
+
+void
+BatchSim::injectStateful(std::uint32_t r)
+{
+    // Stateful patterns own the injection decision: honour their
+    // contract (injectAt exactly once per (src, cycle), cycles
+    // strictly increasing per source), exactly as the scalar dense
+    // poll does.
+    traffic::TrafficPattern &pat = *patterns_[r];
+    for (std::uint32_t i = 0; i < N_; ++i) {
+        if (pat.injectAt(i, cycle_, pts_[r].load, pts_[r].seed))
+            injectPacket(r, i, pat.destAt(i, cycle_, pts_[r].seed));
+    }
+}
+
+void
+BatchSim::injectVirtual(std::uint32_t r)
+{
+    // Every draw passes this replica's threshold (load >= 1), so each
+    // participating input injects exactly one packet this cycle and
+    // the whole cycle's injection collapses to accounting: the
+    // packets themselves stay virtual (see the satHead_ comment in
+    // the header) until fillVirtual streams them into VCs. This is
+    // the saturation-campaign fast path (runAtLoad at load 1.0).
+    Lane &lane = lanes_[r];
+    const std::uint64_t p = satP_[r];
+    lane.nextId += p;
+    lane.injected += p;
+    if (measuring_) {
+        lane.measFlitsOffered += p * base_.packetLen;
+        lane.measPacketsInjected += p;
+    }
+    if (obs::on()) [[unlikely]]
+        recordInjectBulk(p);
+}
+
+void
+BatchSim::fillVirtual(std::uint32_t r)
+{
+    // fillPhase over the virtual queues: at saturation a queue can
+    // never be empty at fill time (a packet was injected this very
+    // cycle), so every participating input attempts a fill, and a
+    // consumed head is re-derived from the counter streams — one
+    // destAt hash per packet that actually leaves the queue (bounded
+    // by delivery throughput), not per injected packet.
+    traffic::TrafficPattern &pat = *patterns_[r];
+    const char *part = part_.data() + std::size_t(r) * N_;
+    const std::uint64_t p = satP_[r];
+    BitSpan elig = plane(eligible_, r);
+    for (std::uint32_t i = 0; i < N_; ++i) {
+        if (!part[i])
+            continue;
+        net::InputPort &port_i = port(r, i);
+        net::Packet &head = satHead_[std::size_t(r) * N_ + i];
+        if (port_i.fillFrom(head)) {
+            // Head fully streamed: the next head is the packet this
+            // input injected one cycle later, P ids down the lane's
+            // id sequence.
+            head.genCycle += 1;
+            head.id += p;
+            head.dst = pat.destAt(i, head.genCycle, pts_[r].seed);
+        }
+        if (!port_i.connected() && port_i.anyVcOccupied())
+            elig.set(i);
+    }
+}
+
+void
+BatchSim::injectDrawn(std::uint32_t r)
+{
+    // Memoryless general case: the inject draw for (input, cycle) is
+    // a pure hash of the lane key, so four consecutive inputs' draws
+    // batch per step; a quad with at least one passing draw then
+    // batches its destination draws the same way (destRow4 is
+    // side-effect free, so computing a destination for a lane that
+    // does not inject is harmless).
+    traffic::TrafficPattern &pat = *patterns_[r];
+    const char *part = part_.data() + std::size_t(r) * N_;
+    const std::uint64_t *keys = injKeys_.data() + std::size_t(r) * N_;
+    const std::uint64_t *dkeys = destKeys_.data() + std::size_t(r) * N_;
+    const std::uint64_t thr = thr_[r];
+    std::uint64_t d[4];
+    std::uint32_t out[4];
+    std::uint32_t i = 0;
+    for (; i + 4 <= N_; i += 4) {
+        simd::counterDraw4(keys + i, cycle_, d);
+        unsigned need = 0;
+        for (std::uint32_t j = 0; j < 4; ++j) {
+            if ((d[j] >> 11) < thr && part[i + j])
+                need |= 1u << j;
+        }
+        if (!need)
+            continue;
+        pat.destRow4(i, cycle_, pts_[r].seed, dkeys + i, out);
+        for (std::uint32_t j = 0; j < 4; ++j) {
+            if (need & (1u << j))
+                injectPacket(r, i + j, out[j]);
+        }
+    }
+    for (; i < N_; ++i) {
+        const std::uint64_t draw = counterDrawKeyed(keys[i], cycle_);
+        if ((draw >> 11) < thr && part[i])
+            injectPacket(r, i, pat.destAt(i, cycle_, pts_[r].seed));
+    }
+}
+
+void
+BatchSim::fillPhase(std::uint32_t r)
+{
+    BitSpan pend = plane(fillPend_, r);
+    BitSpan elig = plane(eligible_, r);
+    pend.forEachSet([&](std::uint32_t i) {
+        net::InputPort &p = port(r, i);
+        p.fillCycle();
+        if (!p.connected() && p.anyVcOccupied())
+            elig.set(i);
+        if (p.sourceQueue().empty())
+            pend.reset(i);
+    });
+}
+
+void
+BatchSim::applyGrant(std::uint32_t r, std::uint32_t i)
+{
+    auto &req = reqScratch_;
+    auto &cand_vc = candVcScratch_;
+    sim_assert(req[i] != fabric::kNoRequest,
+               "grant to non-requesting input %u", i);
+    net::InputPort &p = port(r, i);
+    if (measuring_) {
+        const net::Flit &head = p.vcs()[cand_vc[i]].front();
+        lanes_[r].queueing.add(static_cast<double>(cycle_ -
+                                                   head.genCycle));
+    }
+    if (obs::on()) [[unlikely]]
+        recordGrant(i, req[i], cand_vc[i],
+                    p.vcs()[cand_vc[i]].front().packet);
+    p.connect(cand_vc[i], req[i], base_.packetLen);
+    plane(connected_, r).set(i);
+    plane(eligible_, r).reset(i);
+    plane(dstFree_, r).reset(req[i]);
+}
+
+void
+BatchSim::arbitratePhase(std::uint32_t r)
+{
+    // Mirror of NetworkSim::arbitrateCycleActive over this replica's
+    // bit planes: only eligible inputs request, output availability is
+    // maintained incrementally, and the request scratch is reset
+    // sparsely so the next replica starts from the all-idle state.
+    auto &req = reqScratch_;
+    auto &cand_vc = candVcScratch_;
+    activeReq_.clear();
+    const BitVec::Word *dst_free = plane(dstFree_, r).words();
+    plane(eligible_, r).forEachSet([&](std::uint32_t i) {
+        std::uint32_t v = port(r, i).pickCandidateVcWords(dst_free);
+        if (v == net::InputPort::kNoVc)
+            return;
+        cand_vc[i] = v;
+        req[i] = port(r, i).vcDest(v);
+        activeReq_.push_back(i);
+    });
+    if (activeReq_.empty()) {
+        fabrics_[r]->advanceIdle(1);
+        return;
+    }
+
+    const BitVec &grant = fabrics_[r]->arbitrateActive(req, activeReq_);
+#ifdef HIRISE_CHECK_ENABLED
+    check::verifyGrantMatching(
+        std::span<const std::uint32_t>(req), grant, N_,
+        [&](std::uint32_t o) { return fabrics_[r]->outputHolder(o); });
+#endif
+    grant.forEachSet([&](std::uint32_t i) { applyGrant(r, i); });
+    for (std::uint32_t i : activeReq_) {
+        req[i] = fabric::kNoRequest;
+        cand_vc[i] = net::InputPort::kNoVc;
+    }
+}
+
+void
+BatchSim::transferPhase(std::uint32_t r)
+{
+    Lane &lane = lanes_[r];
+    BitSpan conn = plane(connected_, r);
+    conn.forEachSet([&](std::uint32_t i) {
+        net::InputPort &p = port(r, i);
+        sim_assert(p.connected(), "stale connected bit %u", i);
+        if (p.consumeJustConnected())
+            return; // grant cycle: the buses carried the arbitration
+        net::VirtualChannel &vc = p.vcs()[p.connVc()];
+        if (vc.empty())
+            return; // bubble: flit not yet streamed in from source
+        net::Flit f = vc.popFlit();
+        std::uint32_t out = p.connOutput();
+        sim_assert(f.dst == out, "flit routed to wrong output");
+        ++lane.flitsDelivered;
+        if (measuring_)
+            ++lane.measFlitsDelivered;
+        bool done = p.transferOne();
+        if (done) {
+            sim_assert(f.tail, "connection ended mid-packet");
+            fabrics_[r]->release(i, out);
+            conn.reset(i);
+            plane(dstFree_, r).set(out);
+            if (p.anyVcOccupied())
+                plane(eligible_, r).set(i);
+            ++lane.delivered;
+            if (measuring_) {
+                double lat = static_cast<double>(cycle_ - f.genCycle);
+                lane.latency.add(lat);
+                lane.latencyHist.add(lat);
+                lane.perInputLatency[f.src].add(lat);
+                ++lane.perInputPackets[f.src];
+                if (f.genCycle >= measureStart_)
+                    ++lane.measPacketsCompleted;
+            }
+            if (obs::on()) [[unlikely]]
+                recordRelease(i, out, base_.packetLen, f.packet);
+        }
+    });
+}
+
+void
+BatchSim::stepOnce()
+{
+    if (obs::on()) [[unlikely]]
+        obs::setTraceCycle(cycle_);
+    // All phases fuse per replica so one cycle walks each replica's
+    // ports and planes exactly once — with R replicas the combined
+    // working set exceeds cache, and a phase-major order would stream
+    // it R times per phase instead. The memoryless injection paths
+    // batch their counter draws four consecutive input lanes per AVX2
+    // step (the lanes share the cycle, so the key rows are contiguous
+    // in the replica-major key arrays).
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        if (satVirt_[r]) {
+            injectVirtual(r);
+            fillVirtual(r);
+        } else {
+            if (!allMemoryless_)
+                injectStateful(r);
+            else
+                injectDrawn(r);
+            fillPhase(r);
+        }
+        arbitratePhase(r);
+        transferPhase(r);
+    }
+    ++cycle_;
+#ifdef HIRISE_CHECK_ENABLED
+    for (std::uint32_t r = 0; r < R_; ++r)
+        checkInvariants(r);
+#endif
+}
+
+#ifdef HIRISE_CHECK_ENABLED
+void
+BatchSim::checkInvariants(std::uint32_t r)
+{
+    std::uint64_t backlog = 0;
+    for (std::uint32_t i = 0; i < N_; ++i) {
+        backlog += port(r, i).backlogFlits();
+        if (satVirt_[r] && part_[std::size_t(r) * N_ + i]) {
+            // Virtual queue contents: packets gen [head, cycle_) are
+            // injected but unconsumed. backlogFlits() already
+            // discounted the head's partially streamed flits.
+            backlog +=
+                (cycle_ - satHead_[std::size_t(r) * N_ + i].genCycle) *
+                base_.packetLen;
+        }
+    }
+    check::verifyFlitConservation(lanes_[r].injected * base_.packetLen,
+                                  lanes_[r].flitsDelivered, backlog);
+    auto holder = [&](std::uint32_t o) {
+        return fabrics_[r]->outputHolder(o);
+    };
+    check::verifyHolderInjective(N_, holder);
+    for (std::uint32_t i = 0; i < N_; ++i) {
+        const net::InputPort &p = port(r, i);
+        check::verifyVcState(p, base_.vcDepth);
+        sim_assert(plane(connected_, r).test(i) == p.connected(),
+                   "connected plane bit %u out of sync", i);
+        sim_assert(plane(fillPend_, r).test(i) ==
+                       !p.sourceQueue().empty(),
+                   "fillPend plane bit %u out of sync", i);
+        sim_assert(plane(eligible_, r).test(i) ==
+                       (!p.connected() && p.anyVcOccupied()),
+                   "eligible plane bit %u out of sync", i);
+        if (p.connected()) {
+            sim_assert(fabrics_[r]->outputHolder(p.connOutput()) == i,
+                       "connected port %u does not hold output %u", i,
+                       p.connOutput());
+        }
+    }
+    for (std::uint32_t o = 0; o < N_; ++o) {
+        sim_assert(plane(dstFree_, r).test(o) ==
+                       !fabrics_[r]->outputBusy(o),
+                   "dstFree plane bit %u out of sync", o);
+    }
+}
+#endif
+
+std::vector<SimResult>
+BatchSim::run()
+{
+    const net::Cycle warm_end = cycle_ + base_.warmupCycles;
+    while (cycle_ < warm_end)
+        stepOnce();
+    measuring_ = true;
+    measureStart_ = cycle_;
+    const net::Cycle end = cycle_ + base_.measureCycles;
+    while (cycle_ < end)
+        stepOnce();
+    measuring_ = false;
+
+    const double window = static_cast<double>(cycle_ - measureStart_);
+    std::vector<SimResult> results(R_);
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        Lane &lane = lanes_[r];
+        SimResult &res = results[r];
+        res.offeredFlitsPerCycle =
+            static_cast<double>(lane.measFlitsOffered) / window;
+        res.acceptedFlitsPerCycle =
+            static_cast<double>(lane.measFlitsDelivered) / window;
+        res.avgLatencyCycles = lane.latency.mean();
+        res.avgQueueingCycles = lane.queueing.mean();
+        res.p99LatencyCycles = lane.latencyHist.quantile(0.99);
+        res.packetsDelivered = lane.latency.count();
+        sim_assert(lane.measPacketsCompleted <= lane.measPacketsInjected,
+                   "more window packets completed than injected");
+        res.inFlightAtMeasureEnd =
+            lane.measPacketsInjected - lane.measPacketsCompleted;
+        res.latencyOverflowPackets = lane.latencyHist.overflowCount();
+        if (obs::on()) [[unlikely]] {
+            BatchMetrics::get().inFlightCensored.inc(
+                res.inFlightAtMeasureEnd);
+        }
+
+        res.perInputLatency.resize(N_, 0.0);
+        res.perInputThroughput.resize(N_, 0.0);
+        std::vector<double> active_tput;
+        for (std::uint32_t i = 0; i < N_; ++i) {
+            res.perInputLatency[i] = lane.perInputLatency[i].mean();
+            res.perInputThroughput[i] =
+                static_cast<double>(lane.perInputPackets[i]) / window;
+            // Live query, not the part_ snapshot: stateful patterns
+            // (trace replay) change participates() as they drain, and
+            // the scalar engine evaluates it here, at end of run.
+            if (patterns_[r]->participates(i))
+                active_tput.push_back(res.perInputThroughput[i]);
+        }
+        res.fairness = jainFairness(active_tput);
+
+        sim_assert(lane.delivered <= lane.injected,
+                   "conservation violated");
+    }
+    return results;
+}
+
+} // namespace hirise::sim

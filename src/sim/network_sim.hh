@@ -90,6 +90,15 @@ struct SimResult
 class NetworkSim
 {
   public:
+    /** Above this per-input injection rate the event heap is skipped
+     *  in favour of per-cycle polling (see injHeapOn_): the expected
+     *  inter-injection gap is < 1/rate cycles, too short for the
+     *  O(log radix) heap churn per injection to pay off. Public so
+     *  the campaign layer routes points the same way: at or below
+     *  this rate the scalar core's heap + idle fast-forward beats the
+     *  batched per-cycle poll, so batching starts above it. */
+    static constexpr double kInjHeapMaxRate = 0.125;
+
     NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
                std::shared_ptr<traffic::TrafficPattern> pattern);
 
@@ -202,12 +211,6 @@ class NetworkSim
      *  probe event (bounds single-call latency at very low rates; a
      *  probe re-scans when popped). */
     static constexpr net::Cycle kInjectScanChunk = 1u << 20;
-
-    /** Above this per-input injection rate the event heap is skipped
-     *  in favour of per-cycle polling (see injHeapOn_): the expected
-     *  inter-injection gap is < 1/rate cycles, too short for the
-     *  O(log radix) heap churn per injection to pay off. */
-    static constexpr double kInjHeapMaxRate = 0.125;
 
     net::Cycle cycle_ = 0;
     net::PacketId nextId_ = 1;

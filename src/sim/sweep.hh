@@ -48,6 +48,39 @@ struct SweepPoint
     SimResult result;
 };
 
+/** One cached evaluation request for the batched runner: a (load,
+ *  seed) point of a common (spec, cfg, pattern) family. */
+struct RunPoint
+{
+    double load = 0.0;
+    std::uint64_t seed = 0;
+};
+
+/**
+ * Replica lanes per batched simulation (sim::BatchSim). Default 8,
+ * overridable by the HIRISE_BATCH environment variable at process
+ * start and by setBatchReplicas() (the harness --replicas flag).
+ * A value of 0 or 1 disables batching: every point runs scalar.
+ */
+std::uint32_t batchReplicas();
+void setBatchReplicas(std::uint32_t replicas);
+
+/**
+ * Evaluate many (load, seed) points of one (spec, cfg, pattern)
+ * family, memoized through @p opt.cache. Cache misses are grouped
+ * into BatchSim runs of up to batchReplicas() lanes; points at or
+ * below NetworkSim::kInjHeapMaxRate, singleton groups, and runs under
+ * an armed tracer fall back to scalar NetworkSim. Either engine
+ * produces bit-identical SimResults (tests/batch_test.cc), so the
+ * cache never observes which one served a point. Results are
+ * index-ordered and deterministic for any thread count.
+ */
+std::vector<SimResult>
+runPointsCached(const SwitchSpec &spec, const SimConfig &base,
+                const PatternFactory &make,
+                const std::vector<RunPoint> &pts,
+                const CampaignOptions &opt = {});
+
 /** Run one simulation at the given load (always executes). */
 SimResult runAtLoad(const SwitchSpec &spec, const SimConfig &base,
                     const PatternFactory &make, double load);

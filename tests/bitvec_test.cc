@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/bitvec.hh"
 #include "common/random.hh"
+#include "common/simd.hh"
 
 using namespace hirise;
 
@@ -135,5 +137,235 @@ TEST(BitVec, MatchesVectorBoolModelUnderRandomOps)
         }
         EXPECT_EQ(b.count(), count);
         EXPECT_EQ(b.firstSet(), first);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SIMD dispatch layer (common/simd.hh)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Run @p fn once per dispatch tier the build/host supports, then
+ *  restore the native tier. forceTier clamps Avx2 down to Scalar when
+ *  the build (HIRISE_SIMD=OFF) or host lacks it, so the loop body can
+ *  only ever see supported tiers. */
+template <typename Fn>
+void
+forEachTier(Fn fn)
+{
+    const simd::Tier native = simd::activeTier();
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2}) {
+        simd::forceTier(t);
+        fn(simd::activeTier());
+    }
+    simd::forceTier(native);
+}
+
+std::vector<simd::Word>
+randomWords(Rng &rng, std::size_t n)
+{
+    std::vector<simd::Word> w(n);
+    for (auto &x : w)
+        x = rng.next();
+    return w;
+}
+
+} // namespace
+
+TEST(Simd, ForceTierRoundTrip)
+{
+    const simd::Tier native = simd::activeTier();
+    simd::forceTier(simd::Tier::Scalar);
+    EXPECT_EQ(simd::activeTier(), simd::Tier::Scalar);
+    EXPECT_FALSE(simd::avx2());
+    simd::forceTier(simd::Tier::Avx2); // clamped if unsupported
+    EXPECT_TRUE(simd::activeTier() == simd::Tier::Avx2 ||
+                simd::activeTier() == simd::Tier::Scalar);
+    EXPECT_STRNE(simd::tierName(simd::activeTier()), "");
+    simd::forceTier(native);
+    EXPECT_EQ(simd::activeTier(), native);
+}
+
+TEST(Simd, WordKernelsMatchScalarReferenceOnEveryTier)
+{
+    // Word counts straddle the 4-word vector width (0..9) so both the
+    // vector body and the scalar tail run.
+    Rng rng(1);
+    for (std::size_t n = 0; n <= 9; ++n) {
+        const auto a0 = randomWords(rng, n);
+        const auto b = randomWords(rng, n);
+        forEachTier([&](simd::Tier) {
+            auto d = a0;
+            simd::zeroWords(d.data(), n);
+            EXPECT_TRUE(std::all_of(d.begin(), d.end(),
+                                    [](simd::Word w) { return !w; }));
+            simd::copyWords(d.data(), a0.data(), n);
+            EXPECT_EQ(d, a0);
+            simd::andWords(d.data(), b.data(), n);
+            for (std::size_t k = 0; k < n; ++k)
+                EXPECT_EQ(d[k], a0[k] & b[k]);
+            d = a0;
+            simd::orWords(d.data(), b.data(), n);
+            for (std::size_t k = 0; k < n; ++k)
+                EXPECT_EQ(d[k], a0[k] | b[k]);
+            d = a0;
+            simd::andNotWords(d.data(), b.data(), n);
+            for (std::size_t k = 0; k < n; ++k)
+                EXPECT_EQ(d[k], a0[k] & ~b[k]);
+            EXPECT_EQ(simd::anyWord(a0.data(), n), n > 0);
+            std::vector<simd::Word> z(n, 0);
+            EXPECT_FALSE(simd::anyWord(z.data(), n));
+            if (n) {
+                z[n - 1] = 1; // only the tail word set
+                EXPECT_TRUE(simd::anyWord(z.data(), n));
+            }
+        });
+    }
+}
+
+TEST(Simd, LosingAnyMatchesBitLevelDominanceOnEveryTier)
+{
+    // Naive reference: candidate i loses iff some bit j != i has
+    // req[j] set and priority row bit j clear.
+    Rng rng(2);
+    for (std::size_t n : {1u, 2u, 4u, 5u, 8u, 9u}) {
+        for (int trial = 0; trial < 50; ++trial) {
+            const auto req = randomWords(rng, n);
+            const auto row = randomWords(rng, n);
+            const std::uint32_t nbits =
+                static_cast<std::uint32_t>(n) * 64;
+            const std::uint32_t self =
+                static_cast<std::uint32_t>(rng.below(nbits));
+            bool naive = false;
+            for (std::uint32_t j = 0; j < nbits; ++j) {
+                if (j == self)
+                    continue;
+                bool r = (req[j / 64] >> (j % 64)) & 1u;
+                bool p = (row[j / 64] >> (j % 64)) & 1u;
+                if (r && !p) {
+                    naive = true;
+                    break;
+                }
+            }
+            forEachTier([&](simd::Tier t) {
+                EXPECT_EQ(simd::losingAny(req.data(), row.data(), n,
+                                          self / 64,
+                                          simd::Word(1) << (self % 64)),
+                          naive)
+                    << "n=" << n << " self=" << self
+                    << " tier=" << simd::tierName(t);
+            });
+        }
+    }
+}
+
+TEST(Simd, CounterDraw4MatchesKeyedDrawsOnEveryTier)
+{
+    // The 4-lane transpose kernel must reproduce counterDrawKeyed
+    // bit-for-bit on each lane (BatchSim's bit-identity rests on it).
+    simd::Word keys[4];
+    for (int j = 0; j < 4; ++j)
+        keys[j] = counterKey(42, static_cast<std::uint64_t>(j));
+    keys[3] = ~simd::Word(0); // exercise wraparound in key + add
+    for (std::uint64_t tick :
+         {0ull, 1ull, 2ull, 5499ull, 1ull << 40, ~0ull}) {
+        simd::Word want[4];
+        for (int j = 0; j < 4; ++j)
+            want[j] = counterDrawKeyed(keys[j], tick);
+        forEachTier([&](simd::Tier t) {
+            simd::Word got[4];
+            simd::counterDraw4(keys, tick, got);
+            for (int j = 0; j < 4; ++j)
+                EXPECT_EQ(got[j], want[j])
+                    << "lane " << j << " tick " << tick << " tier "
+                    << simd::tierName(t);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// BitSpan (non-owning plane view over external words)
+// ---------------------------------------------------------------------
+
+TEST(BitSpan, OperatesOnMiddlePlaneWithoutBleed)
+{
+    // Three replica planes in one buffer, as BatchSim lays them out;
+    // every mutation of the middle plane must leave the guard planes'
+    // sentinel patterns untouched.
+    constexpr std::uint32_t kBits = 130, kWpr = 3;
+    std::vector<BitSpan::Word> buf(3 * kWpr, 0xa5a5a5a5a5a5a5a5ull);
+    BitSpan s(buf.data() + kWpr, kBits);
+    EXPECT_EQ(s.size(), kBits);
+    EXPECT_EQ(s.numWords(), kWpr);
+
+    s.clear();
+    EXPECT_TRUE(s.none());
+    for (std::uint32_t i : {0u, 63u, 64u, 127u, 128u, 129u}) {
+        EXPECT_FALSE(s.test(i));
+        s.set(i);
+        EXPECT_TRUE(s.test(i));
+    }
+    s.reset(64);
+    EXPECT_FALSE(s.test(64));
+    EXPECT_TRUE(s.any());
+
+    s.fill();
+    for (std::uint32_t i = 0; i < kBits; ++i)
+        EXPECT_TRUE(s.test(i));
+    // Tail bits of the plane's last word stay zero (130 = 2*64 + 2).
+    EXPECT_EQ(buf[kWpr + 2], BitSpan::Word(3));
+
+    for (std::uint32_t k = 0; k < kWpr; ++k) {
+        EXPECT_EQ(buf[k], 0xa5a5a5a5a5a5a5a5ull) << "low guard " << k;
+        EXPECT_EQ(buf[2 * kWpr + k], 0xa5a5a5a5a5a5a5a5ull)
+            << "high guard " << k;
+    }
+}
+
+TEST(BitSpan, ForEachSetSupportsResetOfCurrentBit)
+{
+    // The event-driven transfer phase drains bits while iterating;
+    // forEachSet copies each word, so resetting the visited bit is
+    // safe and every originally-set bit is still seen exactly once.
+    std::vector<BitSpan::Word> buf(4, 0);
+    BitSpan s(buf.data(), 200);
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i : {0u, 3u, 63u, 64u, 65u, 130u, 199u}) {
+        s.set(i);
+        want.push_back(i);
+    }
+    std::vector<std::uint32_t> seen;
+    s.forEachSet([&](std::uint32_t i) {
+        seen.push_back(i);
+        s.reset(i);
+    });
+    EXPECT_EQ(seen, want);
+    EXPECT_TRUE(s.none());
+}
+
+TEST(BitSpan, MatchesVectorBoolModelUnderRandomOps)
+{
+    for (std::uint32_t n : {1u, 63u, 64u, 65u, 257u}) {
+        std::vector<BitSpan::Word> buf((n + 63) / 64, 0);
+        BitSpan s(buf.data(), n);
+        std::vector<bool> m(n, false);
+        Rng rng(n);
+        for (int t = 0; t < 1500; ++t) {
+            std::uint32_t i = static_cast<std::uint32_t>(rng.below(n));
+            if (rng.bernoulli(0.5)) {
+                s.set(i);
+                m[i] = true;
+            } else {
+                s.reset(i);
+                m[i] = false;
+            }
+        }
+        bool anyModel = false;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            ASSERT_EQ(s.test(i), m[i]) << "n=" << n << " bit " << i;
+            anyModel = anyModel || m[i];
+        }
+        EXPECT_EQ(s.any(), anyModel);
     }
 }
