@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Scheduler-matrix extension: every single-stage crossbar scheduler
+ * across every analytic traffic pattern vs the MWM upper bound (see
+ * docs/SCHEDULERS.md).
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv,
+                     {{"sched_throughput", schedThroughput},
+                      {"sched_latency", schedLatency},
+                      {"sched_fairness", schedFairness}});
+}

@@ -1,0 +1,89 @@
+#include "arb/mwm.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace hirise::arb {
+
+MwmResult
+maxWeightMatching(std::uint32_t n, std::span<const std::int64_t> weight)
+{
+    sim_assert(weight.size() == std::size_t(n) * n,
+               "weight matrix must be n x n");
+    constexpr std::int64_t kInf =
+        std::numeric_limits<std::int64_t>::max() / 4;
+
+    // Kuhn-Munkres in the shortest-augmenting-path / dual-potentials
+    // form, minimizing cost = wmax - weight over the complete graph
+    // (so a maximum-weight perfect matching always exists). 1-based
+    // arrays with row/column 0 as the virtual start vertex.
+    std::int64_t wmax = 0;
+    for (std::int64_t w : weight) {
+        sim_assert(w >= 0, "negative matching weight");
+        wmax = std::max(wmax, w);
+    }
+    auto cost = [&](std::uint32_t i, std::uint32_t j) {
+        return wmax - weight[std::size_t(i) * n + j];
+    };
+
+    std::vector<std::int64_t> u(n + 1, 0), v(n + 1, 0), minv(n + 1);
+    std::vector<std::uint32_t> p(n + 1, 0), way(n + 1, 0);
+    std::vector<char> used(n + 1);
+    for (std::uint32_t i = 1; i <= n; ++i) {
+        p[0] = i;
+        std::uint32_t j0 = 0;
+        std::fill(minv.begin(), minv.end(), kInf);
+        std::fill(used.begin(), used.end(), char(0));
+        do {
+            used[j0] = 1;
+            std::uint32_t i0 = p[j0], j1 = 0;
+            std::int64_t delta = kInf;
+            for (std::uint32_t j = 1; j <= n; ++j) {
+                if (used[j])
+                    continue;
+                std::int64_t cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if (cur < minv[j]) {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if (minv[j] < delta) {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for (std::uint32_t j = 0; j <= n; ++j) {
+                if (used[j]) {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+        } while (p[j0] != 0);
+        do {
+            std::uint32_t j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+        } while (j0);
+    }
+
+    MwmResult r;
+    r.inputOf.assign(n, ~0u);
+    for (std::uint32_t j = 1; j <= n; ++j) {
+        std::uint32_t i = p[j];
+        if (i == 0)
+            continue;
+        std::int64_t w = weight[std::size_t(i - 1) * n + (j - 1)];
+        if (w > 0) { // zero-weight pairs are "unmatched"
+            r.inputOf[j - 1] = i - 1;
+            r.weight += w;
+            ++r.size;
+        }
+    }
+    return r;
+}
+
+} // namespace hirise::arb

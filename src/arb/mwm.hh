@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Exact maximum-weight bipartite matching (Kuhn-Munkres / Hungarian
+ * algorithm, O(n^3)): the offline scheduling oracle of the MWM ->
+ * iSLIP lineage. Given per-(input, output) weights — VOQ occupancies,
+ * waiting times, or plain 0/1 request indicators — it returns the
+ * matching with maximum total weight; with 0/1 weights that is a
+ * maximum-cardinality matching, the upper bound on what any one-cycle
+ * crossbar schedule can serve.
+ *
+ * This is a reference oracle, not a fabric: it never runs inside a
+ * simulated switch (MWM is not implementable in a single-cycle
+ * arbiter). tests/sched_property_test.cc uses it to bound every
+ * online scheduler, and sim/mwm_bound.cc uses the same idea in fluid
+ * (max-flow) form for sustained-throughput bounds.
+ */
+
+#ifndef HIRISE_ARB_MWM_HH
+#define HIRISE_ARB_MWM_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hirise::arb {
+
+struct MwmResult
+{
+    /** inputOf[o] = input matched to output o, or ~0u. Only pairs
+     *  with strictly positive weight count as matched. */
+    std::vector<std::uint32_t> inputOf;
+    std::int64_t weight = 0; //!< total weight of the matched pairs
+    std::uint32_t size = 0;  //!< number of matched pairs
+};
+
+/**
+ * Maximum-weight matching over the complete bipartite graph on
+ * n inputs x n outputs with weight[i * n + o] >= 0. A zero weight
+ * means "no edge": the algorithm may route its internal perfect
+ * matching through it, but such pairs are reported unmatched.
+ */
+MwmResult maxWeightMatching(std::uint32_t n,
+                            std::span<const std::int64_t> weight);
+
+} // namespace hirise::arb
+
+#endif // HIRISE_ARB_MWM_HH

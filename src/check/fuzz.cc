@@ -49,6 +49,9 @@ codeName(ArbScheme a)
       case ArbScheme::LayerLrg: return "ArbScheme::LayerLrg";
       case ArbScheme::Wlrg: return "ArbScheme::Wlrg";
       case ArbScheme::Clrg: return "ArbScheme::Clrg";
+      case ArbScheme::Islip: return "ArbScheme::Islip";
+      case ArbScheme::Pim: return "ArbScheme::Pim";
+      case ArbScheme::Wavefront: return "ArbScheme::Wavefront";
     }
     return "?";
 }
@@ -90,6 +93,12 @@ codeName(Mutation m)
         return "check::Mutation::LrgUpdateOffByOne";
       case Mutation::ClrgHalveWinnerOnly:
         return "check::Mutation::ClrgHalveWinnerOnly";
+      case Mutation::IslipGrantPtrStuck:
+        return "check::Mutation::IslipGrantPtrStuck";
+      case Mutation::PimReuseRoundRng:
+        return "check::Mutation::PimReuseRoundRng";
+      case Mutation::WavefrontStuckPriority:
+        return "check::Mutation::WavefrontStuckPriority";
     }
     return "?";
 }
@@ -190,8 +199,11 @@ isValid(const DiffConfig &c)
     const SwitchSpec &s = c.spec;
     if (s.radix < 2 || s.flitBits == 0)
         return false;
+    if (s.schedIters < 1 || s.schedIters > 8)
+        return false;
     if (s.topo == Topology::Flat2D) {
-        if (s.arb != ArbScheme::Lrg)
+        if (s.arb != ArbScheme::Lrg && s.arb != ArbScheme::Islip &&
+            s.arb != ArbScheme::Pim && s.arb != ArbScheme::Wavefront)
             return false;
     } else {
         if (s.layers < 2)
@@ -199,7 +211,9 @@ isValid(const DiffConfig &c)
         if (s.topo == Topology::Folded3D && s.arb != ArbScheme::Lrg)
             return false;
         if (s.topo == Topology::HiRise) {
-            if (s.channels < 1 || s.arb == ArbScheme::Lrg)
+            if (s.channels < 1 ||
+                (s.arb != ArbScheme::LayerLrg &&
+                 s.arb != ArbScheme::Wlrg && s.arb != ArbScheme::Clrg))
                 return false;
             if (s.alloc == ChannelAlloc::InputBinned &&
                 s.channels > s.portsPerLayer())
@@ -374,14 +388,25 @@ sampleConfig(Rng &rng)
     };
 
     DiffConfig c;
+    // Flat2D gets a larger share than its one-scheme days: the four
+    // crossbar schedulers all live there.
     std::uint32_t topo_pick = u32(0, 9);
-    if (topo_pick < 2) {
+    if (topo_pick < 4) {
         c.spec.topo = Topology::Flat2D;
-        c.spec.arb = ArbScheme::Lrg;
+        static constexpr ArbScheme kFlat[] = {
+            ArbScheme::Lrg, ArbScheme::Islip, ArbScheme::Pim,
+            ArbScheme::Wavefront};
+        c.spec.arb = kFlat[u32(0, 3)];
         c.spec.radix = u32(2, 40);
         c.spec.layers = 1;
         c.spec.channels = 1;
-    } else if (topo_pick < 3) {
+        if (c.spec.arb == ArbScheme::Islip)
+            c.spec.schedIters = u32(1, 4);
+        if (c.spec.arb == ArbScheme::Pim) {
+            c.spec.schedIters = u32(1, 3);
+            c.spec.schedSeed = rng.next();
+        }
+    } else if (topo_pick < 5) {
         c.spec.topo = Topology::Folded3D;
         c.spec.arb = ArbScheme::Lrg;
         c.spec.radix = u32(2, 40);
@@ -589,6 +614,18 @@ shrink(const DiffConfig &failing)
             return true;
         });
         add([](DiffConfig &d) {
+            if (d.spec.schedIters <= 1)
+                return false;
+            d.spec.schedIters = 1;
+            return true;
+        });
+        add([](DiffConfig &d) {
+            if (d.spec.schedSeed == 0)
+                return false;
+            d.spec.schedSeed = 0;
+            return true;
+        });
+        add([](DiffConfig &d) {
             if (d.spec.alloc == ChannelAlloc::InputBinned)
                 return false;
             d.spec.alloc = ChannelAlloc::InputBinned;
@@ -631,6 +668,8 @@ toGtestRepro(const DiffConfig &c)
        << "    c.spec.arb = " << codeName(c.spec.arb) << ";\n"
        << "    c.spec.alloc = " << codeName(c.spec.alloc) << ";\n"
        << "    c.spec.clrgMaxCount = " << c.spec.clrgMaxCount << ";\n"
+       << "    c.spec.schedIters = " << c.spec.schedIters << ";\n"
+       << "    c.spec.schedSeed = " << c.spec.schedSeed << "ull;\n"
        << "    c.cfg.numVcs = " << c.cfg.numVcs << ";\n"
        << "    c.cfg.vcDepth = " << c.cfg.vcDepth << ";\n"
        << "    c.cfg.packetLen = " << c.cfg.packetLen << ";\n"

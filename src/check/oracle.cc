@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/random.hh"
 
 namespace hirise::check {
 
@@ -13,6 +14,10 @@ toString(Mutation m)
       case Mutation::None: return "none";
       case Mutation::LrgUpdateOffByOne: return "lrg-update-off-by-one";
       case Mutation::ClrgHalveWinnerOnly: return "clrg-halve-winner-only";
+      case Mutation::IslipGrantPtrStuck: return "islip-grant-ptr-stuck";
+      case Mutation::PimReuseRoundRng: return "pim-reuse-round-rng";
+      case Mutation::WavefrontStuckPriority:
+        return "wavefront-stuck-priority";
     }
     return "?";
 }
@@ -25,7 +30,12 @@ RefFabric::RefFabric(const SwitchSpec &spec, Mutation mut)
 {
     spec_.validate();
     if (flat_) {
-        colArb_.assign(spec.radix, RefMatrixArbiter(spec.radix, mut_));
+        if (spec.arb == ArbScheme::Lrg)
+            colArb_.assign(spec.radix,
+                           RefMatrixArbiter(spec.radix, mut_));
+        islipGrant_.assign(spec.radix, 0);
+        islipAccept_.assign(spec.radix, 0);
+        pimKey_ = counterKey(spec.schedSeed, 0);
         return;
     }
     colArb_.assign(spec.radix, RefMatrixArbiter(ppl_, mut_));
@@ -115,10 +125,194 @@ RefFabric::arbitrate(const std::vector<std::uint32_t> &req)
     return flat_ ? arbitrateFlat(req) : arbitrateHiRise(req);
 }
 
+void
+RefFabric::collectFlat(const std::vector<std::uint32_t> &req,
+                       std::vector<std::vector<bool>> &want,
+                       std::vector<bool> &pending) const
+{
+    const std::uint32_t n = spec_.radix;
+    want.assign(n, std::vector<bool>(n, false));
+    pending.assign(n, false);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t o = req[i];
+        if (o == kRefNone || holder_[o] != kRefNone)
+            continue; // idle input, or busy output: request loses
+        want[o][i] = true;
+        pending[o] = true;
+    }
+}
+
+std::vector<bool>
+RefFabric::islipFlat(const std::vector<std::uint32_t> &req)
+{
+    const std::uint32_t n = spec_.radix;
+    std::vector<bool> grant(n, false);
+    std::vector<std::vector<bool>> want;
+    std::vector<bool> pending;
+    collectFlat(req, want, pending);
+    std::vector<bool> inputFree(n, true);
+
+    for (std::uint32_t it = 0; it < spec_.schedIters; ++it) {
+        // Grant phase: each pending column offers to the first free
+        // requestor at or circularly after its grant pointer.
+        std::vector<std::uint32_t> grantTo(n, kRefNone);
+        bool anyGrant = false;
+        for (std::uint32_t o = 0; o < n; ++o) {
+            if (!pending[o])
+                continue;
+            for (std::uint32_t k = 0; k < n; ++k) {
+                std::uint32_t i = (islipGrant_[o] + k) % n;
+                if (want[o][i] && inputFree[i]) {
+                    grantTo[o] = i;
+                    anyGrant = true;
+                    break;
+                }
+            }
+        }
+        if (!anyGrant)
+            break;
+        // Accept phase: each input takes the granting column
+        // circularly closest to its accept pointer. Pointers move one
+        // past the match on first-iteration accepts only.
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (!inputFree[i])
+                continue;
+            std::uint32_t best = kRefNone, bestDist = 0;
+            for (std::uint32_t o = 0; o < n; ++o) {
+                if (grantTo[o] != i)
+                    continue;
+                std::uint32_t d = (o + n - islipAccept_[i]) % n;
+                if (best == kRefNone || d < bestDist) {
+                    best = o;
+                    bestDist = d;
+                }
+            }
+            if (best == kRefNone)
+                continue;
+            holder_[best] = i;
+            grant[i] = true;
+            inputFree[i] = false;
+            pending[best] = false;
+            if (it == 0) {
+                if (mut_ != Mutation::IslipGrantPtrStuck)
+                    islipGrant_[best] = (i + 1) % n; // seeded bug:
+                                                    // pointer stuck
+                islipAccept_[i] = (best + 1) % n;
+            }
+        }
+    }
+    return grant;
+}
+
+std::vector<bool>
+RefFabric::pimFlat(const std::vector<std::uint32_t> &req)
+{
+    const std::uint32_t n = spec_.radix;
+    std::vector<bool> grant(n, false);
+    std::vector<std::vector<bool>> want;
+    std::vector<bool> pending;
+    collectFlat(req, want, pending);
+    std::vector<bool> inputFree(n, true);
+
+    for (std::uint32_t r = 0; r < spec_.schedIters; ++r) {
+        // Grant phase, ascending columns: one draw per column with
+        // free requestors (even a single candidate consumes a draw —
+        // the tick stream must be a function of the request history
+        // alone so it matches the optimized scheduler's).
+        std::vector<std::vector<std::uint32_t>> grantsOf(n);
+        std::uint64_t lastGrantDraw = 0;
+        bool anyGrant = false;
+        for (std::uint32_t o = 0; o < n; ++o) {
+            if (!pending[o])
+                continue;
+            std::vector<std::uint32_t> cands;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (want[o][i] && inputFree[i])
+                    cands.push_back(i);
+            }
+            if (cands.empty())
+                continue;
+            std::uint64_t draw = counterDrawKeyed(pimKey_, pimTick_++);
+            lastGrantDraw = draw;
+            auto idx = static_cast<std::uint32_t>(
+                counterBelow(draw, cands.size()));
+            grantsOf[cands[idx]].push_back(o);
+            anyGrant = true;
+        }
+        if (!anyGrant)
+            break;
+        // Accept phase, ascending inputs: one draw per granted input.
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (grantsOf[i].empty())
+                continue;
+            std::uint64_t draw;
+            if (mut_ == Mutation::PimReuseRoundRng) {
+                draw = lastGrantDraw; // seeded bug: no fresh tick
+            } else {
+                draw = counterDrawKeyed(pimKey_, pimTick_++);
+            }
+            auto idx = static_cast<std::uint32_t>(
+                counterBelow(draw, grantsOf[i].size()));
+            std::uint32_t o = grantsOf[i][idx];
+            holder_[o] = i;
+            grant[i] = true;
+            inputFree[i] = false;
+            pending[o] = false;
+        }
+    }
+    return grant;
+}
+
+std::vector<bool>
+RefFabric::wavefrontFlat(const std::vector<std::uint32_t> &req)
+{
+    const std::uint32_t n = spec_.radix;
+    std::vector<bool> grant(n, false);
+    std::vector<std::vector<bool>> want;
+    std::vector<bool> pending;
+    collectFlat(req, want, pending);
+    std::vector<bool> inputFree(n, true);
+
+    for (std::uint32_t k = 0; k < n; ++k) {
+        std::uint32_t diag = (wfPrio_ + k) % n;
+        for (std::uint32_t o = 0; o < n; ++o) {
+            if (!pending[o])
+                continue;
+            std::uint32_t i = (diag + n - o) % n;
+            if (want[o][i] && inputFree[i]) {
+                holder_[o] = i;
+                grant[i] = true;
+                inputFree[i] = false;
+                pending[o] = false;
+            }
+        }
+    }
+    if (mut_ != Mutation::WavefrontStuckPriority)
+        wfPrio_ = (wfPrio_ + 1) % n; // seeded bug: diagonal stuck
+    return grant;
+}
+
 std::vector<bool>
 RefFabric::arbitrateFlat(const std::vector<std::uint32_t> &req)
 {
     const std::uint32_t n = spec_.radix;
+    if (spec_.arb != ArbScheme::Lrg) {
+        // Stateful schedulers only run on cycles with >= 1 request —
+        // the same gate the optimized fabric applies, and the set of
+        // cycles the event-driven core actually arbitrates.
+        bool anyReq = false;
+        for (std::uint32_t i = 0; i < n && !anyReq; ++i)
+            anyReq = req[i] != kRefNone;
+        if (!anyReq)
+            return std::vector<bool>(n, false);
+        switch (spec_.arb) {
+          case ArbScheme::Islip: return islipFlat(req);
+          case ArbScheme::Pim: return pimFlat(req);
+          case ArbScheme::Wavefront: return wavefrontFlat(req);
+          default:
+            panic("bad flat scheme %s", toString(spec_.arb));
+        }
+    }
     std::vector<bool> grant(n, false);
     for (std::uint32_t o = 0; o < n; ++o) {
         if (holder_[o] != kRefNone)

@@ -41,6 +41,16 @@ enum class Mutation
     /** CLRG saturation halves only the winner's counter instead of
      *  the whole bank, so relative class order is corrupted. */
     ClrgHalveWinnerOnly,
+    /** iSLIP grant pointer never advances past an accepted grant, so
+     *  a column keeps favoring the same input under contention. */
+    IslipGrantPtrStuck,
+    /** PIM accept draws reuse the round's last grant draw instead of
+     *  consuming fresh ticks, shifting every later draw in the
+     *  stream. */
+    PimReuseRoundRng,
+    /** Wavefront priority diagonal never rotates, so the allocator
+     *  degenerates to a fixed-priority sweep. */
+    WavefrontStuckPriority,
 };
 
 const char *toString(Mutation m);
@@ -211,6 +221,23 @@ class RefFabric
 
     std::vector<bool>
     arbitrateFlat(const std::vector<std::uint32_t> &req);
+    /** Naive twins of the arb::CrossbarScheduler strategies; their
+     *  decision orders track scheduler.cc op for op (same pointer
+     *  rules, same draw sequence) from independent plain-vector
+     *  code. Called only when >= 1 input requests — the same gate
+     *  the optimized fabric applies — so per-call state stays
+     *  aligned across stepping modes. */
+    std::vector<bool>
+    islipFlat(const std::vector<std::uint32_t> &req);
+    std::vector<bool>
+    pimFlat(const std::vector<std::uint32_t> &req);
+    std::vector<bool>
+    wavefrontFlat(const std::vector<std::uint32_t> &req);
+    /** Requestor matrix over free outputs; shared by the naive flat
+     *  schedulers. want[o][i], pending[o] = column o has requestors. */
+    void collectFlat(const std::vector<std::uint32_t> &req,
+                     std::vector<std::vector<bool>> &want,
+                     std::vector<bool> &pending) const;
     std::vector<bool>
     arbitrateHiRise(const std::vector<std::uint32_t> &req);
     /** Final-stage sub-block arbitration for output @p o, replicating
@@ -235,6 +262,13 @@ class RefFabric
     std::vector<std::uint32_t> heldChan_;
     std::vector<bool> chanBusy_;
     std::vector<bool> chanFailed_;
+
+    // -- naive flat-scheduler state (Islip / Pim / Wavefront) --------
+    std::vector<std::uint32_t> islipGrant_;  //!< per output column
+    std::vector<std::uint32_t> islipAccept_; //!< per input
+    std::uint64_t pimKey_ = 0;               //!< counter-RNG key
+    std::uint64_t pimTick_ = 0;              //!< next draw index
+    std::uint32_t wfPrio_ = 0;               //!< priority diagonal
 };
 
 } // namespace hirise::check

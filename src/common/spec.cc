@@ -21,6 +21,9 @@ toString(ArbScheme a)
       case ArbScheme::LayerLrg: return "L-2-L LRG";
       case ArbScheme::Wlrg: return "WLRG";
       case ArbScheme::Clrg: return "CLRG";
+      case ArbScheme::Islip: return "iSLIP";
+      case ArbScheme::Pim: return "PIM";
+      case ArbScheme::Wavefront: return "WF";
     }
     return "?";
 }
@@ -47,7 +50,17 @@ SwitchSpec::name() const
             out += " c" + std::to_string(channels);
     }
     out += std::string(" ") + toString(arb);
+    if (arb == ArbScheme::Islip || arb == ArbScheme::Pim)
+        out += "/" + std::to_string(schedIters);
     return out;
+}
+
+/** True for the single-stage crossbar schedulers Flat2D supports. */
+static bool
+isFlatScheme(ArbScheme a)
+{
+    return a == ArbScheme::Lrg || a == ArbScheme::Islip ||
+           a == ArbScheme::Pim || a == ArbScheme::Wavefront;
 }
 
 void
@@ -57,9 +70,12 @@ SwitchSpec::validate() const
         fatal("radix must be >= 2 (got %u)", radix);
     if (flitBits == 0)
         fatal("flitBits must be > 0");
+    if (schedIters < 1)
+        fatal("schedulers need >= 1 iteration per cycle");
     if (topo == Topology::Flat2D) {
-        if (arb != ArbScheme::Lrg)
-            fatal("a flat 2D switch only supports flat LRG arbitration");
+        if (!isFlatScheme(arb))
+            fatal("a flat 2D switch only supports the single-stage "
+                  "crossbar schedulers (LRG, iSLIP, PIM, WF)");
         return;
     }
     if (layers < 2)
@@ -69,7 +85,7 @@ SwitchSpec::validate() const
     if (topo == Topology::HiRise) {
         if (channels < 1)
             fatal("channel multiplicity must be >= 1");
-        if (arb == ArbScheme::Lrg)
+        if (isFlatScheme(arb))
             fatal("HiRise needs a two-phase scheme "
                   "(LayerLrg, Wlrg, or Clrg)");
         std::uint32_t ppl = portsPerLayer();

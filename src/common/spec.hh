@@ -22,13 +22,18 @@ enum class Topology
     HiRise,   //!< hierarchical 3D switch (this paper)
 };
 
-/** Arbitration scheme (paper section III-B). */
+/** Arbitration scheme (paper section III-B; flat-crossbar schedulers
+ *  beyond LRG come from the input-queued-switch literature, ROADMAP
+ *  item 3 — see docs/SCHEDULERS.md). */
 enum class ArbScheme
 {
     Lrg,      //!< flat least-recently-granted (2D / folded baseline)
     LayerLrg, //!< baseline layer-to-layer LRG (independent two-phase)
     Wlrg,     //!< weighted LRG (hardware-infeasible; simulated only)
     Clrg,     //!< class-based LRG (the paper's proposal)
+    Islip,    //!< iterative SLIP round-robin matching (flat 2D only)
+    Pim,      //!< parallel iterative matching, random (flat 2D only)
+    Wavefront,//!< rotating-diagonal wavefront allocator (flat 2D only)
 };
 
 /** L2LC channel-allocation policy (paper section III-A). */
@@ -56,6 +61,13 @@ struct SwitchSpec
     /** CLRG class-counter saturation value (count range 0..maxCount,
      *  i.e. maxCount+1 classes; the paper uses 3 classes -> 2). */
     std::uint32_t clrgMaxCount = 2;
+    /** iSLIP iteration / PIM round count per arbitration cycle
+     *  (Islip/Pim only; other schemes ignore it). */
+    std::uint32_t schedIters = 1;
+    /** Base seed of the PIM scheduler's counter-RNG draw stream
+     *  (Pim only). Part of the simulation identity, so sim::SimCache
+     *  hashes it into its keys. */
+    std::uint64_t schedSeed = 0;
 
     /** Inputs (== outputs) per layer, rounded up for uneven splits. */
     std::uint32_t

@@ -22,10 +22,10 @@ countFlatGrants(std::uint32_t n)
 } // namespace
 
 Flat2dFabric::Flat2dFabric(const SwitchSpec &spec)
-    : Fabric(spec),
-      outputArb_(spec.radix, arb::MatrixArbiter(spec.radix)),
+    : Fabric(spec), sched_(arb::makeScheduler(spec)),
       holder_(spec.radix, kNoRequest),
-      want_(spec.radix, BitVec(spec.radix)), contended_(spec.radix)
+      want_(spec.radix, BitVec(spec.radix)), contended_(spec.radix),
+      winner_(spec.radix, kNoRequest)
 {
     sim_assert(spec.topo == Topology::Flat2D ||
                    spec.topo == Topology::Folded3D,
@@ -54,11 +54,14 @@ Flat2dFabric::arbitrate(std::span<const std::uint32_t> req)
     grant_.clear();
     contended_.clear();
 
+    bool any_req = false;
     for (std::uint32_t i = 0; i < spec_.radix; ++i) {
-        if (req[i] != kNoRequest)
+        if (req[i] != kNoRequest) {
+            any_req = true;
             collectRequest(i, req[i]);
+        }
     }
-    return finishArbitrate(req);
+    return finishArbitrate(req, any_req);
 }
 
 const BitVec &
@@ -76,21 +79,29 @@ Flat2dFabric::arbitrateActive(std::span<const std::uint32_t> req,
                    "active list entry %u has no request", i);
         collectRequest(i, req[i]);
     }
-    return finishArbitrate(req);
+    return finishArbitrate(req, !active.empty());
 }
 
 const BitVec &
-Flat2dFabric::finishArbitrate(std::span<const std::uint32_t> req)
+Flat2dFabric::finishArbitrate(std::span<const std::uint32_t> req,
+                              bool any_req)
 {
     (void)req; // used by the HIRISE_CHECK build only
-    contended_.forEachSet([this](std::uint32_t o) {
-        std::uint32_t w = outputArb_[o].pick(want_[o]);
-        if (w == arb::MatrixArbiter::kNone)
-            return;
-        outputArb_[o].update(w);
-        holder_[o] = w;
-        grant_.set(w);
-    });
+    // The scheduler runs — and advances its per-call state — exactly
+    // when some input requested, even if every request lost to a busy
+    // output (contended_ empty). Those are precisely the cycles the
+    // event core arbitrates, so dense stepping matches it by gating
+    // here instead of calling unconditionally.
+    if (any_req) {
+        sched_->match(contended_, want_, winner_);
+        contended_.forEachSet([this](std::uint32_t o) {
+            std::uint32_t w = winner_[o];
+            if (w == arb::CrossbarScheduler::kNone)
+                return;
+            holder_[o] = w;
+            grant_.set(w);
+        });
+    }
     // One guard per arbitrate, not per grant: the loop stays clean
     // and the counter batches via popcount.
     if (obs::on()) [[unlikely]]

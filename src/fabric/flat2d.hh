@@ -1,15 +1,25 @@
 /**
  * @file
  * Flat 2D Swizzle-Switch fabric (paper section II-A): a single N x N
- * matrix crossbar with per-output LRG priority vectors. Also models
- * the 3D folded baseline (section II-B), which is logically the same
- * switch redistributed over layers; only its physical model differs.
+ * matrix crossbar. Also models the 3D folded baseline (section II-B),
+ * which is logically the same switch redistributed over layers; only
+ * its physical model differs.
+ *
+ * The grant decision is a pluggable strategy (arb::CrossbarScheduler,
+ * selected by spec.arb): the fabric bins requests into per-output
+ * columns and the scheduler — LRG matrix arbiters, iSLIP, PIM, or a
+ * wavefront allocator — turns the columns into a matching. The
+ * scheduler runs only on cycles with at least one request, which is
+ * exactly the set of cycles the event-driven simulator arbitrates, so
+ * stateful schedulers stay bit-identical across stepping modes.
  */
 
 #ifndef HIRISE_FABRIC_FLAT2D_HH
 #define HIRISE_FABRIC_FLAT2D_HH
 
-#include "arb/matrix_arbiter.hh"
+#include <memory>
+
+#include "arb/scheduler.hh"
 #include "fabric/fabric.hh"
 
 namespace hirise::fabric {
@@ -30,16 +40,17 @@ class Flat2dFabric : public Fabric
 
   private:
     void collectRequest(std::uint32_t i, std::uint32_t o);
-    const BitVec &finishArbitrate(std::span<const std::uint32_t> req);
+    const BitVec &finishArbitrate(std::span<const std::uint32_t> req,
+                                  bool any_req);
 
-    /** One LRG arbiter per output column (the crosspoint priority
-     *  vectors of that column). */
-    std::vector<arb::MatrixArbiter> outputArb_;
+    /** Grant-decision strategy for the collected columns. */
+    std::unique_ptr<arb::CrossbarScheduler> sched_;
     std::vector<std::uint32_t> holder_; //!< per output; kNoRequest=free
 
     // -- per-cycle scratch (preallocated; zero steady-state alloc) ---
     std::vector<BitVec> want_; //!< requestor mask per output column
     BitVec contended_;         //!< outputs with >= 1 requestor
+    std::vector<std::uint32_t> winner_; //!< scheduler out-params
 };
 
 } // namespace hirise::fabric

@@ -94,6 +94,12 @@ Table discussion(const ExperimentOptions &opt);
 /** Section VI-E discussion: system speedup over a flattened-
  *  butterfly interconnect (paper ~13%). */
 Table discussionSpeedup(const ExperimentOptions &opt);
+/** Scheduler matrix (flat 2D crossbar): every single-stage scheduler
+ *  (LRG, iSLIP, PIM, wavefront) x every analytic traffic pattern,
+ *  throughput reported against the offline MWM fluid bound. */
+Table schedThroughput(const ExperimentOptions &opt);
+Table schedLatency(const ExperimentOptions &opt);
+Table schedFairness(const ExperimentOptions &opt);
 
 } // namespace hirise::harness
 

@@ -1,0 +1,106 @@
+#include "sim/mwm_bound.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hirise::sim {
+
+namespace {
+
+/** Dense-graph Edmonds-Karp on double capacities. Node count here is
+ *  2 * radix + 2 (<= ~515), so the O(V * E^2) worst case is irrelevant
+ *  — this runs once per (pattern, load) experiment point. */
+class MaxFlow
+{
+  public:
+    explicit MaxFlow(std::uint32_t n) : n_(n), cap_(std::size_t(n) * n) {}
+
+    void
+    addCap(std::uint32_t u, std::uint32_t v, double c)
+    {
+        cap_[std::size_t(u) * n_ + v] += c;
+    }
+
+    double
+    run(std::uint32_t s, std::uint32_t t)
+    {
+        constexpr double kEps = 1e-12;
+        double total = 0.0;
+        std::vector<std::uint32_t> prev(n_);
+        for (;;) {
+            std::fill(prev.begin(), prev.end(), kNo);
+            prev[s] = s;
+            std::queue<std::uint32_t> q;
+            q.push(s);
+            while (!q.empty() && prev[t] == kNo) {
+                std::uint32_t u = q.front();
+                q.pop();
+                for (std::uint32_t v = 0; v < n_; ++v) {
+                    if (prev[v] == kNo &&
+                        cap_[std::size_t(u) * n_ + v] > kEps) {
+                        prev[v] = u;
+                        q.push(v);
+                    }
+                }
+            }
+            if (prev[t] == kNo)
+                return total;
+            double aug = std::numeric_limits<double>::infinity();
+            for (std::uint32_t v = t; v != s; v = prev[v])
+                aug = std::min(
+                    aug, cap_[std::size_t(prev[v]) * n_ + v]);
+            for (std::uint32_t v = t; v != s; v = prev[v]) {
+                cap_[std::size_t(prev[v]) * n_ + v] -= aug;
+                cap_[std::size_t(v) * n_ + prev[v]] += aug;
+            }
+            total += aug;
+        }
+    }
+
+  private:
+    static constexpr std::uint32_t kNo = ~0u;
+    std::uint32_t n_;
+    std::vector<double> cap_;
+};
+
+} // namespace
+
+double
+mwmAcceptedFlitsBound(std::uint32_t radix, std::uint32_t packet_len,
+                      const traffic::TrafficPattern &pat, double load)
+{
+    sim_assert(radix >= 2 && packet_len >= 1 && load >= 0.0,
+               "bad bound query");
+    // Node ids: 0 = source, 1..N inputs, N+1..2N outputs, 2N+1 sink.
+    const std::uint32_t N = radix;
+    const std::uint32_t src = 0, snk = 2 * N + 1;
+    const double cap_pkts = 1.0 / double(packet_len + 1);
+
+    MaxFlow flow(2 * N + 2);
+    for (std::uint32_t i = 0; i < N; ++i) {
+        if (!pat.participates(i))
+            continue;
+        // An input offers at most one packet per cycle no matter the
+        // requested load, and serves at most cap_pkts.
+        double offered = std::min(load, 1.0);
+        flow.addCap(src, 1 + i, std::min(offered, cap_pkts));
+        for (std::uint32_t o = 0; o < N; ++o) {
+            double r = pat.rateTo(i, o);
+            if (r < 0.0)
+                fatal("pattern %s has no analytic rate matrix",
+                      pat.name().c_str());
+            if (r > 0.0)
+                flow.addCap(1 + i, 1 + N + o, offered * r);
+        }
+    }
+    for (std::uint32_t o = 0; o < N; ++o)
+        flow.addCap(1 + N + o, snk, cap_pkts);
+
+    return flow.run(src, snk) * double(packet_len);
+}
+
+} // namespace hirise::sim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Offline MWM fluid throughput bound: the sustained-rate counterpart
+ * of the per-cycle maximum-weight matching oracle (arb/mwm.hh). A
+ * crossbar schedule is a convex combination of matchings, so the
+ * long-run service rate of any online scheduler lies inside the
+ * polytope cut out by per-port capacities and the offered per-flow
+ * demands. The maximum total rate in that polytope is a max-flow
+ * problem over the pattern's analytic rate matrix — an upper bound no
+ * measured acceptedFlitsPerCycle may exceed (up to finite-run noise).
+ *
+ * Port capacity model: a packet of P flits holds its input and output
+ * for one arbitration cycle plus P transfer cycles (Swizzle-Switch
+ * semantics: a port arbitrates or transfers, never both), so a port
+ * serves at most 1/(P+1) packets/cycle = P/(P+1) flits/cycle.
+ */
+
+#ifndef HIRISE_SIM_MWM_BOUND_HH
+#define HIRISE_SIM_MWM_BOUND_HH
+
+#include <cstdint>
+
+#include "traffic/pattern.hh"
+
+namespace hirise::sim {
+
+/**
+ * Upper bound on SimResult::acceptedFlitsPerCycle (total flits/cycle
+ * across the switch) for any scheduler serving @p pat at offered
+ * @p load packets/input/cycle with @p packet_len-flit packets.
+ * fatal()s if the pattern has no analytic rate matrix.
+ */
+double mwmAcceptedFlitsBound(std::uint32_t radix,
+                             std::uint32_t packet_len,
+                             const traffic::TrafficPattern &pat,
+                             double load);
+
+} // namespace hirise::sim
+
+#endif // HIRISE_SIM_MWM_BOUND_HH

@@ -114,6 +114,8 @@ SimCache::key(const SwitchSpec &spec, const SimConfig &cfg,
     h.pod(static_cast<std::uint32_t>(spec.arb));
     h.pod(static_cast<std::uint32_t>(spec.alloc));
     h.pod(spec.clrgMaxCount);
+    h.pod(spec.schedIters);
+    h.pod(spec.schedSeed);
 
     h.pod(cfg.numVcs);
     h.pod(cfg.vcDepth);

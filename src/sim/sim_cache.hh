@@ -39,8 +39,10 @@ namespace hirise::sim {
  *  difference in the produced SimResult for the same key must
  *  invalidate existing disk records. v2: SimResult gained
  *  inFlightAtMeasureEnd / latencyOverflowPackets (disk layout and
- *  result contents changed). */
-constexpr std::uint32_t kSimCacheVersion = 2;
+ *  result contents changed). v3: keys hash the scheduler fields
+ *  (SwitchSpec::schedIters/schedSeed) so scheduler configs never
+ *  collide. */
+constexpr std::uint32_t kSimCacheVersion = 3;
 
 class SimCache
 {

@@ -125,6 +125,15 @@ InterLayerOnly::destAt(std::uint32_t src, std::uint64_t, std::uint64_t)
     return dstLayer_ * ppl_ + (k % ppl_);
 }
 
+double
+InterLayerOnly::rateTo(std::uint32_t src, std::uint32_t dst) const
+{
+    if (!participates(src))
+        return 0.0;
+    std::uint32_t k = (src % ppl_) / channels_;
+    return dst == dstLayer_ * ppl_ + (k % ppl_) ? 1.0 : 0.0;
+}
+
 std::string
 InterLayerOnly::descriptor() const
 {

@@ -138,6 +138,20 @@ class TrafficPattern
     /** Inputs outside the pattern never inject (adversarial cases). */
     virtual bool participates(std::uint32_t) const { return true; }
 
+    /**
+     * Mean destination distribution: the long-run probability that a
+     * packet injected by @p src targets @p dst. Rows of participating
+     * sources sum to 1; non-participants' rows are all zero. Feeds
+     * the offline MWM fluid throughput bound (sim/mwm_bound.hh).
+     * Returns a negative value when the pattern has no analytic rate
+     * matrix (trace replay); the bound rejects such patterns.
+     */
+    virtual double
+    rateTo(std::uint32_t /*src*/, std::uint32_t /*dst*/) const
+    {
+        return -1.0;
+    }
+
     /** Fraction of inputs that inject (for load accounting). */
     virtual double activeFraction() const { return 1.0; }
 
@@ -179,6 +193,11 @@ class UniformRandom : public TrafficPattern
             out[j] = v >= src0 + j ? v + 1 : v;
         }
     }
+    double
+    rateTo(std::uint32_t src, std::uint32_t dst) const override
+    {
+        return src == dst ? 0.0 : 1.0 / double(radix_ - 1);
+    }
     std::string name() const override { return "uniform-random"; }
     std::string
     descriptor() const override
@@ -219,6 +238,11 @@ class Hotspot : public TrafficPattern
     {
         return double(radix_ - 1) / double(radix_);
     }
+    double
+    rateTo(std::uint32_t src, std::uint32_t dst) const override
+    {
+        return participates(src) && dst == hot_ ? 1.0 : 0.0;
+    }
     std::string name() const override { return "hotspot"; }
     std::string
     descriptor() const override
@@ -255,6 +279,13 @@ class Bursty : public TrafficPattern
     std::uint32_t destAt(std::uint32_t src, std::uint64_t cycle,
                          std::uint64_t seed) override;
     bool memoryless() const override { return false; }
+    /** Burst destinations are uniform over non-self, so the mean
+     *  rate matrix matches UniformRandom's. */
+    double
+    rateTo(std::uint32_t src, std::uint32_t dst) const override
+    {
+        return src == dst ? 0.0 : 1.0 / double(radix_ - 1);
+    }
     std::string name() const override { return "bursty"; }
     std::string descriptor() const override;
 
@@ -289,6 +320,11 @@ class Adversarial : public TrafficPattern
     {
         return double(numActive_) / double(active_.size());
     }
+    double
+    rateTo(std::uint32_t src, std::uint32_t dst) const override
+    {
+        return participates(src) && dst == dst_ ? 1.0 : 0.0;
+    }
     std::string name() const override { return "adversarial"; }
     std::string descriptor() const override;
 
@@ -318,6 +354,7 @@ class InterLayerOnly : public TrafficPattern
                          std::uint64_t seed) override;
     bool participates(std::uint32_t src) const override;
     double activeFraction() const override;
+    double rateTo(std::uint32_t src, std::uint32_t dst) const override;
     std::string name() const override { return "inter-layer-only"; }
     std::string descriptor() const override;
 
@@ -334,6 +371,11 @@ class Transpose : public TrafficPattern
     destAt(std::uint32_t src, std::uint64_t, std::uint64_t) override
     {
         return perm_[src];
+    }
+    double
+    rateTo(std::uint32_t src, std::uint32_t dst) const override
+    {
+        return dst == perm_[src] ? 1.0 : 0.0;
     }
     std::string name() const override { return "transpose"; }
     std::string
@@ -354,6 +396,11 @@ class BitComplement : public TrafficPattern
     destAt(std::uint32_t src, std::uint64_t, std::uint64_t) override
     {
         return (radix_ - 1) - src;
+    }
+    double
+    rateTo(std::uint32_t src, std::uint32_t dst) const override
+    {
+        return dst == (radix_ - 1) - src ? 1.0 : 0.0;
     }
     std::string name() const override { return "bit-complement"; }
     std::string

@@ -195,6 +195,32 @@ TEST(RunDifferential, CleanAcrossRepresentativeConfigs)
     d.cfg.injectionRate = 0.9;
     configs.push_back(d);
 
+    // One pinned config per flat crossbar scheduler, so a scheduler
+    // regression fails here even if the sampled fuzz run misses it.
+    check::DiffConfig is;
+    is.spec = flat(11);
+    is.spec.arb = ArbScheme::Islip;
+    is.spec.schedIters = 3;
+    is.cfg.injectionRate = 0.8;
+    configs.push_back(is);
+
+    check::DiffConfig pim;
+    pim.spec = flat(13);
+    pim.spec.arb = ArbScheme::Pim;
+    pim.spec.schedIters = 2;
+    pim.spec.schedSeed = 77;
+    pim.pattern = check::PatternKind::Hotspot;
+    pim.hotOutput = 3;
+    pim.cfg.injectionRate = 0.7;
+    configs.push_back(pim);
+
+    check::DiffConfig wf;
+    wf.spec = flat(10);
+    wf.spec.arb = ArbScheme::Wavefront;
+    wf.pattern = check::PatternKind::BitComplement;
+    wf.cfg.injectionRate = 1.0;
+    configs.push_back(wf);
+
     check::DiffConfig e;
     e.spec.topo = Topology::Folded3D;
     e.spec.radix = 10;
@@ -306,6 +332,54 @@ TEST(RunFuzz, CatchesClrgHalveWinnerOnlyWithin200Configs)
     ASSERT_TRUE(rep.mismatchFound)
         << "a seeded CLRG saturation bug survived 200 configs";
     EXPECT_FALSE(rep.outcome.ok);
+}
+
+TEST(RunFuzz, CatchesIslipGrantPtrStuckWithin200Configs)
+{
+    check::FuzzOptions opt;
+    opt.configs = 200;
+    opt.seed = 1;
+    opt.mutation = check::Mutation::IslipGrantPtrStuck;
+    auto rep = check::runFuzz(opt);
+    ASSERT_TRUE(rep.mismatchFound)
+        << "a seeded iSLIP grant-pointer bug survived 200 configs";
+    // Shrunk config must still fail and still be an iSLIP one (the
+    // mutation is invisible to every other scheduler).
+    EXPECT_TRUE(check::isValid(rep.failing));
+    EXPECT_EQ(rep.failing.spec.arb, ArbScheme::Islip);
+    EXPECT_FALSE(rep.outcome.ok);
+    EXPECT_NE(rep.repro.find("TEST(FuzzRepro"), std::string::npos);
+    EXPECT_NE(rep.repro.find("Islip"), std::string::npos);
+}
+
+TEST(RunFuzz, CatchesPimReuseRoundRngWithin200Configs)
+{
+    check::FuzzOptions opt;
+    opt.configs = 200;
+    opt.seed = 1;
+    opt.mutation = check::Mutation::PimReuseRoundRng;
+    auto rep = check::runFuzz(opt);
+    ASSERT_TRUE(rep.mismatchFound)
+        << "a seeded PIM draw-stream bug survived 200 configs";
+    EXPECT_TRUE(check::isValid(rep.failing));
+    EXPECT_EQ(rep.failing.spec.arb, ArbScheme::Pim);
+    EXPECT_FALSE(rep.outcome.ok);
+    EXPECT_NE(rep.repro.find("Pim"), std::string::npos);
+}
+
+TEST(RunFuzz, CatchesWavefrontStuckPriorityWithin200Configs)
+{
+    check::FuzzOptions opt;
+    opt.configs = 200;
+    opt.seed = 1;
+    opt.mutation = check::Mutation::WavefrontStuckPriority;
+    auto rep = check::runFuzz(opt);
+    ASSERT_TRUE(rep.mismatchFound)
+        << "a seeded wavefront rotation bug survived 200 configs";
+    EXPECT_TRUE(check::isValid(rep.failing));
+    EXPECT_EQ(rep.failing.spec.arb, ArbScheme::Wavefront);
+    EXPECT_FALSE(rep.outcome.ok);
+    EXPECT_NE(rep.repro.find("Wavefront"), std::string::npos);
 }
 
 TEST(Shrink, ProducesSmallerStillFailingConfig)

@@ -19,6 +19,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/batch_sim.hh"
 #include "sim/network_sim.hh"
 #include "traffic/pattern.hh"
 
@@ -46,6 +51,9 @@ struct Golden
     /** Spot probes of the per-input vectors: inputs 0, 17, 63. */
     double inLat0, inLat17, inLat63;
     double inTput0, inTput17, inTput63;
+    /** Scheduler knobs (flat crossbar scheduler entries only). */
+    std::uint32_t schedIters = 1;
+    std::uint64_t schedSeed = 0;
 };
 
 const Golden kGolden[] = {
@@ -91,6 +99,24 @@ const Golden kGolden[] = {
      677.31627801675279, 17674, 18274, 0.99918185959987649,
      722.60305343511413, 760.51672862453563, 717.21641791044749,
      0.13100000000000001, 0.13450000000000001, 0.13400000000000001},
+    {"flat2d_islip2", Topology::Flat2D, ArbScheme::Islip,
+     ChannelAlloc::InputBinned,
+     64.475999999999999, 41.152999999999999, 549.29238544146767, 960,
+     546.80394538652263, 20579, 14673, 0.99965950530088554,
+     542.48338368580016, 642.21183800623146, 605.35759493670844,
+     0.16550000000000001, 0.1605, 0.158, 2, 0ULL},
+    {"flat2d_pim2", Topology::Flat2D, ArbScheme::Pim,
+     ChannelAlloc::InputBinned,
+     64.475999999999999, 41.161999999999999, 548.73403945194923, 960,
+     546.31469788226229, 20582, 14675, 0.99939734002573521,
+     549.49101796407206, 651.22955974842796, 610.90996784565948,
+     0.16700000000000001, 0.159, 0.1555, 2, 7ULL},
+    {"flat2d_wavefront", Topology::Flat2D, ArbScheme::Wavefront,
+     ChannelAlloc::InputBinned,
+     64.475999999999999, 41.072000000000003, 550.87078077054207, 972,
+     548.3906310868723, 20531, 14727, 0.9995701455757402,
+     549.00312499999984, 665.12539184952993, 634.6798679867992,
+     0.16, 0.1595, 0.1515, 1, 0ULL},
 };
 
 class SimGolden : public ::testing::TestWithParam<Golden>
@@ -110,6 +136,8 @@ TEST_P(SimGolden, FixedSeedResultIsBitIdenticalToSeedImpl)
     spec.channels = 4;
     spec.arb = g.arb;
     spec.alloc = g.alloc;
+    spec.schedIters = g.schedIters;
+    spec.schedSeed = g.schedSeed;
 
     for (bool dense : {false, true}) {
         SCOPED_TRACE(dense ? "dense stepping" : "event stepping");
@@ -153,3 +181,83 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Golden> &info) {
         return info.param.label;
     });
+
+// ---------------------------------------------------------------------
+// Batched-lane identity for the flat crossbar schedulers
+// ---------------------------------------------------------------------
+
+/** Stateful schedulers (iSLIP/PIM pointers and ticks, the wavefront
+ *  diagonal) must also survive replica batching: a 3-lane BatchSim
+ *  run of mixed (load, seed) points is bit-identical, lane for lane,
+ *  to the scalar NetworkSim runs it replaces. The golden entries
+ *  above pin event == dense; this pins event == batched. */
+TEST(SimGoldenBatch, SchedulerLanesMatchScalarRuns)
+{
+    struct Cfg
+    {
+        ArbScheme arb;
+        std::uint32_t iters;
+        std::uint64_t schedSeed;
+    };
+    const Cfg cfgs[] = {
+        {ArbScheme::Islip, 2, 0},
+        {ArbScheme::Pim, 2, 7},
+        {ArbScheme::Wavefront, 1, 0},
+    };
+    const sim::BatchPoint pts[] = {
+        {0.25, 12345}, {0.4, 999}, {0.1, 31}};
+
+    for (const Cfg &c : cfgs) {
+        SCOPED_TRACE(static_cast<int>(c.arb));
+        SwitchSpec spec;
+        spec.topo = Topology::Flat2D;
+        spec.radix = 64;
+        spec.arb = c.arb;
+        spec.schedIters = c.iters;
+        spec.schedSeed = c.schedSeed;
+
+        sim::SimConfig base;
+        base.warmupCycles = 500;
+        base.measureCycles = 2000;
+
+        std::vector<std::shared_ptr<traffic::TrafficPattern>> pats;
+        std::vector<sim::BatchPoint> points;
+        for (const auto &pt : pts) {
+            pats.push_back(
+                std::make_shared<traffic::UniformRandom>(64));
+            points.push_back(pt);
+        }
+        sim::BatchSim batch(spec, base, std::move(pats), points);
+        auto lanes = batch.run();
+        ASSERT_EQ(lanes.size(), 3u);
+
+        for (std::size_t r = 0; r < lanes.size(); ++r) {
+            SCOPED_TRACE("lane " + std::to_string(r));
+            sim::SimConfig cfg = base;
+            cfg.injectionRate = points[r].load;
+            cfg.seed = points[r].seed;
+            sim::NetworkSim s(
+                spec, cfg,
+                std::make_shared<traffic::UniformRandom>(64));
+            auto e = s.run();
+
+            EXPECT_DOUBLE_EQ(lanes[r].offeredFlitsPerCycle,
+                             e.offeredFlitsPerCycle);
+            EXPECT_DOUBLE_EQ(lanes[r].acceptedFlitsPerCycle,
+                             e.acceptedFlitsPerCycle);
+            EXPECT_DOUBLE_EQ(lanes[r].avgLatencyCycles,
+                             e.avgLatencyCycles);
+            EXPECT_DOUBLE_EQ(lanes[r].p99LatencyCycles,
+                             e.p99LatencyCycles);
+            EXPECT_DOUBLE_EQ(lanes[r].avgQueueingCycles,
+                             e.avgQueueingCycles);
+            EXPECT_EQ(lanes[r].packetsDelivered, e.packetsDelivered);
+            EXPECT_EQ(lanes[r].inFlightAtMeasureEnd,
+                      e.inFlightAtMeasureEnd);
+            EXPECT_DOUBLE_EQ(lanes[r].fairness, e.fairness);
+            EXPECT_EQ(lanes[r].perInputLatency, e.perInputLatency);
+            EXPECT_EQ(lanes[r].perInputThroughput,
+                      e.perInputThroughput);
+        }
+    }
+}

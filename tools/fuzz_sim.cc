@@ -32,7 +32,8 @@ usage(const char *argv0)
         "  --threads N   worker threads for differential runs\n"
         "                (0 = shared pool default, 1 = serial)\n"
         "  --mutate M    seed an oracle bug: lrg-off-by-one |\n"
-        "                clrg-halve-winner\n"
+        "                clrg-halve-winner | islip-grant-ptr-stuck |\n"
+        "                pim-reuse-round-rng | wavefront-stuck-priority\n"
         "  --expect-mismatch  exit 0 iff a mismatch WAS found\n"
         "  --no-shrink   print the raw failing config, do not shrink\n"
         "  --verbose     describe every config as it runs\n",
@@ -69,6 +70,12 @@ main(int argc, char **argv)
                 opt.mutation = check::Mutation::LrgUpdateOffByOne;
             } else if (m == "clrg-halve-winner") {
                 opt.mutation = check::Mutation::ClrgHalveWinnerOnly;
+            } else if (m == "islip-grant-ptr-stuck") {
+                opt.mutation = check::Mutation::IslipGrantPtrStuck;
+            } else if (m == "pim-reuse-round-rng") {
+                opt.mutation = check::Mutation::PimReuseRoundRng;
+            } else if (m == "wavefront-stuck-priority") {
+                opt.mutation = check::Mutation::WavefrontStuckPriority;
             } else {
                 std::fprintf(stderr, "unknown mutation '%s'\n",
                              m.c_str());
