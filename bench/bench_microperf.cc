@@ -291,7 +291,7 @@ constexpr double kLowLoadRate = 0.01;
 
 void
 loadedRun(benchmark::State &state, Topology topo, double rate,
-          net::Cycle measure)
+          net::Cycle measure, bool legacySatQueues = false)
 {
     const auto radix = static_cast<std::uint32_t>(state.range(0));
     SwitchSpec spec;
@@ -310,6 +310,7 @@ loadedRun(benchmark::State &state, Topology topo, double rate,
     cfg.warmupCycles = kLowLoadWarmup;
     cfg.measureCycles = measure;
     cfg.denseStepping = state.range(1) != 0;
+    cfg.legacySatQueues = legacySatQueues;
     for (auto _ : state) {
         sim::NetworkSim sim(
             spec, cfg, std::make_shared<traffic::UniformRandom>(radix));
@@ -341,6 +342,15 @@ static void
 BM_SaturationRun_HiRise(benchmark::State &state)
 {
     loadedRun(state, Topology::HiRise, 1.0, 5000);
+}
+
+/** Same saturated run with cfg.legacySatQueues pinning the
+ *  materialized source queues, so the virtual-source-queue speedup is
+ *  readable as BM_SaturationRun_HiRise over this entry. */
+static void
+BM_SaturationRun_HiRise_Legacy(benchmark::State &state)
+{
+    loadedRun(state, Topology::HiRise, 1.0, 5000, true);
 }
 
 constexpr net::Cycle kSatMeasure = 5000;
@@ -401,6 +411,10 @@ BENCHMARK(BM_LowLoadRun_Flat2d)
     ->Args({256, 1})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SaturationRun_HiRise)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SaturationRun_HiRise_Legacy)
     ->Args({128, 0})
     ->Args({128, 1})
     ->Unit(benchmark::kMillisecond);

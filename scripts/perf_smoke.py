@@ -16,7 +16,9 @@ SIMD tier (hirise_simd_tier), regressions are downgraded to warnings
 and the differing context fields are printed as a delta table.
 --strict restores hard failure regardless of context (for CI jobs that
 pin the runner). Missing benchmarks always fail: dropping a benchmark
-is a suite change, not a host effect.
+is a suite change, not a host effect. A library_build_type mismatch
+between the two runs is always a hard error, never a warning: debug
+vs release timing loops are not the same experiment on any host.
 
 Usage:
   scripts/perf_smoke.py <baseline.json> <fresh.json>
@@ -76,6 +78,16 @@ def main():
 
     base_ctx, base = load(args.baseline)
     fresh_ctx, fresh = load(args.fresh)
+    b_lib = base_ctx.get("library_build_type")
+    f_lib = fresh_ctx.get("library_build_type")
+    if b_lib != f_lib:
+        # Not part of the host-context downgrade: a debug timing loop
+        # vs a release one changes the measurement itself, so the
+        # comparison is meaningless rather than merely noisy.
+        sys.exit(f"library_build_type mismatch: baseline "
+                 f"'{b_lib}' vs fresh '{f_lib}' — re-capture the "
+                 "baseline with a matching build (hard error; "
+                 "--strict not required)")
     if args.filter:
         base = {k: v for k, v in base.items() if args.filter in k}
         fresh = {k: v for k, v in fresh.items() if args.filter in k}

@@ -12,20 +12,25 @@
 # The script refuses to write the output file unless the suite itself
 # was compiled Release ("hirise_build_type" custom context, from
 # bench_gbench_main.cc) — debug numbers committed by accident would
-# poison every later comparison. That check has NO override. A second,
-# softer check covers google-benchmark's own library_build_type field;
-# it describes the *installed* libbenchmark, which on some hosts is a
-# debug build no matter how this repo is compiled, so
-# HIRISE_BENCH_ALLOW_DEBUG=1 downgrades only that one to a loud
+# poison every later comparison. That check has NO override. A second
+# check covers the library_build_type field (stamped by
+# bench_gbench_main.cc's file reporter from the suite's own NDEBUG;
+# on the raw installed libbenchmark it may read "debug" regardless of
+# how this repo is compiled). For the TRACKED baseline
+# (BENCH_microperf.json at the repo root) that check also has NO
+# override: a baseline the whole perf-smoke gate diffs against must
+# never carry debug timing loops. For ad-hoc runs redirected elsewhere
+# via OUT_FILE=..., HIRISE_BENCH_ALLOW_DEBUG=1 downgrades it to a loud
 # warning and stamps a 'library_build_type_waiver' key into the
-# recorded JSON context so the committed baseline self-documents.
+# recorded JSON context so the output self-documents.
 #
-# Usage: scripts/run_microbench.sh [extra google-benchmark args...]
+# Usage: [OUT_FILE=path] scripts/run_microbench.sh [extra gbench args...]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build-release}"
-out_file="$repo_root/BENCH_microperf.json"
+tracked_file="$repo_root/BENCH_microperf.json"
+out_file="${OUT_FILE:-$tracked_file}"
 git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
@@ -43,13 +48,18 @@ for bench in bench_microperf bench_campaign; do
         "$@"
 done
 
-python3 - "$tmp_dir" "$out_file" "$git_sha" <<'EOF'
+python3 - "$tmp_dir" "$out_file" "$git_sha" "$tracked_file" <<'EOF'
 import json
 import os
 import sys
 
-tmp_dir, out_file, git_sha = sys.argv[1], sys.argv[2], sys.argv[3]
-allow_debug = os.environ.get("HIRISE_BENCH_ALLOW_DEBUG") == "1"
+tmp_dir, out_file, git_sha, tracked_file = sys.argv[1:5]
+# The tracked baseline never accepts a debug-library waiver; ad-hoc
+# outputs (OUT_FILE=... pointing elsewhere) may, under
+# HIRISE_BENCH_ALLOW_DEBUG=1.
+is_tracked = os.path.realpath(out_file) == os.path.realpath(tracked_file)
+allow_debug = (os.environ.get("HIRISE_BENCH_ALLOW_DEBUG") == "1"
+               and not is_tracked)
 
 merged = None
 debug_library = None
@@ -71,6 +81,11 @@ for name in ("bench_microperf", "bench_campaign"):
         msg = (f"{name}: library_build_type is '{build_type}', "
                "expected 'release' (installed libbenchmark)")
         if not allow_debug:
+            if is_tracked:
+                sys.exit(msg + " — refusing to overwrite the tracked "
+                         "baseline from a debug library build (no "
+                         "override; HIRISE_BENCH_ALLOW_DEBUG only "
+                         "applies to ad-hoc OUT_FILE=... runs)")
             sys.exit(msg + " — refusing to record; set "
                      "HIRISE_BENCH_ALLOW_DEBUG=1 if the library is "
                      "known-debug on this host")

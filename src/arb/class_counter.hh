@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -85,10 +86,8 @@ class ClassCounterBank
         // increment, so the winner keeps its relative penalty. (The
         // reverse order would reward the input that saturated.)
         bool halved = (count_[input] == maxCount_);
-        if (halved) {
-            for (auto &c : count_)
-                c >>= 1;
-        }
+        if (halved)
+            simd::halveU32(count_.data(), count_.size());
         ++count_[input];
         if (obs::on()) [[unlikely]]
             recordWin(input, halved);

@@ -1,6 +1,6 @@
 #include "arb/sub_block_arbiter.hh"
 
-#include <limits>
+#include "common/simd.hh"
 
 namespace hirise::arb {
 
@@ -48,24 +48,23 @@ WlrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
 std::uint32_t
 ClrgSubArbiter::arbitrate(const std::vector<SubBlockRequest> &reqs)
 {
-    // Coarse priority: lowest class (usage count) among contenders.
-    std::uint32_t best_class = std::numeric_limits<std::uint32_t>::max();
-    for (const auto &r : reqs) {
-        if (r.valid)
-            best_class = std::min(best_class,
-                                  counters_.classOf(r.primaryInput));
+    // Flatten each port's class into cls_ (idle ports carry
+    // kInvalidClass), then coarse priority — lowest class among
+    // contenders — is a SIMD min-reduction.
+    const std::size_t n = reqs.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        cls_[i] = reqs[i].valid
+                      ? counters_.classOf(reqs[i].primaryInput)
+                      : kInvalidClass;
     }
-    if (best_class == std::numeric_limits<std::uint32_t>::max())
+    const std::uint32_t best_class = simd::minU32(cls_.data(), n);
+    if (best_class == kInvalidClass)
         return kNone;
 
     // The priority-select muxes inhibit every request outside the best
-    // class; LRG breaks ties within it (Fig 7).
-    mask_.clear();
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
-        if (reqs[i].valid &&
-            counters_.classOf(reqs[i].primaryInput) == best_class)
-            mask_.set(static_cast<std::uint32_t>(i));
-    }
+    // class; LRG breaks ties within it (Fig 7). eqBitsU32 writes the
+    // mask's words wholesale (exactly ceil(n/64) of them).
+    simd::eqBitsU32(cls_.data(), n, best_class, mask_.words());
     std::uint32_t w = lrg_.pick(mask_);
     sim_assert(w != kNone, "class mask had a requestor");
     // LRG is updated even on class-decided cycles (paper III-B4).

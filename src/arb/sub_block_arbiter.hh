@@ -94,7 +94,7 @@ class ClrgSubArbiter : public SubBlockArbiter
     ClrgSubArbiter(std::uint32_t num_ports, std::uint32_t num_inputs,
                    std::uint32_t max_count)
         : lrg_(num_ports), counters_(num_inputs, max_count),
-          mask_(num_ports)
+          mask_(num_ports), cls_(num_ports, kInvalidClass)
     {}
 
     std::uint32_t
@@ -103,9 +103,18 @@ class ClrgSubArbiter : public SubBlockArbiter
     const ClassCounterBank &counters() const { return counters_; }
 
   private:
+    /** Idle-port marker in cls_; equals simd::minU32's identity so a
+     *  best class of kInvalidClass means "no valid request". Real
+     *  classes are bounded by maxCount and can never collide. */
+    static constexpr std::uint32_t kInvalidClass = ~0u;
+
     MatrixArbiter lrg_;
     ClassCounterBank counters_;
     BitVec mask_; //!< per-cycle scratch, preallocated
+    /** Per-port class of the current request vector (kInvalidClass
+     *  for idle ports), flat so the best-class reduction and the
+     *  class-match mask build run as SIMD sweeps. */
+    std::vector<std::uint32_t> cls_;
 };
 
 /** Factory keyed on the spec's arbitration scheme. */

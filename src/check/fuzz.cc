@@ -257,7 +257,8 @@ describe(const DiffConfig &c)
        << " warm=" << c.cfg.warmupCycles
        << " meas=" << c.cfg.measureCycles
        << " seed=" << c.cfg.seed
-       << " mode=" << (c.cfg.denseStepping ? "dense" : "event");
+       << " mode=" << (c.cfg.denseStepping ? "dense" : "event")
+       << " tier=" << simd::tierName(c.tier);
     if (!c.faults.empty())
         os << " faults=" << c.faults.size();
     if (c.batchReplicas >= 2)
@@ -271,6 +272,14 @@ DiffOutcome
 runDifferential(const DiffConfig &c)
 {
     DiffOutcome out;
+
+    // Pin the config's SIMD tier for the whole differential (clamped
+    // to what this build/host supports). The store is process-global,
+    // so concurrent differentials with different tiers can flip it
+    // mid-run — benign by design: every tier is bit-identical, so a
+    // mid-run flip that changes any result is itself a real kernel
+    // divergence the comparison passes will catch.
+    simd::forceTier(c.tier);
 
     // Pass 1: optimized fabric with the oracle riding shotgun,
     // compared cycle by cycle.
@@ -434,11 +443,20 @@ sampleConfig(Rng &rng)
     c.cfg.numVcs = u32(1, 4);
     c.cfg.vcDepth = u32(1, 4);
     c.cfg.packetLen = u32(1, 4);
-    c.cfg.injectionRate = 0.05 + 0.85 * rng.uniform();
+    // ~10% of configs run at exactly rate 1.0 so the scalar saturation
+    // fast path (virtual source queues) gets differential coverage
+    // against the oracle and the opposite stepping mode.
+    c.cfg.injectionRate =
+        u32(0, 9) == 0 ? 1.0 : 0.05 + 0.85 * rng.uniform();
     c.cfg.warmupCycles = u32(0, 100);
     c.cfg.measureCycles = u32(50, 400);
     c.cfg.seed = rng.next();
     c.cfg.denseStepping = rng.below(2) == 1;
+    // Tier axis: sampled over all compiled tiers; forceTier clamps to
+    // the host's best at run time, so configs replay anywhere.
+    static constexpr simd::Tier kTiers[] = {
+        simd::Tier::Scalar, simd::Tier::Avx2, simd::Tier::Avx512};
+    c.tier = kTiers[u32(0, 2)];
 
     switch (u32(0, 9)) {
       case 4:
@@ -554,6 +572,18 @@ shrink(const DiffConfig &failing)
             if (d.batchReplicas <= 2)
                 return false;
             --d.batchReplicas;
+            return true;
+        });
+        add([](DiffConfig &d) {
+            if (d.tier == simd::Tier::Scalar)
+                return false;
+            d.tier = simd::Tier::Scalar;
+            return true;
+        });
+        add([](DiffConfig &d) {
+            if (d.tier != simd::Tier::Avx512)
+                return false;
+            d.tier = simd::Tier::Avx2;
             return true;
         });
         add([](DiffConfig &d) {
@@ -688,6 +718,11 @@ toGtestRepro(const DiffConfig &c)
            << ";\n";
     if (c.batchReplicas >= 2)
         os << "    c.batchReplicas = " << c.batchReplicas << ";\n";
+    if (c.tier != simd::Tier::Scalar) {
+        os << "    c.tier = simd::Tier::"
+           << (c.tier == simd::Tier::Avx512 ? "Avx512" : "Avx2")
+           << ";\n";
+    }
     if (!c.faults.empty()) {
         os << "    c.faults = {";
         for (std::size_t i = 0; i < c.faults.size(); ++i) {

@@ -20,6 +20,7 @@
 
 #include "check/oracle.hh"
 #include "common/random.hh"
+#include "common/simd.hh"
 #include "common/spec.hh"
 #include "sim/network_sim.hh"
 
@@ -61,6 +62,11 @@ struct DiffConfig
      *  every lane must match its independent scalar run bit-exactly.
      *  0 disables the pass. */
     std::uint32_t batchReplicas = 0;
+    /** SIMD dispatch tier forced for the differential runs (clamped
+     *  to the best tier the build and host support, so sampled
+     *  configs replay anywhere). Every tier must be bit-identical;
+     *  shrinking steps toward Scalar. */
+    simd::Tier tier = simd::Tier::Scalar;
 };
 
 /** Non-fatal counterpart of SwitchSpec::validate() plus fuzz-side

@@ -2,22 +2,57 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 
 namespace hirise::simd {
 
 namespace {
 
+/** Highest tier the build and the host CPU can run, before any
+ *  environment pinning. */
 Tier
-probeTier()
+hwTier()
 {
+#ifdef HIRISE_SIMD_AVX512_COMPILED
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl"))
+        return Tier::Avx512;
+#endif
 #ifdef HIRISE_SIMD_AVX2_COMPILED
-    if (const char *e = std::getenv("HIRISE_SIMD_FORCE_SCALAR");
-        e != nullptr && e[0] == '1')
-        return Tier::Scalar;
     if (__builtin_cpu_supports("avx2"))
         return Tier::Avx2;
 #endif
     return Tier::Scalar;
+}
+
+Tier
+clampTier(Tier t)
+{
+    const Tier hw = hwTier();
+    return t <= hw ? t : hw;
+}
+
+Tier
+probeTier()
+{
+    // Legacy pin: HIRISE_SIMD_FORCE_SCALAR=1 predates the named knob
+    // and always wins (the forced-scalar CI job sets it).
+    if (const char *e = std::getenv("HIRISE_SIMD_FORCE_SCALAR");
+        e != nullptr && e[0] == '1')
+        return Tier::Scalar;
+    if (const char *e = std::getenv("HIRISE_SIMD_FORCE_TIER");
+        e != nullptr) {
+        if (std::strcmp(e, "scalar") == 0)
+            return Tier::Scalar;
+        if (std::strcmp(e, "avx2") == 0)
+            return clampTier(Tier::Avx2);
+        if (std::strcmp(e, "avx512") == 0)
+            return clampTier(Tier::Avx512);
+        // Unknown value: fall through to the probe rather than
+        // silently running a tier the user did not name.
+    }
+    return hwTier();
 }
 
 std::atomic<Tier> &
@@ -38,9 +73,11 @@ activeTier()
 void
 forceTier(Tier t)
 {
-    if (t == Tier::Avx2 && probeTier() != Tier::Avx2)
-        t = Tier::Scalar; // clamp to what build + host can run
-    tierSlot().store(t, std::memory_order_relaxed);
+    // Clamp to what build + host + environment can actually run, so a
+    // test asking for avx512 on an avx2 host degrades instead of
+    // faulting (and HIRISE_SIMD_FORCE_SCALAR still pins everything).
+    tierSlot().store(t <= probeTier() ? t : probeTier(),
+                     std::memory_order_relaxed);
 }
 
 const char *
@@ -49,6 +86,7 @@ tierName(Tier t)
     switch (t) {
       case Tier::Scalar: return "scalar";
       case Tier::Avx2: return "avx2";
+      case Tier::Avx512: return "avx512";
     }
     return "?";
 }

@@ -1,5 +1,6 @@
 #include "fabric/hirise.hh"
 
+#include "common/simd.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -62,8 +63,8 @@ HiRiseFabric::HiRiseFabric(const SwitchSpec &spec)
       chan_(spec.channels), ports_(spec.incomingChannels() + 1),
       holder_(spec.radix, kNoRequest),
       heldChan_(spec.radix, kNoRequest),
-      chanBusy_(std::size_t(nlay_) * nlay_ * chan_, false),
-      chanFailed_(chanBusy_.size(), false)
+      chanBusy_(std::size_t(nlay_) * nlay_ * chan_, 0),
+      chanFailed_(chanBusy_.size(), 0)
 {
     sim_assert(spec.topo == Topology::HiRise, "wrong topology");
 
@@ -85,7 +86,13 @@ HiRiseFabric::HiRiseFabric(const SwitchSpec &spec)
     activeChan_.reserve(chanCol_.size());
     contendedOut_.resize(spec.radix);
     remaining_.resize(ppl_);
-    subReqs_.resize(ports_);
+    subReqs_.resize(ports_); // default entries are invalid, and
+                             // phase2 keeps them that way between
+                             // outputs (sparse filledPorts_ reset)
+    reqIdxScratch_.resize(spec.radix);
+    chanNext_.assign(chanBusy_.size(), kNoRequest);
+    outChanHead_.assign(spec.radix, kNoRequest);
+    filledPorts_.reserve(ports_);
     stats_.chanGrants.assign(chanBusy_.size(), 0);
     stats_.chanBusyCycles.assign(chanBusy_.size(), 0);
 }
@@ -136,14 +143,14 @@ HiRiseFabric::failChannel(std::uint32_t src_layer,
                "bad channel (%u,%u,%u)", src_layer, dst_layer, k);
     std::uint32_t id = chanId(src_layer, dst_layer, k);
     sim_assert(!chanBusy_[id], "cannot fail a channel mid-transfer");
-    chanFailed_[id] = true;
+    chanFailed_[id] = 1;
 }
 
 bool
 HiRiseFabric::channelBusy(std::uint32_t s, std::uint32_t d,
                           std::uint32_t k) const
 {
-    return chanBusy_[chanId(s, d, k)];
+    return chanBusy_[chanId(s, d, k)] != 0;
 }
 
 std::uint32_t
@@ -253,9 +260,16 @@ HiRiseFabric::collectRequest(std::uint32_t i, std::uint32_t o)
 void
 HiRiseFabric::collectRequests(std::span<const std::uint32_t> req)
 {
-    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
-        if (req[i] != kNoRequest)
-            collectRequest(i, req[i]);
+    // Compact the requesting inputs out of the dense vector in one
+    // SIMD sweep (most entries are kNoRequest below saturation), then
+    // bin just those. gatherNonSentinelU32 emits ascending indices,
+    // so column fill order — and with it every phase-1 pick — matches
+    // the plain scan bit for bit.
+    const std::uint32_t n = simd::gatherNonSentinelU32(
+        req.data(), spec_.radix, kNoRequest, reqIdxScratch_.data());
+    for (std::uint32_t k = 0; k < n; ++k) {
+        const std::uint32_t i = reqIdxScratch_[k];
+        collectRequest(i, req[i]);
     }
 }
 
@@ -314,32 +328,32 @@ HiRiseFabric::phase2()
     // Only outputs with a phase-1 winner contend (ascending order, as
     // the sub-blocks are mutually independent within a cycle).
     contendedOut_.forEachSet([&](std::uint32_t o) {
+        // Consume this output's winner chain unconditionally — held
+        // outputs included — so stale links never survive into the
+        // next cycle's chains.
+        std::uint32_t chain = outChanHead_[o];
+        outChanHead_[o] = kNoRequest;
         if (holder_[o] != kNoRequest)
             return;
         std::uint32_t d = layerOf(o);
-        bool any = false;
-        for (auto &r : reqs)
-            r.valid = false;
+        filledPorts_.clear();
 
-        // Incoming L2LC ports.
-        for (std::uint32_t s = 0; s < nlay_; ++s) {
-            if (s == d)
-                continue;
-            for (std::uint32_t k = 0; k < chan_; ++k) {
-                const auto &col = chanCol_[chanId(s, d, k)];
-                if (col.winner == arb::MatrixArbiter::kNone)
-                    continue;
-                std::uint32_t in = s * ppl_ + col.winner;
-                // The L2LC ships the winner's request vector; it only
-                // contends at the sub-block it targets.
-                if (col.winnerDst != o)
-                    continue;
-                auto &r = reqs[subPort(d, s, k)];
-                r.valid = true;
-                r.primaryInput = in;
-                r.weight = std::max(1u, col.weight);
-                any = true;
-            }
+        // Incoming L2LC ports: walk exactly this cycle's winning
+        // channels targeting o (the chain finishArbitrate threaded)
+        // instead of scanning every (layer, channel) column. reqs is
+        // indexed by subPort, so chain order is immaterial to the
+        // sub-block arbitration.
+        for (std::uint32_t id = chain; id != kNoRequest;
+             id = chanNext_[id]) {
+            const auto &col = chanCol_[id];
+            std::uint32_t s = id / (nlay_ * chan_);
+            std::uint32_t k = id % chan_;
+            std::uint32_t port = subPort(d, s, k);
+            auto &r = reqs[port];
+            r.valid = true;
+            r.primaryInput = s * ppl_ + col.winner;
+            r.weight = std::max(1u, col.weight);
+            filledPorts_.push_back(port);
         }
         // Local intermediate port.
         const auto &icol = interCol_[o];
@@ -348,9 +362,9 @@ HiRiseFabric::phase2()
             r.valid = true;
             r.primaryInput = d * ppl_ + icol.winner;
             r.weight = std::max(1u, icol.weight);
-            any = true;
+            filledPorts_.push_back(ports_ - 1);
         }
-        if (!any)
+        if (filledPorts_.empty())
             return;
 
         std::uint32_t p = subArb_[o]->arbitrate(reqs);
@@ -372,11 +386,15 @@ HiRiseFabric::phase2()
             subPortOrigin(d, p, s, k);
             std::uint32_t id = chanId(s, d, k);
             heldChan_[o] = id;
-            chanBusy_[id] = true;
+            chanBusy_[id] = 1;
             chanArb_[id].update(localIdx(winner_in));
             ++stats_.grantsCross;
             ++stats_.chanGrants[id];
         }
+
+        // Sparse reset: subReqs_ stays all-invalid between outputs.
+        for (std::uint32_t fp : filledPorts_)
+            reqs[fp].valid = false;
     });
 }
 
@@ -388,8 +406,8 @@ HiRiseFabric::beginArbitrate()
 {
     grant_.clear();
     ++arbitrateCalls_;
-    for (std::uint32_t id = 0; id < chanBusy_.size(); ++id)
-        stats_.chanBusyCycles[id] += chanBusy_[id] ? 1 : 0;
+    simd::accumulateFlagsU64(stats_.chanBusyCycles.data(),
+                             chanBusy_.data(), chanBusy_.size(), 1);
     resetScratch();
 }
 
@@ -421,9 +439,11 @@ HiRiseFabric::arbitrateActive(std::span<const std::uint32_t> req,
 const BitVec &
 HiRiseFabric::finishArbitrate(std::span<const std::uint32_t> req)
 {
-    // Record each channel winner's destination before phase 2, and
-    // mark the outputs that have at least one phase-1 winner so
-    // phase 2 visits only those sub-blocks.
+    // Record each channel winner's destination before phase 2, mark
+    // the outputs that have at least one phase-1 winner so phase 2
+    // visits only those sub-blocks, and thread each winning channel
+    // onto its destination output's intrusive chain so phase 2 walks
+    // exactly those channels.
     phase1();
     contendedOut_.clear();
     for (std::uint32_t id : activeChan_) {
@@ -434,6 +454,8 @@ HiRiseFabric::finishArbitrate(std::span<const std::uint32_t> req)
         std::uint32_t in = s * ppl_ + col.winner;
         col.winnerDst = req[in];
         contendedOut_.set(col.winnerDst);
+        chanNext_[id] = outChanHead_[col.winnerDst];
+        outChanHead_[col.winnerDst] = id;
     }
     for (std::uint32_t o : activeInter_) {
         if (interCol_[o].winner != arb::MatrixArbiter::kNone)
@@ -520,10 +542,9 @@ HiRiseFabric::advanceIdle(std::uint64_t cycles)
     // mode. Channels stay busy across request-free cycles while their
     // connection is still transferring.
     arbitrateCalls_ += cycles;
-    for (std::uint32_t id = 0; id < chanBusy_.size(); ++id) {
-        if (chanBusy_[id])
-            stats_.chanBusyCycles[id] += cycles;
-    }
+    simd::accumulateFlagsU64(stats_.chanBusyCycles.data(),
+                             chanBusy_.data(), chanBusy_.size(),
+                             cycles);
 }
 
 void
@@ -533,7 +554,7 @@ HiRiseFabric::release(std::uint32_t input, std::uint32_t output)
                "release of unheld connection %u->%u", input, output);
     holder_[output] = kNoRequest;
     if (heldChan_[output] != kNoRequest) {
-        chanBusy_[heldChan_[output]] = false;
+        chanBusy_[heldChan_[output]] = 0;
         heldChan_[output] = kNoRequest;
     }
 }

@@ -66,7 +66,7 @@ class HiRiseFabric : public Fabric
     bool channelFailed(std::uint32_t src_layer,
                        std::uint32_t dst_layer, std::uint32_t k) const
     {
-        return chanFailed_[chanId(src_layer, dst_layer, k)];
+        return chanFailed_[chanId(src_layer, dst_layer, k)] != 0;
     }
 
     /** Is the L2LC (src layer, dst layer, k) held by a connection? */
@@ -129,8 +129,11 @@ class HiRiseFabric : public Fabric
     // -- connection state ----------------------------------------------
     std::vector<std::uint32_t> holder_;   //!< per output
     std::vector<std::uint32_t> heldChan_; //!< per output; kNoRequest
-    std::vector<bool> chanBusy_;          //!< per chanId
-    std::vector<bool> chanFailed_;        //!< per chanId
+    /** Busy/failed flags per chanId, 0/1 in flat byte arrays (not
+     *  vector<bool>) so the per-call busy-cycle accumulation runs
+     *  through simd::accumulateFlagsU64. */
+    std::vector<std::uint8_t> chanBusy_;
+    std::vector<std::uint8_t> chanFailed_;
 
     // -- per-cycle scratch (members to avoid reallocation) -------------
     struct ColumnState
@@ -151,6 +154,21 @@ class HiRiseFabric : public Fabric
     BitVec contendedOut_; //!< outputs with >= 1 phase-1 winner
     BitVec remaining_;  //!< Priority-alloc pool walk scratch
     std::vector<arb::SubBlockRequest> subReqs_; //!< phase-2 scratch
+    /** Requesting-input indices compacted from the dense request
+     *  vector (simd::gatherNonSentinelU32 scratch). */
+    std::vector<std::uint32_t> reqIdxScratch_;
+    /** Per-output chains of this cycle's channel winners, built while
+     *  finishArbitrate records winner destinations: outChanHead_[o]
+     *  heads an intrusive list linked through chanNext_[chanId]. The
+     *  phase-2 walk then visits exactly the channels targeting each
+     *  contended output instead of scanning all (layer, channel)
+     *  columns per output. Chains are consumed (reset to kNoRequest)
+     *  by phase2, held outputs included. */
+    std::vector<std::uint32_t> chanNext_;    //!< per chanId
+    std::vector<std::uint32_t> outChanHead_; //!< per output
+    /** Sub-block ports filled for the current output, for sparse
+     *  reset of subReqs_ (kept all-invalid between outputs). */
+    std::vector<std::uint32_t> filledPorts_;
 
     void resetScratch();
     void beginArbitrate();

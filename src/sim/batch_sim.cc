@@ -146,26 +146,16 @@ BatchSim::BatchSim(const SwitchSpec &spec, const SimConfig &base,
     }
 
     satVirt_.assign(R_, 0);
-    satP_.assign(R_, 0);
-    satHead_.assign(std::size_t(R_) * N_, net::Packet{});
+    satQ_.resize(R_);
+    const bool legacy_pin =
+        base_.legacySatQueues || legacySatQueuesPinned();
     for (std::uint32_t r = 0; r < R_; ++r) {
-        if (!allMemoryless_ || thr_[r] != (std::uint64_t(1) << 53))
+        if (legacy_pin || !allMemoryless_ ||
+            !VirtualSourceQueues::saturates(pts_[r].load))
             continue;
         satVirt_[r] = 1;
-        std::uint32_t rank = 0;
-        for (std::uint32_t i = 0; i < N_; ++i) {
-            if (!part_[std::size_t(r) * N_ + i])
-                continue;
-            net::Packet &head = satHead_[std::size_t(r) * N_ + i];
-            head.id = rank + 1; // rank'th injection of cycle 0
-            head.src = i;
-            head.dst = patterns_[r]->destAt(i, 0, pts_[r].seed);
-            head.lenFlits =
-                static_cast<std::uint16_t>(base_.packetLen);
-            head.genCycle = 0;
-            ++rank;
-        }
-        satP_[r] = rank;
+        satQ_[r].init(*patterns_[r], N_, base_.packetLen,
+                      pts_[r].seed);
     }
 
     lanes_.resize(R_);
@@ -218,11 +208,11 @@ BatchSim::injectVirtual(std::uint32_t r)
     // Every draw passes this replica's threshold (load >= 1), so each
     // participating input injects exactly one packet this cycle and
     // the whole cycle's injection collapses to accounting: the
-    // packets themselves stay virtual (see the satHead_ comment in
-    // the header) until fillVirtual streams them into VCs. This is
+    // packets themselves stay virtual (see sim/virtual_queue.hh)
+    // until fillVirtual streams them into VCs. This is
     // the saturation-campaign fast path (runAtLoad at load 1.0).
     Lane &lane = lanes_[r];
-    const std::uint64_t p = satP_[r];
+    const std::uint64_t p = satQ_[r].participants();
     lane.nextId += p;
     lane.injected += p;
     if (measuring_) {
@@ -244,21 +234,14 @@ BatchSim::fillVirtual(std::uint32_t r)
     // by delivery throughput), not per injected packet.
     traffic::TrafficPattern &pat = *patterns_[r];
     const char *part = part_.data() + std::size_t(r) * N_;
-    const std::uint64_t p = satP_[r];
+    VirtualSourceQueues &q = satQ_[r];
     BitSpan elig = plane(eligible_, r);
     for (std::uint32_t i = 0; i < N_; ++i) {
         if (!part[i])
             continue;
         net::InputPort &port_i = port(r, i);
-        net::Packet &head = satHead_[std::size_t(r) * N_ + i];
-        if (port_i.fillFrom(head)) {
-            // Head fully streamed: the next head is the packet this
-            // input injected one cycle later, P ids down the lane's
-            // id sequence.
-            head.genCycle += 1;
-            head.id += p;
-            head.dst = pat.destAt(i, head.genCycle, pts_[r].seed);
-        }
+        if (port_i.fillFrom(q.head(i)))
+            q.advance(i, pat); // re-derive the next head
         if (!port_i.connected() && port_i.anyVcOccupied())
             elig.set(i);
     }
@@ -464,9 +447,8 @@ BatchSim::checkInvariants(std::uint32_t r)
             // Virtual queue contents: packets gen [head, cycle_) are
             // injected but unconsumed. backlogFlits() already
             // discounted the head's partially streamed flits.
-            backlog +=
-                (cycle_ - satHead_[std::size_t(r) * N_ + i].genCycle) *
-                base_.packetLen;
+            backlog += satQ_[r].pendingFlitsBehindHead(
+                i, cycle_, base_.packetLen);
         }
     }
     check::verifyFlitConservation(lanes_[r].injected * base_.packetLen,

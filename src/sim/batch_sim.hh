@@ -22,8 +22,9 @@
  * at load >= 1 the queue contents are a pure function of the counter
  * streams, so injection collapses to an accounting bump and only each
  * input's head packet exists, re-derived on consumption (see
- * satHead_; ~2x per-replica saturation throughput vs the scalar
- * engine). Below saturation the injection Bernoulli and destination
+ * sim/virtual_queue.hh, shared with NetworkSim's scalar saturation
+ * fast path; ~2x per-replica saturation throughput vs the legacy
+ * queued path). Below saturation the injection Bernoulli and destination
  * draws hash four consecutive input lanes per AVX2 step. The
  * per-replica bit planes (output-free, connected, eligible,
  * fill-pending) live in one contiguous word buffer per plane kind
@@ -46,6 +47,7 @@
 #include "net/input_port.hh"
 #include "net/packet.hh"
 #include "sim/network_sim.hh"
+#include "sim/virtual_queue.hh"
 #include "traffic/pattern.hh"
 
 namespace hirise::sim {
@@ -175,21 +177,19 @@ class BatchSim
 
     // -- virtual source queues (saturated memoryless replicas) -----
     //
-    // At saturation every participating input injects every cycle, so
-    // a replica's source-queue contents are a pure function of the
-    // counter streams: input i's k-th packet has genCycle k,
-    // id = k * P + rank(i) + 1 (P participating inputs, injection
-    // order ascending i — exactly the scalar dense poll's order), and
-    // dst = destAt(i, k, seed). Such replicas never materialize their
-    // queues: injection is a constant-time accounting bump and only
-    // the per-input HEAD packet exists (satHead_), re-derived on
-    // consumption. That turns the dominant saturation cost — pushing
-    // ~N packets per cycle per replica into ring buffers that grow
-    // without bound — into ~deliveries-per-cycle counter hashes, and
-    // shrinks the replica working set by the whole queue footprint.
-    std::vector<char> satVirt_;        //!< replica uses virtual queues
-    std::vector<std::uint32_t> satP_;  //!< participating inputs count
-    std::vector<net::Packet> satHead_; //!< R*N virtual queue heads
+    // Saturated replicas never materialize their source queues: the
+    // queue contents are a pure function of the counter streams, so
+    // injection is a constant-time accounting bump and only each
+    // input's head packet exists, re-derived on consumption. The
+    // mechanism (and the id/genCycle identity) lives in
+    // sim/virtual_queue.hh, shared with the scalar NetworkSim's
+    // saturation fast path; what it buys here is turning the dominant
+    // saturation cost — pushing ~N packets per cycle per replica into
+    // ring buffers that grow without bound — into
+    // ~deliveries-per-cycle counter hashes, and shrinking the replica
+    // working set by the whole queue footprint.
+    std::vector<char> satVirt_; //!< replica uses virtual queues
+    std::vector<VirtualSourceQueues> satQ_; //!< one per replica
 
     // Per-cycle scratch shared across replicas (each replica's
     // arbitration resets its entries before the next replica runs).

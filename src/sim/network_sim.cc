@@ -48,6 +48,21 @@ recordInject(std::uint32_t src, std::uint32_t dst, std::uint64_t id)
     obs::CycleTracer::global().record(obs::Ev::Inject, src, dst, 0, id);
 }
 
+/** Traced virtual-injection cycle: emit the exact per-packet Inject
+ *  events the legacy queued path would (ascending input order, ids
+ *  first_id, first_id+1, ...), so traced and untraced runs stay
+ *  byte-identical whichever saturation path is live. */
+[[gnu::cold]] [[gnu::noinline]] void
+recordInjectCycleVirtual(traffic::TrafficPattern &pat,
+                         const BitVec &part, net::Cycle cycle,
+                         std::uint64_t seed, net::PacketId first_id)
+{
+    net::PacketId id = first_id;
+    part.forEachSet([&](std::uint32_t i) {
+        recordInject(i, pat.destAt(i, cycle, seed), id++);
+    });
+}
+
 [[gnu::cold]] [[gnu::noinline]] void
 recordGrant(std::uint32_t in, std::uint32_t out, std::uint32_t vc,
             std::uint64_t packet)
@@ -106,6 +121,17 @@ NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
                   net::InputPort(cfg.numVcs, cfg.vcDepth));
     dstFreeScratch_.fill(); // no output is held at reset
     activeReq_.reserve(spec.radix);
+    satOn_ = memoryless_ &&
+             VirtualSourceQueues::saturates(cfg_.injectionRate) &&
+             !cfg_.legacySatQueues && !legacySatQueuesPinned();
+    if (satOn_) {
+        satQ_.init(*pattern_, spec_.radix, cfg_.packetLen, cfg_.seed);
+        satPart_.resize(spec_.radix);
+        for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+            if (satQ_.participates(i))
+                satPart_.set(i);
+        }
+    }
     if (injHeapOn_) {
         injHeap_.reserve(spec.radix);
         for (std::uint32_t i = 0; i < spec_.radix; ++i) {
@@ -191,6 +217,28 @@ NetworkSim::injectEventCycle()
 }
 
 void
+NetworkSim::injectVirtualCycle()
+{
+    // Saturation fast path: every participating input injects exactly
+    // one packet this cycle (every Bernoulli draw passes at load >=
+    // 1), so the whole cycle's injection collapses to an accounting
+    // bump — the packets stay virtual (sim/virtual_queue.hh) until
+    // fillVirtualPhase() streams them into VCs. Ids are consistent
+    // with the legacy per-cycle scan: ascending input order, one id
+    // per participant.
+    const std::uint32_t p = satQ_.participants();
+    if (obs::on()) [[unlikely]]
+        recordInjectCycleVirtual(*pattern_, satPart_, cycle_,
+                                 cfg_.seed, nextId_);
+    nextId_ += p;
+    injected_ += p;
+    if (measuring_) {
+        measFlitsOffered_ += std::uint64_t(p) * cfg_.packetLen;
+        measPacketsInjected_ += p;
+    }
+}
+
+void
 NetworkSim::fillPhase()
 {
     // Only inputs with source-queue backlog can move a flit; an
@@ -204,6 +252,25 @@ NetworkSim::fillPhase()
             eligibleInputs_.set(i);
         if (port.sourceQueue().empty())
             fillPending_.reset(i);
+    });
+}
+
+void
+NetworkSim::fillVirtualPhase()
+{
+    // fillPhase over the virtual queues: at saturation a queue is
+    // never empty at fill time (a packet was injected this very
+    // cycle), so every participating input attempts a fill, and a
+    // consumed head is re-derived from the counter streams — one
+    // destAt hash per packet that actually leaves the queue (bounded
+    // by delivery throughput), not per injected packet. fillPending_
+    // stays clear: the real source queues stay empty on this path.
+    satPart_.forEachSet([&](std::uint32_t i) {
+        net::InputPort &port = ports_[i];
+        if (port.fillFrom(satQ_.head(i)))
+            satQ_.advance(i, *pattern_);
+        if (!port.connected() && port.anyVcOccupied())
+            eligibleInputs_.set(i);
     });
 }
 
@@ -364,11 +431,20 @@ NetworkSim::stepOnce()
 {
     if (obs::on()) [[unlikely]]
         obs::setTraceCycle(cycle_);
-    if (injHeapOn_)
-        injectEventCycle();
-    else
-        injectDenseCycle(); // stateful / high-rate: per-cycle polls
-    fillPhase();
+    if (satOn_) {
+        // Saturation fast path: inject by accounting, fill from the
+        // virtual queue heads (works in both stepping modes — at load
+        // >= 1 injHeapOn_ is always false, so the legacy path would
+        // per-cycle poll here in either mode too).
+        injectVirtualCycle();
+        fillVirtualPhase();
+    } else {
+        if (injHeapOn_)
+            injectEventCycle();
+        else
+            injectDenseCycle(); // stateful / high-rate: per-cycle polls
+        fillPhase();
+    }
     if (event_)
         arbitrateCycleActive();
     else
@@ -449,6 +525,15 @@ NetworkSim::backlogFlits() const
     std::uint64_t n = 0;
     for (const auto &p : ports_)
         n += p.backlogFlits();
+    if (satOn_) {
+        // Virtual queue contents: packets gen [head, cycle_) are
+        // injected but unconsumed. InputPort::backlogFlits() already
+        // discounted the head's partially streamed flits.
+        satPart_.forEachSet([&](std::uint32_t i) {
+            n += satQ_.pendingFlitsBehindHead(i, cycle_,
+                                              cfg_.packetLen);
+        });
+    }
     return n;
 }
 

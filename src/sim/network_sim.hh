@@ -19,6 +19,7 @@
 #include "fabric/fabric.hh"
 #include "net/input_port.hh"
 #include "net/packet.hh"
+#include "sim/virtual_queue.hh"
 #include "traffic/pattern.hh"
 
 namespace hirise::sim {
@@ -48,6 +49,16 @@ struct SimConfig
      * perf baselines. Never part of the SimCache key.
      */
     bool denseStepping = false;
+    /**
+     * Pin the legacy queued saturation path. At load >= 1 a
+     * memoryless run normally takes the virtual-source-queue fast
+     * path (sim/virtual_queue.hh): injection collapses to an
+     * accounting bump and only per-input head packets materialize.
+     * Results are bit-identical either way (tests/sat_fastpath_test
+     * .cc), so this — like the HIRISE_LEGACY_SAT_QUEUES=1 env pin —
+     * is a pure A/B perf knob. Never part of the SimCache key.
+     */
+    bool legacySatQueues = false;
 };
 
 /** Aggregated results over the measurement window. */
@@ -126,6 +137,11 @@ class NetworkSim
     std::uint64_t totalDeliveredPackets() const { return delivered_; }
     std::uint64_t totalDeliveredFlits() const { return flitsDelivered_; }
 
+    /** True when this run takes the virtual-source-queue saturation
+     *  fast path (load >= 1, memoryless pattern, legacy path not
+     *  pinned). Exposed for tests asserting path activation. */
+    bool virtualSourceQueuesActive() const { return satOn_; }
+
   private:
     /** One pending injection event: input @c input next injects (or,
      *  for scan-chunk probes, must be re-scanned) at @c cycle. */
@@ -142,8 +158,10 @@ class NetworkSim
 
     void injectDenseCycle();
     void injectEventCycle();
+    void injectVirtualCycle(); //!< saturation fast path: accounting only
     void injectPacket(std::uint32_t i, std::uint32_t dst);
     void fillPhase();
+    void fillVirtualPhase(); //!< fill straight from virtual queue heads
     void arbitrateCycle();       //!< dense reference: full input scan
     void arbitrateCycleActive(); //!< event mode: eligible-set walk
     void applyGrant(std::uint32_t i);
@@ -174,6 +192,19 @@ class NetworkSim
      *  fast-forward (the next injection time is then unknown, and at
      *  such rates quiescent spans do not occur anyway). */
     bool injHeapOn_;
+    /** Virtual-source-queue saturation fast path live for this run
+     *  (load >= 1, memoryless pattern, legacy path not pinned via
+     *  cfg_.legacySatQueues or HIRISE_LEGACY_SAT_QUEUES). Source
+     *  queues then never materialize: injection is an accounting
+     *  bump, fillVirtualPhase() streams from satQ_'s head packets,
+     *  and backlogFlits() derives queue depth arithmetically. Both
+     *  stepping modes support it (at load >= 1 injHeapOn_ is always
+     *  false, so they share the per-cycle injection structure). */
+    bool satOn_ = false;
+    VirtualSourceQueues satQ_;
+    /** Participating inputs of satQ_, for the fast path's fill walk
+     *  (ascending order matches the dense injection scan). */
+    BitVec satPart_;
 
     // Per-cycle scratch, preallocated in the constructor and reused
     // every step() so the steady-state loop never touches the heap.

@@ -124,10 +124,11 @@ SimCache::key(const SwitchSpec &spec, const SimConfig &cfg,
     h.pod(cfg.warmupCycles);
     h.pod(cfg.measureCycles);
     h.pod(cfg.seed);
-    // cfg.trace and cfg.denseStepping are deliberately not hashed:
-    // neither may change the SimResult (the stepping modes are
+    // cfg.trace, cfg.denseStepping, and cfg.legacySatQueues are
+    // deliberately not hashed: none may change the SimResult (the
+    // stepping modes and the virtual-vs-queued saturation paths are
     // bit-identical by construction), so a cached result from one
-    // mode is valid for the other.
+    // mode is valid for the others.
 
     h.pod(static_cast<std::uint64_t>(pattern_desc.size()));
     h.bytes(pattern_desc.data(), pattern_desc.size());

@@ -221,10 +221,11 @@ TEST(BatchSim, OddReplicaCountExercisesScalarTail)
         {{0.3, 1}, {0.3, 2}, {0.7, 3}, {1.0, 4}, {0.5, 5}});
 }
 
-TEST(BatchSim, BitIdenticalOnBothSimdTiers)
+TEST(BatchSim, BitIdenticalOnEverySimdTier)
 {
     const auto native = simd::activeTier();
-    for (auto tier : {simd::Tier::Scalar, simd::Tier::Avx2}) {
+    for (auto tier : {simd::Tier::Scalar, simd::Tier::Avx2,
+                      simd::Tier::Avx512}) {
         simd::forceTier(tier);
         SCOPED_TRACE(std::string("tier ") +
                      simd::tierName(simd::activeTier()));
@@ -269,14 +270,15 @@ TEST(BatchSim, RunPointsCachedMatchesScalarAndPopulatesCache)
 TEST(BatchSim, DestRow4MatchesFourScalarDrawsOnEveryTier)
 {
     // The quad destination hook must be bit-identical to four destAt
-    // calls for every memoryless pattern and on both dispatch tiers
+    // calls for every memoryless pattern and on every dispatch tier
     // (UniformRandom overrides it with the SIMD kernel; the rest
     // inherit the looping default or a broadcast override).
     const Pat pats[] = {Pat::Uniform, Pat::Hotspot, Pat::Transpose,
                         Pat::BitComplement};
     const std::uint32_t radix = 64;
     const auto native = simd::activeTier();
-    for (auto tier : {simd::Tier::Scalar, simd::Tier::Avx2}) {
+    for (auto tier : {simd::Tier::Scalar, simd::Tier::Avx2,
+                      simd::Tier::Avx512}) {
         simd::forceTier(tier);
         for (Pat p : pats) {
             SCOPED_TRACE(std::string(patName(p)) + " tier " +

@@ -147,15 +147,16 @@ TEST(BitVec, MatchesVectorBoolModelUnderRandomOps)
 namespace {
 
 /** Run @p fn once per dispatch tier the build/host supports, then
- *  restore the native tier. forceTier clamps Avx2 down to Scalar when
- *  the build (HIRISE_SIMD=OFF) or host lacks it, so the loop body can
- *  only ever see supported tiers. */
+ *  restore the native tier. forceTier clamps unsupported tiers down
+ *  to the best the build (HIRISE_SIMD=OFF) or host provides, so the
+ *  loop body can only ever see supported tiers. */
 template <typename Fn>
 void
 forEachTier(Fn fn)
 {
     const simd::Tier native = simd::activeTier();
-    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2}) {
+    for (simd::Tier t : {simd::Tier::Scalar, simd::Tier::Avx2,
+                         simd::Tier::Avx512}) {
         simd::forceTier(t);
         fn(simd::activeTier());
     }
@@ -183,16 +184,24 @@ TEST(Simd, ForceTierRoundTrip)
     EXPECT_TRUE(simd::activeTier() == simd::Tier::Avx2 ||
                 simd::activeTier() == simd::Tier::Scalar);
     EXPECT_STRNE(simd::tierName(simd::activeTier()), "");
+    simd::forceTier(simd::Tier::Avx512); // clamped if unsupported
+    EXPECT_LE(simd::activeTier(), simd::Tier::Avx512);
+    if (simd::activeTier() == simd::Tier::Avx512) {
+        EXPECT_TRUE(simd::avx512());
+        EXPECT_TRUE(simd::avx2()); // tiers are ordered supersets
+    }
+    EXPECT_STRNE(simd::tierName(simd::activeTier()), "");
     simd::forceTier(native);
     EXPECT_EQ(simd::activeTier(), native);
 }
 
 TEST(Simd, WordKernelsMatchScalarReferenceOnEveryTier)
 {
-    // Word counts straddle the 4-word vector width (0..9) so both the
-    // vector body and the scalar tail run.
+    // Word counts straddle both the 4-word AVX2 and the 8-word
+    // AVX-512 vector widths (0..17) so every vector body and every
+    // masked/scalar tail length runs.
     Rng rng(1);
-    for (std::size_t n = 0; n <= 9; ++n) {
+    for (std::size_t n = 0; n <= 17; ++n) {
         const auto a0 = randomWords(rng, n);
         const auto b = randomWords(rng, n);
         forEachTier([&](simd::Tier) {
@@ -229,7 +238,7 @@ TEST(Simd, LosingAnyMatchesBitLevelDominanceOnEveryTier)
     // Naive reference: candidate i loses iff some bit j != i has
     // req[j] set and priority row bit j clear.
     Rng rng(2);
-    for (std::size_t n : {1u, 2u, 4u, 5u, 8u, 9u}) {
+    for (std::size_t n : {1u, 2u, 4u, 5u, 8u, 9u, 16u, 17u}) {
         for (int trial = 0; trial < 50; ++trial) {
             const auto req = randomWords(rng, n);
             const auto row = randomWords(rng, n);
@@ -281,6 +290,139 @@ TEST(Simd, CounterDraw4MatchesKeyedDrawsOnEveryTier)
                     << "lane " << j << " tick " << tick << " tier "
                     << simd::tierName(t);
         });
+    }
+}
+
+TEST(Simd, GatherNonSentinelMatchesScalarScanOnEveryTier)
+{
+    // Odd lengths straddle the 8- and 16-lane vector widths; the
+    // kernel must emit the surviving indices ascending (the fabric's
+    // request-binning order — and with it phase-1 picks — depends on
+    // that).
+    constexpr std::uint32_t kSentinel = ~0u;
+    Rng rng(3);
+    for (std::uint32_t n :
+         {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 33u, 100u}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<std::uint32_t> v(n);
+            std::vector<std::uint32_t> want;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                if (rng.bernoulli(0.4)) {
+                    v[i] = static_cast<std::uint32_t>(rng.below(1000));
+                    want.push_back(i);
+                } else {
+                    v[i] = kSentinel;
+                }
+            }
+            forEachTier([&](simd::Tier t) {
+                std::vector<std::uint32_t> out(n + 1, 0xdeadbeefu);
+                std::uint32_t m = simd::gatherNonSentinelU32(
+                    v.data(), n, kSentinel, out.data());
+                ASSERT_EQ(m, want.size())
+                    << "n=" << n << " tier=" << simd::tierName(t);
+                for (std::uint32_t k = 0; k < m; ++k)
+                    EXPECT_EQ(out[k], want[k])
+                        << "n=" << n << " k=" << k
+                        << " tier=" << simd::tierName(t);
+            });
+        }
+    }
+}
+
+TEST(Simd, MinU32MatchesScalarReductionOnEveryTier)
+{
+    Rng rng(4);
+    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 65u}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<std::uint32_t> v(n);
+            std::uint32_t want = ~0u;
+            for (auto &x : v) {
+                x = static_cast<std::uint32_t>(rng.next());
+                want = std::min(want, x);
+            }
+            forEachTier([&](simd::Tier t) {
+                EXPECT_EQ(simd::minU32(v.data(), n), want)
+                    << "n=" << n << " tier=" << simd::tierName(t);
+            });
+        }
+    }
+}
+
+TEST(Simd, EqBitsU32MatchesScalarMaskBuildOnEveryTier)
+{
+    // Lengths cover every chunk shape (8/16-lane bodies, odd tails,
+    // and word-boundary straddles at 64); the kernel owns all
+    // ceil(n/64) output words, so stale set bits must be erased.
+    Rng rng(5);
+    for (std::size_t n :
+         {1u, 7u, 8u, 9u, 16u, 17u, 63u, 64u, 65u, 130u}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            std::vector<std::uint32_t> v(n);
+            for (auto &x : v)
+                x = static_cast<std::uint32_t>(rng.below(4));
+            const std::uint32_t value =
+                static_cast<std::uint32_t>(rng.below(4));
+            const std::size_t nwords = (n + 63) / 64;
+            forEachTier([&](simd::Tier t) {
+                std::vector<simd::Word> got(nwords, ~simd::Word(0));
+                simd::eqBitsU32(v.data(), n, value, got.data());
+                for (std::size_t i = 0; i < n; ++i) {
+                    bool bit = (got[i / 64] >> (i % 64)) & 1u;
+                    EXPECT_EQ(bit, v[i] == value)
+                        << "n=" << n << " i=" << i
+                        << " tier=" << simd::tierName(t);
+                }
+                // Tail bits beyond n stay clear.
+                if (n % 64)
+                    EXPECT_EQ(got[nwords - 1] >>
+                                  (n % 64),
+                              simd::Word(0))
+                        << "n=" << n << " tier=" << simd::tierName(t);
+            });
+        }
+    }
+}
+
+TEST(Simd, HalveU32MatchesScalarShiftOnEveryTier)
+{
+    Rng rng(6);
+    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 16u, 17u, 129u}) {
+        std::vector<std::uint32_t> v0(n);
+        for (auto &x : v0)
+            x = static_cast<std::uint32_t>(rng.next());
+        forEachTier([&](simd::Tier t) {
+            auto v = v0;
+            simd::halveU32(v.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(v[i], v0[i] >> 1)
+                    << "n=" << n << " i=" << i
+                    << " tier=" << simd::tierName(t);
+        });
+    }
+}
+
+TEST(Simd, AccumulateFlagsMatchesScalarLoopOnEveryTier)
+{
+    Rng rng(7);
+    for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 64u}) {
+        for (std::uint64_t scale : {1ull, 7ull, 1ull << 40}) {
+            std::vector<std::uint8_t> flags(n);
+            std::vector<std::uint64_t> acc0(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                flags[i] = rng.bernoulli(0.5) ? 1 : 0;
+                acc0[i] = rng.next();
+            }
+            forEachTier([&](simd::Tier t) {
+                auto acc = acc0;
+                simd::accumulateFlagsU64(acc.data(), flags.data(), n,
+                                         scale);
+                for (std::size_t i = 0; i < n; ++i)
+                    EXPECT_EQ(acc[i],
+                              acc0[i] + (flags[i] ? scale : 0))
+                        << "n=" << n << " i=" << i << " scale=" << scale
+                        << " tier=" << simd::tierName(t);
+            });
+        }
     }
 }
 
