@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Extension: fault-schedule degradation vs the degraded MWM bound.
+ */
+
+#include "harness/bench_main.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hirise::harness;
+    return benchMain(argc, argv, {{"degradation", degradation}});
+}

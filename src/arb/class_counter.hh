@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "common/simd.hh"
+#include "common/snapshot.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -91,6 +92,21 @@ class ClassCounterBank
         ++count_[input];
         if (obs::on()) [[unlikely]]
             recordWin(input, halved);
+    }
+
+    void
+    save(snap::Writer &w) const
+    {
+        w.vec(count_);
+    }
+
+    void
+    load(snap::Reader &r)
+    {
+        std::size_t shape = count_.size();
+        r.vec(count_);
+        sim_assert(count_.size() == shape,
+                   "class-counter snapshot shape mismatch");
     }
 
   private:

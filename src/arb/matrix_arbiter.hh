@@ -57,6 +57,21 @@ class MatrixArbiter
     /** Full priority order, highest first (for tests/debug). */
     std::vector<std::uint32_t> order() const;
 
+    void
+    save(snap::Writer &w) const
+    {
+        w.vec(prio_);
+    }
+
+    void
+    load(snap::Reader &r)
+    {
+        std::size_t shape = prio_.size();
+        r.vec(prio_);
+        sim_assert(prio_.size() == shape,
+                   "matrix-arbiter snapshot shape mismatch");
+    }
+
   private:
     using Word = BitVec::Word;
     static constexpr std::uint32_t kWordBits = BitVec::kWordBits;

@@ -82,6 +82,11 @@ class CrossbarScheduler
                        std::span<const BitVec> want,
                        std::span<std::uint32_t> winner) = 0;
 
+    /** Checkpoint per-call state (pointers, ticks, priority rows);
+     *  load() runs on a same-configuration fresh instance. */
+    virtual void save(snap::Writer &w) const = 0;
+    virtual void load(snap::Reader &r) = 0;
+
   protected:
     std::uint32_t n_;
 };
@@ -101,6 +106,19 @@ class LrgScheduler final : public CrossbarScheduler
     const MatrixArbiter &columnArb(std::uint32_t o) const
     {
         return arb_[o];
+    }
+
+    void
+    save(snap::Writer &w) const override
+    {
+        for (const auto &a : arb_)
+            a.save(w);
+    }
+    void
+    load(snap::Reader &r) override
+    {
+        for (auto &a : arb_)
+            a.load(r);
     }
 
   private:
@@ -124,6 +142,19 @@ class IslipScheduler final : public CrossbarScheduler
     std::uint32_t acceptPtr(std::uint32_t i) const
     {
         return acceptPtr_[i];
+    }
+
+    void
+    save(snap::Writer &w) const override
+    {
+        w.vec(grantPtr_);
+        w.vec(acceptPtr_);
+    }
+    void
+    load(snap::Reader &r) override
+    {
+        r.vec(grantPtr_);
+        r.vec(acceptPtr_);
     }
 
   private:
@@ -163,6 +194,9 @@ class PimScheduler final : public CrossbarScheduler
 
     std::uint64_t tick() const { return tick_; }
 
+    void save(snap::Writer &w) const override { w.u64(tick_); }
+    void load(snap::Reader &r) override { tick_ = r.u64(); }
+
   private:
     std::uint32_t rounds_;
     std::uint64_t key_;      //!< counter-RNG stream key
@@ -191,6 +225,9 @@ class WavefrontScheduler final : public CrossbarScheduler
                std::span<std::uint32_t> winner) override;
 
     std::uint32_t priority() const { return prio_; }
+
+    void save(snap::Writer &w) const override { w.u32(prio_); }
+    void load(snap::Reader &r) override { prio_ = r.u32(); }
 
   private:
     std::uint32_t prio_ = 0; //!< priority diagonal, rotates per call

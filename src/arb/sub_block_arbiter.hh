@@ -44,6 +44,11 @@ class SubBlockArbiter
     /** Winner port index, or kNone if nothing valid requested. */
     virtual std::uint32_t
     arbitrate(const std::vector<SubBlockRequest> &reqs) = 0;
+
+    /** Checkpoint the priority state (common/snapshot.hh contract:
+     *  load() runs on a same-configuration fresh instance). */
+    virtual void save(snap::Writer &w) const = 0;
+    virtual void load(snap::Reader &r) = 0;
 };
 
 /** Baseline layer-to-layer LRG: plain matrix LRG over ports. */
@@ -56,6 +61,9 @@ class LrgSubArbiter : public SubBlockArbiter
 
     std::uint32_t
     arbitrate(const std::vector<SubBlockRequest> &reqs) override;
+
+    void save(snap::Writer &w) const override { lrg_.save(w); }
+    void load(snap::Reader &r) override { lrg_.load(r); }
 
   private:
     MatrixArbiter lrg_;
@@ -76,6 +84,19 @@ class WlrgSubArbiter : public SubBlockArbiter
 
     std::uint32_t
     arbitrate(const std::vector<SubBlockRequest> &reqs) override;
+
+    void
+    save(snap::Writer &w) const override
+    {
+        lrg_.save(w);
+        w.vec(wins_);
+    }
+    void
+    load(snap::Reader &r) override
+    {
+        lrg_.load(r);
+        r.vec(wins_);
+    }
 
   private:
     MatrixArbiter lrg_;
@@ -101,6 +122,19 @@ class ClrgSubArbiter : public SubBlockArbiter
     arbitrate(const std::vector<SubBlockRequest> &reqs) override;
 
     const ClassCounterBank &counters() const { return counters_; }
+
+    void
+    save(snap::Writer &w) const override
+    {
+        lrg_.save(w);
+        counters_.save(w);
+    }
+    void
+    load(snap::Reader &r) override
+    {
+        lrg_.load(r);
+        counters_.load(r);
+    }
 
   private:
     /** Idle-port marker in cls_; equals simd::minU32's identity so a

@@ -99,6 +99,24 @@ codeName(Mutation m)
         return "check::Mutation::PimReuseRoundRng";
       case Mutation::WavefrontStuckPriority:
         return "check::Mutation::WavefrontStuckPriority";
+      case Mutation::IsolationThresholdOffByOne:
+        return "check::Mutation::IsolationThresholdOffByOne";
+    }
+    return "?";
+}
+
+const char *
+codeName(sim::FaultEvent::Kind k)
+{
+    switch (k) {
+      case sim::FaultEvent::Kind::FailChannel:
+        return "sim::FaultEvent::Kind::FailChannel";
+      case sim::FaultEvent::Kind::RecoverChannel:
+        return "sim::FaultEvent::Kind::RecoverChannel";
+      case sim::FaultEvent::Kind::FailLayer:
+        return "sim::FaultEvent::Kind::FailLayer";
+      case sim::FaultEvent::Kind::RecoverLayer:
+        return "sim::FaultEvent::Kind::RecoverLayer";
     }
     return "?";
 }
@@ -174,6 +192,11 @@ sameResult(const sim::SimResult &a, const sim::SimResult &b,
                std::to_string(b.latencyOverflowPackets);
         return false;
     }
+    if (a.packetsDropped != b.packetsDropped) {
+        *why = "packetsDropped " + std::to_string(a.packetsDropped) +
+               " vs " + std::to_string(b.packetsDropped);
+        return false;
+    }
     if (a.perInputLatency.size() != b.perInputLatency.size() ||
         a.perInputThroughput.size() != b.perInputThroughput.size()) {
         *why = "per-input vector sizes differ";
@@ -241,6 +264,29 @@ isValid(const DiffConfig &c)
             f.srcLayer == f.dstLayer || f.chan >= s.channels)
             return false;
     }
+    // Non-fatal twin of FaultSchedule::validate.
+    const sim::FaultSchedule &fs = c.faultSchedule;
+    if (!fs.empty() && s.topo != Topology::HiRise)
+        return false;
+    if (fs.windowCycles == 0 || fs.maxErrorsPerWindow == 0)
+        return false;
+    for (const auto &e : fs.events) {
+        const bool layer_kind =
+            e.kind == sim::FaultEvent::Kind::FailLayer ||
+            e.kind == sim::FaultEvent::Kind::RecoverLayer;
+        if (e.src >= s.layers)
+            return false;
+        if (!layer_kind && (e.dst >= s.layers || e.src == e.dst ||
+                            e.chan >= s.channels))
+            return false;
+    }
+    for (const auto &fl : fs.flaky) {
+        if (fl.src >= s.layers || fl.dst >= s.layers ||
+            fl.src == fl.dst || fl.chan >= s.channels)
+            return false;
+        if (!(fl.errorRate > 0.0) || fl.errorRate > 1.0)
+            return false;
+    }
     return true;
 }
 
@@ -261,6 +307,9 @@ describe(const DiffConfig &c)
        << " tier=" << simd::tierName(c.tier);
     if (!c.faults.empty())
         os << " faults=" << c.faults.size();
+    if (!c.faultSchedule.empty())
+        os << " sched=" << c.faultSchedule.events.size() << "ev/"
+           << c.faultSchedule.flaky.size() << "fl";
     if (c.batchReplicas >= 2)
         os << " batch=" << c.batchReplicas;
     if (c.mutation != Mutation::None)
@@ -289,6 +338,7 @@ runDifferential(const DiffConfig &c)
         ls->failChannel(f.srcLayer, f.dstLayer, f.chan);
     sim::NetworkSim opt_sim(c.spec, c.cfg, makePattern(c),
                             std::move(lockstep));
+    opt_sim.setFaultSchedule(c.faultSchedule);
     sim::SimResult opt_res = opt_sim.run();
     if (ls->mismatched()) {
         out.ok = false;
@@ -304,6 +354,13 @@ runDifferential(const DiffConfig &c)
         ref_fab->ref().failChannel(f.srcLayer, f.dstLayer, f.chan);
     sim::NetworkSim ref_sim(c.spec, c.cfg, makePattern(c),
                             std::move(ref_fab));
+    // The isolation-threshold mutation perturbs the pure-oracle
+    // replay's schedule only: pass 1's single FaultManager feeds both
+    // lockstep sides, so a flag shared there could never diverge.
+    sim::FaultSchedule ref_sched = c.faultSchedule;
+    if (c.mutation == Mutation::IsolationThresholdOffByOne)
+        ref_sched.mutIsolationOffByOne = true;
+    ref_sim.setFaultSchedule(ref_sched);
     sim::SimResult ref_res = ref_sim.run();
 
     std::string why;
@@ -329,6 +386,7 @@ runDifferential(const DiffConfig &c)
         }
         sim::NetworkSim alt_sim(flip.spec, flip.cfg, makePattern(flip),
                                 std::move(alt_fab));
+        alt_sim.setFaultSchedule(flip.faultSchedule);
         sim::SimResult alt_res = alt_sim.run();
         if (!sameResult(opt_res, alt_res, &why)) {
             out.ok = false;
@@ -369,12 +427,14 @@ runDifferential(const DiffConfig &c)
         }
         sim::BatchSim batch(c.spec, c.cfg, std::move(pats), pts,
                             faulted);
+        batch.setFaultSchedule(c.faultSchedule);
         std::vector<sim::SimResult> lanes = batch.run();
         for (std::uint32_t j = 0; j < c.batchReplicas; ++j) {
             sim::SimConfig scfg = c.cfg;
             scfg.seed = pts[j].seed;
             sim::NetworkSim scalar(c.spec, scfg, makePattern(c),
                                    faulted());
+            scalar.setFaultSchedule(c.faultSchedule);
             if (!sameResult(lanes[j], scalar.run(), &why)) {
                 out.ok = false;
                 out.mismatchCycle =
@@ -506,6 +566,73 @@ sampleConfig(Rng &rng)
         }
     }
 
+    // Dynamic fault-schedule axis: ~40% of HiRise configs get mid-run
+    // fail/recover events and/or flaky links. Error rates and window
+    // thresholds are deliberately aggressive so isolation (and the
+    // isolation-threshold mutation smoke) trips within the short fuzz
+    // runs.
+    if (c.spec.topo == Topology::HiRise && u32(0, 9) < 4) {
+        sim::FaultSchedule &fs = c.faultSchedule;
+        const net::Cycle total =
+            c.cfg.warmupCycles + c.cfg.measureCycles;
+        auto chan_at = [&](std::uint32_t &s, std::uint32_t &d,
+                           std::uint32_t &k) {
+            s = u32(0, c.spec.layers - 1);
+            do {
+                d = u32(0, c.spec.layers - 1);
+            } while (d == s);
+            k = u32(0, c.spec.channels - 1);
+        };
+        const std::uint32_t nev = u32(0, 3);
+        for (std::uint32_t e = 0; e < nev; ++e) {
+            std::uint32_t s, d, k;
+            chan_at(s, d, k);
+            sim::FaultEvent ev;
+            ev.cycle = u32(0, static_cast<std::uint32_t>(total) - 1);
+            ev.kind = sim::FaultEvent::Kind::FailChannel;
+            ev.src = s;
+            ev.dst = d;
+            ev.chan = k;
+            fs.events.push_back(ev);
+            if (u32(0, 1)) {
+                ev.cycle = u32(static_cast<std::uint32_t>(ev.cycle),
+                               static_cast<std::uint32_t>(total));
+                ev.kind = sim::FaultEvent::Kind::RecoverChannel;
+                fs.events.push_back(ev);
+            }
+        }
+        if (u32(0, 4) == 0) {
+            // Whole-layer loss; usually repaired a little later.
+            sim::FaultEvent ev;
+            ev.cycle = u32(0, static_cast<std::uint32_t>(total) - 1);
+            ev.kind = sim::FaultEvent::Kind::FailLayer;
+            ev.src = u32(0, c.spec.layers - 1);
+            fs.events.push_back(ev);
+            if (u32(0, 2)) {
+                ev.cycle = u32(static_cast<std::uint32_t>(ev.cycle),
+                               static_cast<std::uint32_t>(total));
+                ev.kind = sim::FaultEvent::Kind::RecoverLayer;
+                fs.events.push_back(ev);
+            }
+        }
+        const std::uint32_t nfl = u32(1, 3);
+        for (std::uint32_t f = 0; f < nfl; ++f) {
+            sim::FlakyLink fl;
+            chan_at(fl.src, fl.dst, fl.chan);
+            fl.errorRate = 0.2 + 0.8 * rng.uniform();
+            bool dup = false;
+            for (const auto &g : fs.flaky)
+                dup |= g.src == fl.src && g.dst == fl.dst &&
+                       g.chan == fl.chan;
+            if (!dup)
+                fs.flaky.push_back(fl);
+        }
+        fs.maxErrorsPerWindow = u32(1, 3);
+        fs.windowCycles = 32u << u32(0, 2); // 32 / 64 / 128
+        fs.recoveryCycles = u32(0, 1) ? 0 : u32(16, 256);
+        fs.seedSalt = rng.next();
+    }
+
     sim_assert(isValid(c), "sampled an invalid config");
     return c;
 }
@@ -562,6 +689,48 @@ shrink(const DiffConfig &failing)
                 return true;
             });
         }
+        add([](DiffConfig &d) {
+            if (d.faultSchedule.empty())
+                return false;
+            d.faultSchedule = sim::FaultSchedule{};
+            return true;
+        });
+        add([](DiffConfig &d) {
+            if (d.faultSchedule.events.empty())
+                return false;
+            d.faultSchedule.events.clear();
+            return true;
+        });
+        add([](DiffConfig &d) {
+            if (d.faultSchedule.flaky.empty())
+                return false;
+            d.faultSchedule.flaky.clear();
+            return true;
+        });
+        for (std::size_t i = 0; i < best.faultSchedule.events.size();
+             ++i) {
+            add([i](DiffConfig &d) {
+                d.faultSchedule.events.erase(
+                    d.faultSchedule.events.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+                return true;
+            });
+        }
+        for (std::size_t i = 0; i < best.faultSchedule.flaky.size();
+             ++i) {
+            add([i](DiffConfig &d) {
+                d.faultSchedule.flaky.erase(
+                    d.faultSchedule.flaky.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+                return true;
+            });
+        }
+        add([](DiffConfig &d) {
+            if (d.faultSchedule.recoveryCycles == 0)
+                return false;
+            d.faultSchedule.recoveryCycles = 0;
+            return true;
+        });
         add([](DiffConfig &d) {
             if (d.batchReplicas == 0)
                 return false;
@@ -733,6 +902,27 @@ toGtestRepro(const DiffConfig &c)
                << "}";
         }
         os << "};\n";
+    }
+    if (!c.faultSchedule.empty()) {
+        const sim::FaultSchedule &fs = c.faultSchedule;
+        for (const auto &e : fs.events) {
+            os << "    c.faultSchedule.events.push_back({"
+               << e.cycle << ", " << codeName(e.kind) << ", " << e.src
+               << ", " << e.dst << ", " << e.chan << "});\n";
+        }
+        for (const auto &fl : fs.flaky) {
+            os << "    c.faultSchedule.flaky.push_back({" << fl.src
+               << ", " << fl.dst << ", " << fl.chan << ", "
+               << fmtDouble(fl.errorRate) << "});\n";
+        }
+        os << "    c.faultSchedule.maxErrorsPerWindow = "
+           << fs.maxErrorsPerWindow << ";\n"
+           << "    c.faultSchedule.windowCycles = " << fs.windowCycles
+           << ";\n"
+           << "    c.faultSchedule.recoveryCycles = "
+           << fs.recoveryCycles << ";\n"
+           << "    c.faultSchedule.seedSalt = " << fs.seedSalt
+           << "ull;\n";
     }
     if (c.mutation != Mutation::None)
         os << "    c.mutation = " << codeName(c.mutation) << ";\n";

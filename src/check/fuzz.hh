@@ -55,6 +55,14 @@ struct DiffConfig
     std::uint32_t hotOutput = 0; //!< Hotspot only
     double meanBurstLen = 4.0;   //!< Bursty only
     std::vector<FaultSpec> faults;
+    /** Dynamic fault axis (HiRise only): mid-run fail/recover events
+     *  and flaky links with auto-isolation, attached to every pass
+     *  via setFaultSchedule. The
+     *  Mutation::IsolationThresholdOffByOne mutation flips the
+     *  schedule's mutIsolationOffByOne flag on the pure-oracle pass
+     *  only (both passes share one FaultManager stream otherwise, so
+     *  a shared flag could never diverge). */
+    sim::FaultSchedule faultSchedule;
     Mutation mutation = Mutation::None;
     /** When >= 2 (and the mutation is off), a fourth pass runs this
      *  many replica lanes through sim::BatchSim — lane 0 on the

@@ -83,20 +83,24 @@ verifyHolderInjective(std::uint32_t radix, HolderFn holderOf)
 
 /**
  * Flit conservation: every injected flit is either still inside the
- * switch (source queue or VC buffer) or has been delivered. Checked
- * once per cycle at the simulator level.
+ * switch (source queue or VC buffer), has been delivered, or was
+ * dropped by a fault-forced connection break. Checked once per cycle
+ * at the simulator level.
  */
 inline void
 verifyFlitConservation(std::uint64_t injected_flits,
                        std::uint64_t delivered_flits,
-                       std::uint64_t backlog_flits)
+                       std::uint64_t backlog_flits,
+                       std::uint64_t dropped_flits = 0)
 {
-    sim_assert(injected_flits == delivered_flits + backlog_flits,
+    sim_assert(injected_flits ==
+                   delivered_flits + backlog_flits + dropped_flits,
                "flit conservation violated: injected %llu != "
-               "delivered %llu + backlog %llu",
+               "delivered %llu + backlog %llu + dropped %llu",
                static_cast<unsigned long long>(injected_flits),
                static_cast<unsigned long long>(delivered_flits),
-               static_cast<unsigned long long>(backlog_flits));
+               static_cast<unsigned long long>(backlog_flits),
+               static_cast<unsigned long long>(dropped_flits));
 }
 
 /**

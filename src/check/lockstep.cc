@@ -130,14 +130,55 @@ LockstepFabric::outputHolder(std::uint32_t output) const
     return opt_->outputHolder(output);
 }
 
+bool
+LockstepFabric::supportsChannelFaults() const
+{
+    return opt_->supportsChannelFaults();
+}
+
+std::uint32_t
+LockstepFabric::heldChannelId(std::uint32_t output) const
+{
+    return opt_->heldChannelId(output);
+}
+
 void
 LockstepFabric::failChannel(std::uint32_t src_layer,
-                            std::uint32_t dst_layer, std::uint32_t k)
+                            std::uint32_t dst_layer, std::uint32_t k,
+                            std::vector<fabric::BrokenConn> *broken)
 {
-    auto *hr = dynamic_cast<fabric::HiRiseFabric *>(opt_.get());
-    sim_assert(hr != nullptr, "failChannel on a non-HiRise fabric");
-    hr->failChannel(src_layer, dst_layer, k);
-    ref_.failChannel(src_layer, dst_layer, k);
+    sim_assert(opt_->supportsChannelFaults(),
+               "failChannel on a non-HiRise fabric");
+    std::vector<fabric::BrokenConn> opt_broken;
+    opt_->failChannel(src_layer, dst_layer, k, &opt_broken);
+    std::vector<RefBrokenConn> ref_broken;
+    ref_.failChannel(src_layer, dst_layer, k, &ref_broken);
+    if (!mismatched_) {
+        // Both sides must tear down exactly the same victims; a
+        // divergence here means held-channel state already differed.
+        bool same = opt_broken.size() == ref_broken.size();
+        for (std::size_t i = 0; same && i < opt_broken.size(); ++i)
+            same = opt_broken[i].input == ref_broken[i].input &&
+                   opt_broken[i].output == ref_broken[i].output;
+        if (!same)
+            recordMismatch("forced-break victim sets diverged on "
+                           "channel (" + std::to_string(src_layer) +
+                           "," + std::to_string(dst_layer) + "," +
+                           std::to_string(k) + ")");
+    }
+    // The run continues on the optimized side's answers.
+    if (broken)
+        for (const auto &b : opt_broken)
+            broken->push_back(b);
+}
+
+void
+LockstepFabric::recoverChannel(std::uint32_t src_layer,
+                               std::uint32_t dst_layer,
+                               std::uint32_t k)
+{
+    opt_->recoverChannel(src_layer, dst_layer, k);
+    ref_.recoverChannel(src_layer, dst_layer, k);
 }
 
 } // namespace hirise::check

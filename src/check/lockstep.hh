@@ -56,6 +56,39 @@ class RefFabricAdapter : public fabric::Fabric
         return ref_.outputHolder(output);
     }
 
+    bool
+    supportsChannelFaults() const override
+    {
+        return ref_.hasChannels();
+    }
+
+    void
+    failChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
+                std::uint32_t chan,
+                std::vector<fabric::BrokenConn> *broken =
+                    nullptr) override
+    {
+        std::vector<RefBrokenConn> rb;
+        ref_.failChannel(src_layer, dst_layer, chan,
+                         broken ? &rb : nullptr);
+        if (broken)
+            for (const auto &b : rb)
+                broken->push_back({b.input, b.output});
+    }
+
+    void
+    recoverChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
+                   std::uint32_t chan) override
+    {
+        ref_.recoverChannel(src_layer, dst_layer, chan);
+    }
+
+    std::uint32_t
+    heldChannelId(std::uint32_t output) const override
+    {
+        return ref_.heldChannelId(output);
+    }
+
     RefFabric &ref() { return ref_; }
 
   private:
@@ -85,9 +118,17 @@ class LockstepFabric : public fabric::Fabric
     bool outputBusy(std::uint32_t output) const override;
     std::uint32_t outputHolder(std::uint32_t output) const override;
 
-    /** Fail an L2LC on both sides (HiRise only). */
+    bool supportsChannelFaults() const override;
+    /** Fail an L2LC on both sides (HiRise only), cross-checking that
+     *  both report the same forced-break victims. */
     void failChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
-                     std::uint32_t k);
+                     std::uint32_t k,
+                     std::vector<fabric::BrokenConn> *broken =
+                         nullptr) override;
+    void recoverChannel(std::uint32_t src_layer,
+                        std::uint32_t dst_layer,
+                        std::uint32_t k) override;
+    std::uint32_t heldChannelId(std::uint32_t output) const override;
 
     bool mismatched() const { return mismatched_; }
     /** Arbitration-cycle index (0-based) of the first divergence. */

@@ -18,6 +18,8 @@ toString(Mutation m)
       case Mutation::PimReuseRoundRng: return "pim-reuse-round-rng";
       case Mutation::WavefrontStuckPriority:
         return "wavefront-stuck-priority";
+      case Mutation::IsolationThresholdOffByOne:
+        return "isolation-threshold-off-by-one";
     }
     return "?";
 }
@@ -95,15 +97,46 @@ RefFabric::channelFor(std::uint32_t input, std::uint32_t output) const
 
 void
 RefFabric::failChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
-                       std::uint32_t k)
+                       std::uint32_t k,
+                       std::vector<RefBrokenConn> *broken)
 {
     sim_assert(!flat_, "only HiRise has L2LCs");
     sim_assert(src_layer != dst_layer && src_layer < nlay_ &&
                    dst_layer < nlay_ && k < chan_,
                "bad channel (%u,%u,%u)", src_layer, dst_layer, k);
     std::uint32_t id = chanId(src_layer, dst_layer, k);
-    sim_assert(!chanBusy_[id], "cannot fail a channel mid-transfer");
+    if (chanFailed_[id])
+        return;
     chanFailed_[id] = true;
+    if (!chanBusy_[id])
+        return;
+    // Forced break: the in-flight connection pinning the channel is
+    // torn down so the simulator can drop its packet.
+    bool found = false;
+    for (std::uint32_t lo = 0; lo < ppl_; ++lo) {
+        std::uint32_t o = dst_layer * ppl_ + lo;
+        if (heldChan_[o] != id)
+            continue;
+        if (broken)
+            broken->push_back({holder_[o], o});
+        holder_[o] = kRefNone;
+        heldChan_[o] = kRefNone;
+        found = true;
+        break;
+    }
+    sim_assert(found, "busy channel %u pinned by no output", id);
+    chanBusy_[id] = false;
+}
+
+void
+RefFabric::recoverChannel(std::uint32_t src_layer,
+                          std::uint32_t dst_layer, std::uint32_t k)
+{
+    sim_assert(!flat_, "only HiRise has L2LCs");
+    sim_assert(src_layer != dst_layer && src_layer < nlay_ &&
+                   dst_layer < nlay_ && k < chan_,
+               "bad channel (%u,%u,%u)", src_layer, dst_layer, k);
+    chanFailed_[chanId(src_layer, dst_layer, k)] = false;
 }
 
 void

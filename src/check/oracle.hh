@@ -51,9 +51,24 @@ enum class Mutation
     /** Wavefront priority diagonal never rotates, so the allocator
      *  degenerates to a fixed-priority sweep. */
     WavefrontStuckPriority,
+    /** Flaky-link auto-isolation trips at count == maxErrorsPerWindow
+     *  instead of strictly above it (sim/fault.hh's
+     *  FaultSchedule::mutIsolationOffByOne, applied to the pure-
+     *  oracle replay only), so the mutant isolates one error early
+     *  and its drop/throughput ledger diverges. */
+    IsolationThresholdOffByOne,
 };
 
 const char *toString(Mutation m);
+
+/** Victim of a forced channel break (oracle-side twin of
+ *  fabric::BrokenConn; the oracle deliberately shares no headers with
+ *  the optimized fabric code). */
+struct RefBrokenConn
+{
+    std::uint32_t input = kRefNone;
+    std::uint32_t output = kRefNone;
+};
 
 /**
  * Textbook matrix arbiter: a full n x n bool matrix, O(n^2) pick.
@@ -178,8 +193,22 @@ class RefFabric
         return holder_[o];
     }
 
+    bool hasChannels() const { return !flat_; }
+
+    /** Fail L2LC (s, d, k). A connection holding the channel
+     *  mid-packet is forcibly broken and its victim appended to
+     *  @p broken (when non-null). Idempotent on a failed channel. */
     void failChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
-                     std::uint32_t k);
+                     std::uint32_t k,
+                     std::vector<RefBrokenConn> *broken = nullptr);
+    /** Return a failed channel to service (idempotent). */
+    void recoverChannel(std::uint32_t src_layer,
+                        std::uint32_t dst_layer, std::uint32_t k);
+    /** Flat channel id held by @p o's connection, or kRefNone. */
+    std::uint32_t heldChannelId(std::uint32_t o) const
+    {
+        return heldChan_[o];
+    }
     bool channelBusy(std::uint32_t s, std::uint32_t d,
                      std::uint32_t k) const
     {

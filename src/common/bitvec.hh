@@ -18,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "common/simd.hh"
+#include "common/snapshot.hh"
 
 namespace hirise {
 
@@ -85,6 +86,23 @@ class BitVec
         for (auto &w : w_)
             w = ~Word(0);
         trimTail();
+    }
+
+    void
+    save(snap::Writer &w) const
+    {
+        w.u32(nbits_);
+        w.vec(w_);
+    }
+
+    void
+    load(snap::Reader &r)
+    {
+        std::uint32_t nbits = r.u32();
+        sim_assert(nbits == nbits_,
+                   "bitvec snapshot has %u bits, expected %u", nbits,
+                   nbits_);
+        r.vec(w_);
     }
 
     bool

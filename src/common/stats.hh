@@ -11,6 +11,8 @@
 #include <limits>
 #include <vector>
 
+#include "common/snapshot.hh"
+
 namespace hirise {
 
 /**
@@ -35,6 +37,28 @@ class RunningStat
     reset()
     {
         *this = RunningStat();
+    }
+
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(n_);
+        w.pod(mean_);
+        w.pod(m2_);
+        w.pod(sum_);
+        w.pod(min_);
+        w.pod(max_);
+    }
+
+    void
+    load(snap::Reader &r)
+    {
+        n_ = r.u64();
+        mean_ = r.pod<double>();
+        m2_ = r.pod<double>();
+        sum_ = r.pod<double>();
+        min_ = r.pod<double>();
+        max_ = r.pod<double>();
     }
 
     std::uint64_t count() const { return n_; }
@@ -84,6 +108,26 @@ class Histogram
         if (idx >= bins_.size() - 1)
             idx = bins_.size() - 1;
         ++bins_[idx];
+    }
+
+    /** Bin shape is configuration, not state: load() requires a
+     *  histogram constructed with the same width and bin count. */
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(n_);
+        w.vec(bins_);
+    }
+
+    void
+    load(snap::Reader &r)
+    {
+        n_ = r.u64();
+        std::size_t shape = bins_.size();
+        r.vec(bins_);
+        sim_assert(bins_.size() == shape,
+                   "histogram snapshot has %zu bins, expected %zu",
+                   bins_.size(), shape);
     }
 
     std::uint64_t count() const { return n_; }

@@ -15,11 +15,20 @@
 #include <vector>
 
 #include "common/bitvec.hh"
+#include "common/snapshot.hh"
 #include "common/spec.hh"
 
 namespace hirise::fabric {
 
 constexpr std::uint32_t kNoRequest = ~0u;
+
+/** A connection forcibly torn down because its channel failed while a
+ *  multi-flit packet held it (see Fabric::failChannel). */
+struct BrokenConn
+{
+    std::uint32_t input = kNoRequest;
+    std::uint32_t output = kNoRequest;
+};
 
 /**
  * One switch datapath + its built-in arbitration state.
@@ -89,6 +98,75 @@ class Fabric
 
     /** Input currently connected to @p output, or kNoRequest. */
     virtual std::uint32_t outputHolder(std::uint32_t output) const = 0;
+
+    // -- dynamic channel faults (topologies with L2LCs only) ---------
+
+    /** Does this fabric model failable inter-layer channels? False
+     *  (the default) makes the fault entry points below fatal. */
+    virtual bool supportsChannelFaults() const { return false; }
+
+    /**
+     * Fail L2LC @p k between layers @p src_layer -> @p dst_layer, as
+     * of the current cycle. If a connection holds the channel
+     * mid-packet it is forcibly broken — holder bookkeeping cleared,
+     * the victim appended to @p broken (when non-null) so the
+     * simulator can drop the in-flight packet. Idempotent on an
+     * already-failed channel.
+     */
+    virtual void
+    failChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
+                std::uint32_t chan,
+                std::vector<BrokenConn> *broken = nullptr)
+    {
+        (void)src_layer;
+        (void)dst_layer;
+        (void)chan;
+        (void)broken;
+        fatal("fabric '%s' has no failable channels",
+              toString(spec_.topo));
+    }
+
+    /** Return a previously failed channel to service (idempotent). */
+    virtual void
+    recoverChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
+                   std::uint32_t chan)
+    {
+        (void)src_layer;
+        (void)dst_layer;
+        (void)chan;
+        fatal("fabric '%s' has no failable channels",
+              toString(spec_.topo));
+    }
+
+    /** Flat channel id (s*L + d)*c + k held by @p output 's active
+     *  connection, or kNoRequest for idle outputs and same-layer
+     *  (channel-less) connections. Lets the simulator attribute each
+     *  transferred flit to the L2LC it crosses (flaky-link error
+     *  draws). Default: no channels, always kNoRequest. */
+    virtual std::uint32_t
+    heldChannelId(std::uint32_t /*output*/) const
+    {
+        return kNoRequest;
+    }
+
+    // -- checkpoint/restore ------------------------------------------
+
+    /** Serialize all mutable state (holders, arbiter priorities,
+     *  fault flags, statistics). load() runs on a freshly constructed
+     *  fabric of the same spec; per-cycle scratch needs no saving. */
+    virtual void
+    save(snap::Writer & /*w*/) const
+    {
+        fatal("fabric '%s' does not support snapshots",
+              toString(spec_.topo));
+    }
+
+    virtual void
+    load(snap::Reader & /*r*/)
+    {
+        fatal("fabric '%s' does not support snapshots",
+              toString(spec_.topo));
+    }
 
   protected:
     SwitchSpec spec_;

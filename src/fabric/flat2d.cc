@@ -134,4 +134,18 @@ Flat2dFabric::outputHolder(std::uint32_t output) const
     return holder_[output];
 }
 
+void
+Flat2dFabric::save(snap::Writer &w) const
+{
+    w.vec(holder_);
+    sched_->save(w);
+}
+
+void
+Flat2dFabric::load(snap::Reader &r)
+{
+    r.vec(holder_);
+    sched_->load(r);
+}
+
 } // namespace hirise::fabric

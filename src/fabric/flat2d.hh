@@ -38,6 +38,9 @@ class Flat2dFabric : public Fabric
     bool outputBusy(std::uint32_t output) const override;
     std::uint32_t outputHolder(std::uint32_t output) const override;
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     void collectRequest(std::uint32_t i, std::uint32_t o);
     const BitVec &finishArbitrate(std::span<const std::uint32_t> req,

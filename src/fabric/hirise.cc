@@ -136,14 +136,82 @@ HiRiseFabric::channelFor(std::uint32_t input, std::uint32_t output) const
 
 void
 HiRiseFabric::failChannel(std::uint32_t src_layer,
-                          std::uint32_t dst_layer, std::uint32_t k)
+                          std::uint32_t dst_layer, std::uint32_t k,
+                          std::vector<BrokenConn> *broken)
 {
     sim_assert(src_layer != dst_layer && src_layer < nlay_ &&
                    dst_layer < nlay_ && k < chan_,
                "bad channel (%u,%u,%u)", src_layer, dst_layer, k);
     std::uint32_t id = chanId(src_layer, dst_layer, k);
-    sim_assert(!chanBusy_[id], "cannot fail a channel mid-transfer");
+    if (chanFailed_[id])
+        return;
     chanFailed_[id] = 1;
+    if (chanBusy_[id]) {
+        // The channel is pinned by an in-flight connection: break it.
+        // A destination layer has ppl_ final outputs; only those can
+        // pin a channel ending at dst_layer.
+        std::uint32_t victim = kNoRequest;
+        for (std::uint32_t lo = 0; lo < ppl_; ++lo) {
+            std::uint32_t o = dst_layer * ppl_ + lo;
+            if (heldChan_[o] != id)
+                continue;
+            victim = o;
+            if (broken)
+                broken->push_back({holder_[o], o});
+            holder_[o] = kNoRequest;
+            heldChan_[o] = kNoRequest;
+            break;
+        }
+        sim_assert(victim != kNoRequest,
+                   "busy channel %u pinned by no output", id);
+        chanBusy_[id] = 0;
+    }
+    if (obs::on()) [[unlikely]]
+        obs::MetricsRegistry::global()
+            .gauge("fabric.advertised_capacity")
+            .set(advertisedCapacity());
+}
+
+void
+HiRiseFabric::recoverChannel(std::uint32_t src_layer,
+                             std::uint32_t dst_layer, std::uint32_t k)
+{
+    sim_assert(src_layer != dst_layer && src_layer < nlay_ &&
+                   dst_layer < nlay_ && k < chan_,
+               "bad channel (%u,%u,%u)", src_layer, dst_layer, k);
+    std::uint32_t id = chanId(src_layer, dst_layer, k);
+    if (!chanFailed_[id])
+        return;
+    chanFailed_[id] = 0;
+    if (obs::on()) [[unlikely]]
+        obs::MetricsRegistry::global()
+            .gauge("fabric.advertised_capacity")
+            .set(advertisedCapacity());
+}
+
+std::uint32_t
+HiRiseFabric::survivingChannels(std::uint32_t src_layer,
+                                std::uint32_t dst_layer) const
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t k = 0; k < chan_; ++k) {
+        if (!chanFailed_[chanId(src_layer, dst_layer, k)])
+            ++n;
+    }
+    return n;
+}
+
+std::uint32_t
+HiRiseFabric::advertisedCapacity() const
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t s = 0; s < nlay_; ++s) {
+        for (std::uint32_t d = 0; d < nlay_; ++d) {
+            if (s != d)
+                n += survivingChannels(s, d);
+        }
+    }
+    return n;
 }
 
 bool
@@ -569,6 +637,49 @@ std::uint32_t
 HiRiseFabric::outputHolder(std::uint32_t output) const
 {
     return holder_[output];
+}
+
+void
+HiRiseFabric::save(snap::Writer &w) const
+{
+    w.vec(holder_);
+    w.vec(heldChan_);
+    w.vec(chanBusy_);
+    w.vec(chanFailed_);
+    for (const auto &a : interArb_)
+        a.save(w);
+    for (const auto &a : chanArb_)
+        a.save(w);
+    for (const auto &a : subArb_)
+        a->save(w);
+    w.u64(stats_.grantsLocal);
+    w.u64(stats_.grantsCross);
+    w.vec(stats_.chanGrants);
+    w.vec(stats_.chanBusyCycles);
+    w.u64(arbitrateCalls_);
+    // Per-cycle scratch (columns, chains, grant_) is rebuilt from
+    // scratch each arbitrate() call and needs no saving: resetScratch
+    // plus lazy mask clears make a fresh object equivalent.
+}
+
+void
+HiRiseFabric::load(snap::Reader &r)
+{
+    r.vec(holder_);
+    r.vec(heldChan_);
+    r.vec(chanBusy_);
+    r.vec(chanFailed_);
+    for (auto &a : interArb_)
+        a.load(r);
+    for (auto &a : chanArb_)
+        a.load(r);
+    for (auto &a : subArb_)
+        a->load(r);
+    stats_.grantsLocal = r.u64();
+    stats_.grantsCross = r.u64();
+    r.vec(stats_.chanGrants);
+    r.vec(stats_.chanBusyCycles);
+    arbitrateCalls_ = r.u64();
 }
 
 } // namespace hirise::fabric

@@ -54,20 +54,49 @@ class HiRiseFabric : public Fabric
                              std::uint32_t output) const;
 
     /**
-     * Permanently disable the L2LC (src layer, dst layer, k), e.g. a
-     * failed TSV bundle. Binned traffic remaps to the next surviving
-     * channel of the same layer pair; the priority allocator skips
-     * failed channels natively. Extension beyond the paper (TSV
-     * yield tolerance).
+     * Disable the L2LC (src layer, dst layer, k), e.g. a failed TSV
+     * bundle. Binned traffic remaps to the next surviving channel of
+     * the same layer pair; the priority allocator skips failed
+     * channels natively. A connection holding the channel mid-packet
+     * is forcibly broken and reported through @p broken (the simulator
+     * drops the in-flight packet). Idempotent. Extension beyond the
+     * paper (TSV yield tolerance).
      */
     void failChannel(std::uint32_t src_layer, std::uint32_t dst_layer,
-                     std::uint32_t k);
+                     std::uint32_t chan,
+                     std::vector<BrokenConn> *broken = nullptr)
+        override;
+
+    /** Re-enable a failed L2LC (TSV repair / isolation lifted). */
+    void recoverChannel(std::uint32_t src_layer,
+                        std::uint32_t dst_layer,
+                        std::uint32_t chan) override;
+
+    bool supportsChannelFaults() const override { return true; }
+
+    std::uint32_t heldChannelId(std::uint32_t output) const override
+    {
+        return heldChan_[output];
+    }
 
     bool channelFailed(std::uint32_t src_layer,
                        std::uint32_t dst_layer, std::uint32_t k) const
     {
         return chanFailed_[chanId(src_layer, dst_layer, k)] != 0;
     }
+
+    /** Surviving (non-failed) L2LCs of the pair src -> dst. */
+    std::uint32_t survivingChannels(std::uint32_t src_layer,
+                                    std::uint32_t dst_layer) const;
+
+    /** Total surviving L2LCs across all layer pairs — the capacity
+     *  the fabric currently advertises (== c*L*(L-1) when healthy).
+     *  Re-published to the "fabric.advertised_capacity" gauge on
+     *  every fail/recover so dashboards track degradation live. */
+    std::uint32_t advertisedCapacity() const;
+
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
 
     /** Is the L2LC (src layer, dst layer, k) held by a connection? */
     bool channelBusy(std::uint32_t src_layer, std::uint32_t dst_layer,

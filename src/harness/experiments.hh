@@ -86,6 +86,9 @@ Table ablateBuffers(const ExperimentOptions &opt);
 Table seedSensitivity(const ExperimentOptions &opt);
 /** Extension: throughput degradation under L2LC (TSV) failures. */
 Table faultTolerance(const ExperimentOptions &opt);
+/** Extension: closed-loop throughput vs. fault-schedule channel
+ *  failures, cross-checked against the degraded MWM fluid bound. */
+Table degradation(const ExperimentOptions &opt);
 /** Section VI-E: kilo-core mesh of Hi-Rise switches vs 2D routers. */
 Table kiloCore(const ExperimentOptions &opt);
 /** Section VI-E discussion: energy/latency vs mesh and flattened

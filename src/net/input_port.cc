@@ -77,6 +77,69 @@ InputPort::pickCandidateVcWords(const BitVec::Word *dst_free)
     return kNoVc;
 }
 
+void
+InputPort::breakConnection(std::uint32_t &flits_dropped,
+                           bool &pop_source)
+{
+    sim_assert(connected(), "breaking an idle port");
+    flits_dropped = connFlitsLeft_;
+    pop_source = false;
+    if (fillVc_ == connVc_) {
+        // The dropped packet was still streaming from the source
+        // queue head (a VC holds exactly one packet head-to-tail, so
+        // the streaming packet is the connected one). Cancel the
+        // stream; the caller pops the head we never finished pulling.
+        fillVc_ = kNoVc;
+        fillIdx_ = 0;
+        pop_source = true;
+    }
+    vcs_[connVc_].clear();
+    connVc_ = kNoVc;
+    connFlitsLeft_ = 0;
+    justConnected_ = false;
+}
+
+void
+InputPort::save(snap::Writer &w) const
+{
+    w.u64(sourceQueue_.size());
+    for (std::size_t i = 0; i < sourceQueue_.size(); ++i)
+        sourceQueue_[i].save(w);
+    for (const auto &vc : vcs_)
+        vc.save(w);
+    w.u32(fillVc_);
+    w.pod(fillIdx_);
+    w.u32(rrNext_);
+    w.u32(connVc_);
+    w.u32(connOutput_);
+    w.u32(connFlitsLeft_);
+    w.u64(connGenCycle_);
+    w.b(justConnected_);
+}
+
+void
+InputPort::load(snap::Reader &r)
+{
+    sourceQueue_.clear();
+    std::uint64_t n = r.u64();
+    sourceQueue_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Packet p;
+        p.load(r);
+        sourceQueue_.push_back(p);
+    }
+    for (auto &vc : vcs_)
+        vc.load(r);
+    fillVc_ = r.u32();
+    fillIdx_ = r.pod<std::uint16_t>();
+    rrNext_ = r.u32();
+    connVc_ = r.u32();
+    connOutput_ = r.u32();
+    connFlitsLeft_ = r.u32();
+    connGenCycle_ = r.u64();
+    justConnected_ = r.b();
+}
+
 std::uint64_t
 InputPort::backlogFlits() const
 {

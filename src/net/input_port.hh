@@ -67,6 +67,42 @@ class VirtualChannel
     /** Has the current packet's tail already been buffered? */
     bool tailQueued() const { return tailQueued_; }
 
+    /** Discard every buffered flit and the packet's VC ownership.
+     *  Used when a fault forcibly breaks the connection draining this
+     *  VC: the in-flight packet is dropped, so its remaining flits
+     *  must not linger as an ownerless partial packet. */
+    void
+    clear()
+    {
+        fifo_.clear();
+        busy_ = false;
+        tailQueued_ = false;
+    }
+
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(fifo_.size());
+        for (std::size_t i = 0; i < fifo_.size(); ++i)
+            fifo_[i].save(w);
+        w.b(busy_);
+        w.b(tailQueued_);
+    }
+
+    void
+    load(snap::Reader &r)
+    {
+        fifo_.clear();
+        std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Flit f;
+            f.load(r);
+            fifo_.push_back(f);
+        }
+        busy_ = r.b();
+        tailQueued_ = r.b();
+    }
+
   private:
     std::uint32_t depth_;
     /** Sized to depth_ up front; a full() check gates every push, so
@@ -127,14 +163,19 @@ class InputPort
     std::uint32_t connVc() const { return connVc_; }
     std::uint32_t connOutput() const { return connOutput_; }
     std::uint32_t flitsLeft() const { return connFlitsLeft_; }
+    /** genCycle of the connected packet (valid while connected);
+     *  lets a forced break attribute the dropped packet to the
+     *  measurement window without digging for its flits. */
+    Cycle connGenCycle() const { return connGenCycle_; }
 
     void
     connect(std::uint32_t vc, std::uint32_t output,
-            std::uint32_t len_flits)
+            std::uint32_t len_flits, Cycle gen_cycle = 0)
     {
         connVc_ = vc;
         connOutput_ = output;
         connFlitsLeft_ = len_flits;
+        connGenCycle_ = gen_cycle;
         justConnected_ = true;
     }
 
@@ -207,6 +248,27 @@ class InputPort
     /** Total flits buffered in VCs plus queued at the source. */
     std::uint64_t backlogFlits() const;
 
+    /**
+     * Forcibly tear down the active connection because its channel
+     * failed, dropping the in-flight packet: clears the connection's
+     * VC, cancels the injection stream if it was still feeding that
+     * same packet (VC ownership guarantees the streaming packet *is*
+     * the connected one), and reports what must be dropped.
+     *
+     * @param[out] flits_dropped  connection flits never transferred
+     *                            (the caller charges these to its
+     *                            dropped-flit ledger)
+     * @param[out] pop_source     true when the dropped packet is still
+     *                            the source queue's head (fill was
+     *                            mid-stream); the caller advances the
+     *                            real or virtual source queue
+     */
+    void breakConnection(std::uint32_t &flits_dropped,
+                         bool &pop_source);
+
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     RingBuffer<Packet> sourceQueue_;
     std::vector<VirtualChannel> vcs_;
@@ -222,6 +284,7 @@ class InputPort
     std::uint32_t connVc_ = kNoVc;
     std::uint32_t connOutput_ = 0;
     std::uint32_t connFlitsLeft_ = 0;
+    Cycle connGenCycle_ = 0;
     bool justConnected_ = false;
 };
 

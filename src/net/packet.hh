@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hh"
+
 namespace hirise::net {
 
 using Cycle = std::uint64_t;
@@ -25,6 +27,30 @@ struct Flit
     bool head = false;
     bool tail = false;
     Cycle genCycle = 0; //!< cycle the parent packet was created
+
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(packet);
+        w.u32(src);
+        w.u32(dst);
+        w.pod(index);
+        w.b(head);
+        w.b(tail);
+        w.u64(genCycle);
+    }
+
+    void
+    load(snap::Reader &r)
+    {
+        packet = r.u64();
+        src = r.u32();
+        dst = r.u32();
+        index = r.pod<std::uint16_t>();
+        head = r.b();
+        tail = r.b();
+        genCycle = r.u64();
+    }
 };
 
 /** A multi-flit message, serialized into flits at the source. */
@@ -35,6 +61,26 @@ struct Packet
     std::uint32_t dst = 0;
     std::uint16_t lenFlits = 4;
     Cycle genCycle = 0;
+
+    void
+    save(snap::Writer &w) const
+    {
+        w.u64(id);
+        w.u32(src);
+        w.u32(dst);
+        w.pod(lenFlits);
+        w.u64(genCycle);
+    }
+
+    void
+    load(snap::Reader &r)
+    {
+        id = r.u64();
+        src = r.u32();
+        dst = r.u32();
+        lenFlits = r.pod<std::uint16_t>();
+        genCycle = r.u64();
+    }
 
     Flit
     flit(std::uint16_t idx) const

@@ -34,9 +34,10 @@ localTid()
 }
 
 constexpr const char *kEvNames[kNumEv] = {
-    "inject",        "grant",      "release",    "chan_alloc",
-    "class_promote", "class_halve", "cache_hit", "cache_miss",
-    "exp_begin",     "exp_end",
+    "inject",        "grant",       "release",    "chan_alloc",
+    "class_promote", "class_halve", "cache_hit",  "cache_miss",
+    "exp_begin",     "exp_end",     "chan_fail",  "chan_recover",
+    "link_error",    "isolate",     "unisolate",
 };
 
 /** Minimal JSON string escaping for interned names. */

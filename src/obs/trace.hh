@@ -67,9 +67,14 @@ enum class Ev : std::uint8_t
     CacheMiss,    //!< id=cache key
     ExpBegin,     //!< a=name id, cycle=wall-clock microseconds
     ExpEnd,       //!< a=name id, cycle=wall-clock microseconds
+    ChanFail,     //!< a=chanId (scheduled/layer fault)
+    ChanRecover,  //!< a=chanId (scheduled recovery / unisolation)
+    LinkError,    //!< a=chanId (flaky-link flit error, corrected)
+    Isolate,      //!< a=chanId, b=errors in window (threshold trip)
+    Unisolate,    //!< a=chanId (recovery window elapsed)
 };
 
-constexpr std::uint32_t kNumEv = 10;
+constexpr std::uint32_t kNumEv = 15;
 
 const char *toString(Ev e);
 

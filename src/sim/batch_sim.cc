@@ -1,5 +1,8 @@
 #include "sim/batch_sim.hh"
 
+#include <cstdio>
+#include <string>
+
 #include "common/logging.hh"
 #include "common/simd.hh"
 #include "obs/metrics.hh"
@@ -166,6 +169,28 @@ BatchSim::BatchSim(const SwitchSpec &spec, const SimConfig &base,
 }
 
 void
+BatchSim::setFaultSchedule(const FaultSchedule &sched)
+{
+    sim_assert(cycle_ == 0,
+               "fault schedule must be attached before stepping");
+    if (sched.empty())
+        return;
+    faultMgrs_.clear();
+    faultMgrs_.reserve(R_);
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        sim_assert(fabrics_[r]->supportsChannelFaults(),
+                   "fabric '%s' cannot take channel faults",
+                   toString(spec_.topo));
+        // Each lane's manager draws from its own seed, matching the
+        // scalar run NetworkSim(spec, base with points[r]) bit for
+        // bit.
+        faultMgrs_.emplace_back(sched, spec_, pts_[r].seed);
+    }
+    faultsOn_ = true;
+    brokenScratch_.reserve(N_);
+}
+
+void
 BatchSim::injectPacket(std::uint32_t r, std::uint32_t i,
                        std::uint32_t dst)
 {
@@ -317,7 +342,8 @@ BatchSim::applyGrant(std::uint32_t r, std::uint32_t i)
     if (obs::on()) [[unlikely]]
         recordGrant(i, req[i], cand_vc[i],
                     p.vcs()[cand_vc[i]].front().packet);
-    p.connect(cand_vc[i], req[i], base_.packetLen);
+    p.connect(cand_vc[i], req[i], base_.packetLen,
+              p.vcs()[cand_vc[i]].front().genCycle);
     plane(connected_, r).set(i);
     plane(eligible_, r).reset(i);
     plane(dstFree_, r).reset(req[i]);
@@ -379,6 +405,12 @@ BatchSim::transferPhase(std::uint32_t r)
         ++lane.flitsDelivered;
         if (measuring_)
             ++lane.measFlitsDelivered;
+        if (faultsOn_) {
+            // Flaky-link error draw, attributed to the L2LC this
+            // flit crossed (read before a tail flit releases it).
+            faultMgrs_[r].onFlitTransfer(
+                cycle_, fabrics_[r]->heldChannelId(out));
+        }
         bool done = p.transferOne();
         if (done) {
             sim_assert(f.tail, "connection ended mid-packet");
@@ -401,6 +433,54 @@ BatchSim::transferPhase(std::uint32_t r)
                 recordRelease(i, out, base_.packetLen, f.packet);
         }
     });
+    if (faultsOn_) {
+        // Isolations tripped by this cycle's error draws apply after
+        // the transfer walk (never mid-iteration).
+        brokenScratch_.clear();
+        faultMgrs_[r].applyPending(cycle_, *fabrics_[r],
+                                   brokenScratch_);
+        if (!brokenScratch_.empty())
+            handleBroken(r, brokenScratch_);
+    }
+}
+
+void
+BatchSim::handleBroken(std::uint32_t r,
+                       const std::vector<fabric::BrokenConn> &broken)
+{
+    Lane &lane = lanes_[r];
+    for (const auto &bc : broken) {
+        const std::uint32_t i = bc.input;
+        net::InputPort &p = port(r, i);
+        sim_assert(p.connected() && p.connOutput() == bc.output,
+                   "broken connection %u->%u does not match port "
+                   "state",
+                   bc.input, bc.output);
+        ++lane.packetsDropped;
+        if (measuring_ && p.connGenCycle() >= measureStart_)
+            ++lane.measPacketsDropped;
+        std::uint32_t flits_dropped = 0;
+        bool pop_source = false;
+        p.breakConnection(flits_dropped, pop_source);
+        lane.droppedFlits += flits_dropped;
+        if (pop_source) {
+            // The dropped packet was still streaming from the (real
+            // or virtual) source queue head; retire it there too.
+            if (satVirt_[r]) {
+                satQ_[r].advance(i, *patterns_[r]);
+            } else {
+                p.sourceQueue().pop_front();
+                if (p.sourceQueue().empty())
+                    plane(fillPend_, r).reset(i);
+            }
+        }
+        plane(connected_, r).reset(i);
+        plane(dstFree_, r).set(bc.output);
+        if (p.anyVcOccupied())
+            plane(eligible_, r).set(i);
+        else
+            plane(eligible_, r).reset(i);
+    }
 }
 
 void
@@ -416,6 +496,16 @@ BatchSim::stepOnce()
     // step (the lanes share the cycle, so the key rows are contiguous
     // in the replica-major key arrays).
     for (std::uint32_t r = 0; r < R_; ++r) {
+        if (faultsOn_) {
+            // Topology changes land at cycle start, before this
+            // replica's injection, so its whole cycle sees the new
+            // channel set.
+            brokenScratch_.clear();
+            faultMgrs_[r].beginCycle(cycle_, *fabrics_[r],
+                                     brokenScratch_);
+            if (!brokenScratch_.empty())
+                handleBroken(r, brokenScratch_);
+        }
         if (satVirt_[r]) {
             injectVirtual(r);
             fillVirtual(r);
@@ -452,7 +542,8 @@ BatchSim::checkInvariants(std::uint32_t r)
         }
     }
     check::verifyFlitConservation(lanes_[r].injected * base_.packetLen,
-                                  lanes_[r].flitsDelivered, backlog);
+                                  lanes_[r].flitsDelivered, backlog,
+                                  lanes_[r].droppedFlits);
     auto holder = [&](std::uint32_t o) {
         return fabrics_[r]->outputHolder(o);
     };
@@ -482,20 +573,27 @@ BatchSim::checkInvariants(std::uint32_t r)
 }
 #endif
 
+void
+BatchSim::advanceTo(net::Cycle target)
+{
+    while (cycle_ < target) {
+        if (!measuring_ && cycle_ >= warmEnd() && cycle_ < runEnd()) {
+            measuring_ = true;
+            measureStart_ = warmEnd();
+        }
+        stepOnce();
+        if (measuring_ && cycle_ >= runEnd())
+            measuring_ = false;
+    }
+}
+
 std::vector<SimResult>
 BatchSim::run()
 {
-    const net::Cycle warm_end = cycle_ + base_.warmupCycles;
-    while (cycle_ < warm_end)
-        stepOnce();
-    measuring_ = true;
-    measureStart_ = cycle_;
-    const net::Cycle end = cycle_ + base_.measureCycles;
-    while (cycle_ < end)
-        stepOnce();
-    measuring_ = false;
+    advanceTo(runEnd());
+    sim_assert(!measuring_, "measurement window still open");
 
-    const double window = static_cast<double>(cycle_ - measureStart_);
+    const double window = static_cast<double>(runEnd() - warmEnd());
     std::vector<SimResult> results(R_);
     for (std::uint32_t r = 0; r < R_; ++r) {
         Lane &lane = lanes_[r];
@@ -508,10 +606,13 @@ BatchSim::run()
         res.avgQueueingCycles = lane.queueing.mean();
         res.p99LatencyCycles = lane.latencyHist.quantile(0.99);
         res.packetsDelivered = lane.latency.count();
-        sim_assert(lane.measPacketsCompleted <= lane.measPacketsInjected,
+        res.packetsDropped = lane.packetsDropped;
+        sim_assert(lane.measPacketsCompleted + lane.measPacketsDropped <=
+                       lane.measPacketsInjected,
                    "more window packets completed than injected");
-        res.inFlightAtMeasureEnd =
-            lane.measPacketsInjected - lane.measPacketsCompleted;
+        res.inFlightAtMeasureEnd = lane.measPacketsInjected -
+                                   lane.measPacketsCompleted -
+                                   lane.measPacketsDropped;
         res.latencyOverflowPackets = lane.latencyHist.overflowCount();
         if (obs::on()) [[unlikely]] {
             BatchMetrics::get().inFlightCensored.inc(
@@ -537,6 +638,179 @@ BatchSim::run()
                    "conservation violated");
     }
     return results;
+}
+
+void
+BatchSim::Lane::save(snap::Writer &w) const
+{
+    w.u64(nextId);
+    w.u64(injected);
+    w.u64(delivered);
+    w.u64(flitsDelivered);
+    w.u64(droppedFlits);
+    w.u64(packetsDropped);
+    w.u64(measFlitsDelivered);
+    w.u64(measFlitsOffered);
+    w.u64(measPacketsInjected);
+    w.u64(measPacketsCompleted);
+    w.u64(measPacketsDropped);
+    latency.save(w);
+    queueing.save(w);
+    latencyHist.save(w);
+    for (const auto &st : perInputLatency)
+        st.save(w);
+    w.vec(perInputPackets);
+}
+
+void
+BatchSim::Lane::load(snap::Reader &r)
+{
+    nextId = r.u64();
+    injected = r.u64();
+    delivered = r.u64();
+    flitsDelivered = r.u64();
+    droppedFlits = r.u64();
+    packetsDropped = r.u64();
+    measFlitsDelivered = r.u64();
+    measFlitsOffered = r.u64();
+    measPacketsInjected = r.u64();
+    measPacketsCompleted = r.u64();
+    measPacketsDropped = r.u64();
+    latency.load(r);
+    queueing.load(r);
+    latencyHist.load(r);
+    for (auto &st : perInputLatency)
+        st.load(r);
+    r.vec(perInputPackets);
+}
+
+std::uint64_t
+BatchSim::configKey() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "spec:%d/%u/%u/%u/%u/%d/%d/%u/%u/%llu;"
+        "base:%u/%u/%u/%llu/%llu;R=%u;",
+        static_cast<int>(spec_.topo), spec_.radix, spec_.layers,
+        spec_.channels, spec_.flitBits, static_cast<int>(spec_.arb),
+        static_cast<int>(spec_.alloc), spec_.clrgMaxCount,
+        spec_.schedIters,
+        static_cast<unsigned long long>(spec_.schedSeed), base_.numVcs,
+        base_.vcDepth, base_.packetLen,
+        static_cast<unsigned long long>(base_.warmupCycles),
+        static_cast<unsigned long long>(base_.measureCycles), R_);
+    std::string s = buf;
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        std::snprintf(buf, sizeof(buf), "pt:%.17g/%llu;", pts_[r].load,
+                      static_cast<unsigned long long>(pts_[r].seed));
+        s += buf;
+        s += "pat:" + patterns_[r]->descriptor() + ";";
+    }
+    if (faultsOn_)
+        s += faultMgrs_[0].schedule().descriptor();
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+BatchSim::save(snap::Writer &w) const
+{
+    w.u64(cycle_);
+    w.b(measuring_);
+    w.u64(measureStart_);
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        lanes_[r].save(w);
+        for (std::uint32_t i = 0; i < N_; ++i)
+            ports_[std::size_t(r) * N_ + i].save(w);
+        if (satVirt_[r])
+            satQ_[r].save(w);
+        fabrics_[r]->save(w);
+        if (faultsOn_)
+            faultMgrs_[r].save(w);
+        patterns_[r]->save(w);
+    }
+    // Bit planes are derived from port + fabric state; rebuilt on
+    // load.
+}
+
+void
+BatchSim::load(snap::Reader &r)
+{
+    cycle_ = r.u64();
+    measuring_ = r.b();
+    measureStart_ = r.u64();
+    for (std::uint32_t rep = 0; rep < R_; ++rep) {
+        lanes_[rep].load(r);
+        for (std::uint32_t i = 0; i < N_; ++i)
+            port(rep, i).load(r);
+        if (satVirt_[rep])
+            satQ_[rep].load(r);
+        fabrics_[rep]->load(r);
+        if (faultsOn_)
+            faultMgrs_[rep].load(r);
+        patterns_[rep]->load(r);
+    }
+    rebuildDerived();
+}
+
+void
+BatchSim::rebuildDerived()
+{
+    for (std::uint32_t r = 0; r < R_; ++r) {
+        BitSpan free = plane(dstFree_, r);
+        BitSpan conn = plane(connected_, r);
+        BitSpan elig = plane(eligible_, r);
+        BitSpan pend = plane(fillPend_, r);
+        for (std::uint32_t o = 0; o < N_; ++o) {
+            if (fabrics_[r]->outputBusy(o))
+                free.reset(o);
+            else
+                free.set(o);
+        }
+        for (std::uint32_t i = 0; i < N_; ++i) {
+            const net::InputPort &p = port(r, i);
+            if (p.connected())
+                conn.set(i);
+            else
+                conn.reset(i);
+            if (!p.connected() && p.anyVcOccupied())
+                elig.set(i);
+            else
+                elig.reset(i);
+            if (!p.sourceQueue().empty())
+                pend.set(i);
+            else
+                pend.reset(i);
+        }
+    }
+#ifdef HIRISE_CHECK_ENABLED
+    for (std::uint32_t r = 0; r < R_; ++r)
+        checkInvariants(r);
+#endif
+}
+
+bool
+BatchSim::saveSnapshotFile(const std::string &path) const
+{
+    snap::Writer w;
+    save(w);
+    return w.writeFile(path, configKey());
+}
+
+bool
+BatchSim::loadSnapshotFile(const std::string &path)
+{
+    snap::Reader r;
+    if (!r.readFile(path, configKey()))
+        return false;
+    load(r);
+    sim_assert(r.done(), "snapshot payload not fully consumed");
+    return true;
 }
 
 } // namespace hirise::sim

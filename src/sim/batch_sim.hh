@@ -84,11 +84,46 @@ class BatchSim
              std::vector<BatchPoint> points,
              const FabricFactory &make_fabric = {});
 
+    /** Attach a fault schedule to every replica. Each lane gets its
+     *  own FaultManager seeded with the lane's BatchPoint seed, so
+     *  lane r's failures, error draws, and isolations reproduce the
+     *  scalar NetworkSim run with that seed bit for bit. Must be
+     *  called before the first step. */
+    void setFaultSchedule(const FaultSchedule &sched);
+
     /** Warmup + measurement for every lane; results[r] is bit-equal
-     *  to NetworkSim(spec, base with points[r]) .run(). */
+     *  to NetworkSim(spec, base with points[r]) .run(). Boundaries
+     *  are absolute (cycle base.warmupCycles and warmup + measure),
+     *  so a restored batch picks up run() mid-flight. */
     std::vector<SimResult> run();
 
+    /** Advance every replica to absolute cycle @p target, flipping
+     *  the shared measurement window at the exact run() boundaries. */
+    void advanceTo(net::Cycle target);
+
     std::uint32_t replicas() const { return R_; }
+    net::Cycle now() const { return cycle_; }
+    const FaultManager &faultManager(std::uint32_t r) const
+    {
+        return faultMgrs_[r];
+    }
+
+    // -- checkpoint/restore ------------------------------------------
+
+    /** Serialize the full batch state (all lanes). load() runs on a
+     *  freshly constructed batch with identical spec/config/points/
+     *  patterns/schedule; bit planes are rebuilt. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
+    /** Content hash of the batch configuration (spec + base config +
+     *  every lane's point and pattern descriptor + fault descriptor). */
+    std::uint64_t configKey() const;
+
+    /** save()/load() framed through common/snapshot.hh's versioned,
+     *  checksummed file format; false on I/O or validation failure. */
+    bool saveSnapshotFile(const std::string &path) const;
+    bool loadSnapshotFile(const std::string &path);
 
     /** False while the process-wide cycle tracer is armed: batching
      *  would interleave the replicas' event streams under one
@@ -105,15 +140,21 @@ class BatchSim
         std::uint64_t injected = 0;
         std::uint64_t delivered = 0;
         std::uint64_t flitsDelivered = 0;
+        std::uint64_t droppedFlits = 0;
+        std::uint64_t packetsDropped = 0;
         std::uint64_t measFlitsDelivered = 0;
         std::uint64_t measFlitsOffered = 0;
         std::uint64_t measPacketsInjected = 0;
         std::uint64_t measPacketsCompleted = 0;
+        std::uint64_t measPacketsDropped = 0;
         RunningStat latency;
         RunningStat queueing;
         Histogram latencyHist{4.0, 4096};
         std::vector<RunningStat> perInputLatency;
         std::vector<std::uint64_t> perInputPackets;
+
+        void save(snap::Writer &w) const;
+        void load(snap::Reader &r);
     };
 
     BitSpan
@@ -139,6 +180,17 @@ class BatchSim
     void arbitratePhase(std::uint32_t r);
     void applyGrant(std::uint32_t r, std::uint32_t i);
     void transferPhase(std::uint32_t r);
+    /** Replica-r mirror of NetworkSim::handleBroken: drop in-flight
+     *  packets whose channel failed and resync lane r's bit planes. */
+    void handleBroken(std::uint32_t r,
+                      const std::vector<fabric::BrokenConn> &broken);
+    /** Rebuild every bit plane from restored port + fabric state. */
+    void rebuildDerived();
+    net::Cycle warmEnd() const { return base_.warmupCycles; }
+    net::Cycle runEnd() const
+    {
+        return base_.warmupCycles + base_.measureCycles;
+    }
 #ifdef HIRISE_CHECK_ENABLED
     void checkInvariants(std::uint32_t r);
 #endif
@@ -196,6 +248,11 @@ class BatchSim
     std::vector<std::uint32_t> reqScratch_;
     std::vector<std::uint32_t> candVcScratch_;
     std::vector<std::uint32_t> activeReq_;
+
+    /** Fault machinery live (non-empty schedule attached). */
+    bool faultsOn_ = false;
+    std::vector<FaultManager> faultMgrs_; //!< one per replica
+    std::vector<fabric::BrokenConn> brokenScratch_;
 
     net::Cycle cycle_ = 0;
     bool measuring_ = false;

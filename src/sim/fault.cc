@@ -1,0 +1,338 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "obs/trace.hh"
+
+namespace hirise::sim {
+
+namespace {
+
+/** Stream-key domain separator: fault draws must never collide with
+ *  traffic lanes (pattern.hh keys lane = src * kLaneDomains + domain
+ *  on the plain seed), so the seed is scrambled with a fixed tag and
+ *  the schedule's salt before keying on chanId. */
+constexpr std::uint64_t kFaultSeedTag = 0x666c616b794c6e6bull;
+
+const char *
+kindName(FaultEvent::Kind k)
+{
+    switch (k) {
+      case FaultEvent::Kind::FailChannel:
+        return "fail";
+      case FaultEvent::Kind::RecoverChannel:
+        return "recover";
+      case FaultEvent::Kind::FailLayer:
+        return "fail_layer";
+      case FaultEvent::Kind::RecoverLayer:
+        return "recover_layer";
+    }
+    return "?";
+}
+
+[[gnu::cold]] [[gnu::noinline]] void
+recordFaultEv(obs::Ev ev, std::uint32_t chan_id, std::uint32_t b = 0)
+{
+    obs::CycleTracer::global().record(ev, chan_id, b);
+}
+
+} // namespace
+
+void
+FaultSchedule::validate(const SwitchSpec &spec) const
+{
+    auto check_chan = [&](std::uint32_t s, std::uint32_t d,
+                          std::uint32_t k, const char *what) {
+        if (s >= spec.layers || d >= spec.layers || s == d ||
+            k >= spec.channels) {
+            fatal("%s targets bad channel (%u,%u,%u) for %u layers x "
+                  "%u channels",
+                  what, s, d, k, spec.layers, spec.channels);
+        }
+    };
+    for (const auto &ev : events) {
+        switch (ev.kind) {
+          case FaultEvent::Kind::FailChannel:
+          case FaultEvent::Kind::RecoverChannel:
+            check_chan(ev.src, ev.dst, ev.chan, "fault event");
+            break;
+          case FaultEvent::Kind::FailLayer:
+          case FaultEvent::Kind::RecoverLayer:
+            if (ev.src >= spec.layers)
+                fatal("layer fault targets bad layer %u of %u",
+                      ev.src, spec.layers);
+            break;
+        }
+    }
+    for (const auto &f : flaky) {
+        check_chan(f.src, f.dst, f.chan, "flaky link");
+        if (!(f.errorRate > 0.0) || f.errorRate > 1.0)
+            fatal("flaky link (%u,%u,%u) has bad error rate %g",
+                  f.src, f.dst, f.chan, f.errorRate);
+    }
+    if (!flaky.empty() && windowCycles == 0)
+        fatal("flaky links need a nonzero error window");
+}
+
+std::string
+FaultSchedule::descriptor() const
+{
+    std::string s = "flt:v1;ev=";
+    char buf[128];
+    for (const auto &ev : events) {
+        std::snprintf(buf, sizeof(buf), "%s@%llu:%u>%u.%u,",
+                      kindName(ev.kind),
+                      static_cast<unsigned long long>(ev.cycle),
+                      ev.src, ev.dst, ev.chan);
+        s += buf;
+    }
+    s += ";flaky=";
+    for (const auto &f : flaky) {
+        std::snprintf(buf, sizeof(buf), "%u>%u.%u@%.17g,", f.src,
+                      f.dst, f.chan, f.errorRate);
+        s += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  ";win=%llu;max=%u;rec=%llu;salt=%llu;mut=%d",
+                  static_cast<unsigned long long>(windowCycles),
+                  maxErrorsPerWindow,
+                  static_cast<unsigned long long>(recoveryCycles),
+                  static_cast<unsigned long long>(seedSalt),
+                  mutIsolationOffByOne ? 1 : 0);
+    s += buf;
+    return s;
+}
+
+FaultManager::FaultManager(const FaultSchedule &sched,
+                           const SwitchSpec &spec, std::uint64_t seed)
+    : sched_(sched), nlay_(spec.layers), chan_(spec.channels),
+      nchan_(spec.layers * spec.layers * spec.channels)
+{
+    sched_.validate(spec);
+    // Same-cycle events apply in schedule order (stable sort).
+    std::stable_sort(sched_.events.begin(), sched_.events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+    reason_.assign(nchan_, 0);
+    unisolateAt_.assign(nchan_, kNever);
+    flakyOf_.assign(nchan_, kNoFlaky);
+    flakyKey_.resize(sched_.flaky.size());
+    errThresh_.resize(sched_.flaky.size());
+    winIdx_.assign(sched_.flaky.size(), 0);
+    winCount_.assign(sched_.flaky.size(), 0);
+    const std::uint64_t fault_seed =
+        splitmix64(seed ^ kFaultSeedTag ^ sched_.seedSalt);
+    for (std::uint32_t i = 0; i < sched_.flaky.size(); ++i) {
+        const auto &f = sched_.flaky[i];
+        std::uint32_t id = (f.src * nlay_ + f.dst) * chan_ + f.chan;
+        sim_assert(flakyOf_[id] == kNoFlaky,
+                   "duplicate flaky link on channel %u", id);
+        flakyOf_[id] = i;
+        flakyKey_[i] = counterKey(fault_seed, id);
+        errThresh_[i] = bernoulliThreshold(f.errorRate);
+    }
+    pending_.reserve(sched_.flaky.size());
+}
+
+void
+FaultManager::setFailed(std::uint32_t id, std::uint8_t bit,
+                        fabric::Fabric &fab,
+                        std::vector<fabric::BrokenConn> *broken)
+{
+    const bool was = reason_[id] != 0;
+    reason_[id] = static_cast<std::uint8_t>(reason_[id] | bit);
+    if (!was) {
+        fab.failChannel(id / (nlay_ * chan_), (id / chan_) % nlay_,
+                        id % chan_, broken);
+    }
+}
+
+void
+FaultManager::clearFailed(std::uint32_t id, std::uint8_t bit,
+                          fabric::Fabric &fab)
+{
+    if (!(reason_[id] & bit))
+        return;
+    reason_[id] = static_cast<std::uint8_t>(reason_[id] & ~bit);
+    if (!reason_[id]) {
+        fab.recoverChannel(id / (nlay_ * chan_), (id / chan_) % nlay_,
+                           id % chan_);
+    }
+}
+
+void
+FaultManager::beginCycle(net::Cycle cycle, fabric::Fabric &fab,
+                         std::vector<fabric::BrokenConn> &broken)
+{
+    while (nextEvt_ < sched_.events.size() &&
+           sched_.events[nextEvt_].cycle <= cycle) {
+        const FaultEvent &ev = sched_.events[nextEvt_];
+        // A skipped event means a fast-forward jumped its cycle; the
+        // stepTo clamp on nextEventCycle() must prevent that.
+        sim_assert(ev.cycle == cycle,
+                   "fault event at cycle %llu applied late (now %llu)",
+                   static_cast<unsigned long long>(ev.cycle),
+                   static_cast<unsigned long long>(cycle));
+        switch (ev.kind) {
+          case FaultEvent::Kind::FailChannel: {
+            std::uint32_t id =
+                (ev.src * nlay_ + ev.dst) * chan_ + ev.chan;
+            setFailed(id, kReasonEvent, fab, &broken);
+            if (obs::on()) [[unlikely]]
+                recordFaultEv(obs::Ev::ChanFail, id);
+            break;
+          }
+          case FaultEvent::Kind::RecoverChannel: {
+            std::uint32_t id =
+                (ev.src * nlay_ + ev.dst) * chan_ + ev.chan;
+            clearFailed(id, kReasonEvent, fab);
+            if (obs::on()) [[unlikely]]
+                recordFaultEv(obs::Ev::ChanRecover, id);
+            break;
+          }
+          case FaultEvent::Kind::FailLayer:
+          case FaultEvent::Kind::RecoverLayer: {
+            const bool failing =
+                ev.kind == FaultEvent::Kind::FailLayer;
+            for (std::uint32_t other = 0; other < nlay_; ++other) {
+                if (other == ev.src)
+                    continue;
+                for (std::uint32_t k = 0; k < chan_; ++k) {
+                    std::uint32_t out =
+                        (ev.src * nlay_ + other) * chan_ + k;
+                    std::uint32_t in =
+                        (other * nlay_ + ev.src) * chan_ + k;
+                    if (failing) {
+                        setFailed(out, kReasonEvent, fab, &broken);
+                        setFailed(in, kReasonEvent, fab, &broken);
+                    } else {
+                        clearFailed(out, kReasonEvent, fab);
+                        clearFailed(in, kReasonEvent, fab);
+                    }
+                    if (obs::on()) [[unlikely]] {
+                        auto t = failing ? obs::Ev::ChanFail
+                                         : obs::Ev::ChanRecover;
+                        recordFaultEv(t, out);
+                        recordFaultEv(t, in);
+                    }
+                }
+            }
+            break;
+          }
+        }
+        ++nextEvt_;
+    }
+
+    if (numIsolated_ == 0)
+        return;
+    for (std::uint32_t id = 0; id < nchan_; ++id) {
+        if (unisolateAt_[id] > cycle)
+            continue;
+        unisolateAt_[id] = kNever;
+        clearFailed(id, kReasonIsolated, fab);
+        --numIsolated_;
+        ++unisolations_;
+        if (obs::on()) [[unlikely]]
+            recordFaultEv(obs::Ev::Unisolate, id);
+    }
+}
+
+net::Cycle
+FaultManager::nextEventCycle() const
+{
+    net::Cycle next = kNever;
+    if (nextEvt_ < sched_.events.size())
+        next = sched_.events[nextEvt_].cycle;
+    if (numIsolated_ != 0) {
+        for (std::uint32_t id = 0; id < nchan_; ++id)
+            next = std::min(next, unisolateAt_[id]);
+    }
+    return next;
+}
+
+void
+FaultManager::onFlitTransfer(net::Cycle cycle, std::uint32_t chan_id)
+{
+    if (!active() || chan_id == fabric::kNoRequest)
+        return; // inert manager, or same-layer transfer (no L2LC)
+    const std::uint32_t fi = flakyOf_[chan_id];
+    if (fi == kNoFlaky)
+        return;
+    // One flit per channel per cycle, so (key, cycle) ticks are
+    // unique — the draw stream agrees across stepping modes.
+    const std::uint64_t draw = counterDrawKeyed(flakyKey_[fi], cycle);
+    if ((draw >> 11) >= errThresh_[fi])
+        return;
+    ++totalErrors_;
+    if (obs::on()) [[unlikely]]
+        recordFaultEv(obs::Ev::LinkError, chan_id);
+    // Errors bucket into absolute windows (cycle / windowCycles), so
+    // skipped idle cycles never shift the count.
+    const std::uint64_t widx = cycle / sched_.windowCycles;
+    if (winIdx_[fi] != widx) {
+        winIdx_[fi] = widx;
+        winCount_[fi] = 0;
+    }
+    ++winCount_[fi];
+    // Isolate when the window count *exceeds* the threshold. The
+    // seeded off-by-one mutation trips one error early (>=), which
+    // the fuzzer's pure-oracle pass must detect.
+    const std::uint32_t trip =
+        sched_.maxErrorsPerWindow + (sched_.mutIsolationOffByOne ? 0 : 1);
+    if (winCount_[fi] == trip)
+        pending_.push_back(chan_id);
+}
+
+void
+FaultManager::applyPending(net::Cycle cycle, fabric::Fabric &fab,
+                           std::vector<fabric::BrokenConn> &broken)
+{
+    for (std::uint32_t id : pending_) {
+        const std::uint32_t fi = flakyOf_[id];
+        if (obs::on()) [[unlikely]]
+            recordFaultEv(obs::Ev::Isolate, id, winCount_[fi]);
+        setFailed(id, kReasonIsolated, fab, &broken);
+        if (sched_.recoveryCycles != 0)
+            unisolateAt_[id] = cycle + sched_.recoveryCycles;
+        ++numIsolated_;
+        ++isolations_;
+    }
+    pending_.clear();
+}
+
+void
+FaultManager::save(snap::Writer &w) const
+{
+    sim_assert(pending_.empty(),
+               "snapshot taken mid-cycle (pending isolations)");
+    w.u64(nextEvt_);
+    w.vec(reason_);
+    w.vec(unisolateAt_);
+    w.vec(winIdx_);
+    w.vec(winCount_);
+    w.u32(numIsolated_);
+    w.u64(totalErrors_);
+    w.u64(isolations_);
+    w.u64(unisolations_);
+}
+
+void
+FaultManager::load(snap::Reader &r)
+{
+    nextEvt_ = r.u64();
+    r.vec(reason_);
+    r.vec(unisolateAt_);
+    r.vec(winIdx_);
+    r.vec(winCount_);
+    numIsolated_ = r.u32();
+    totalErrors_ = r.u64();
+    isolations_ = r.u64();
+    unisolations_ = r.u64();
+    pending_.clear();
+}
+
+} // namespace hirise::sim

@@ -103,4 +103,77 @@ mwmAcceptedFlitsBound(std::uint32_t radix, std::uint32_t packet_len,
     return flow.run(src, snk) * double(packet_len);
 }
 
+double
+mwmDegradedFlitsBound(
+    const SwitchSpec &spec, std::uint32_t packet_len,
+    const traffic::TrafficPattern &pat, double load,
+    const std::function<std::uint32_t(std::uint32_t, std::uint32_t)>
+        &survivors)
+{
+    sim_assert(spec.topo == Topology::HiRise,
+               "degraded bound is defined for the Hi-Rise datapath");
+    sim_assert(spec.layers >= 2 && packet_len >= 1 && load >= 0.0,
+               "bad degraded bound query");
+
+    // Node ids: 0 = source, 1..N inputs, N+1..2N outputs, then two
+    // nodes per ordered layer pair (s, d) modeling the pair's channel
+    // stage as an internal edge of capacity survivors(s,d) * cap_pkts,
+    // and finally the sink. Same-layer traffic never touches an L2LC,
+    // so it keeps the direct input->output edge.
+    const std::uint32_t N = spec.radix;
+    const std::uint32_t L = spec.layers;
+    const std::uint32_t ppl = spec.portsPerLayer();
+    const std::uint32_t src = 0;
+    const std::uint32_t pair_base = 1 + 2 * N;
+    const std::uint32_t snk = pair_base + 2 * L * L;
+    const double cap_pkts = 1.0 / double(packet_len + 1);
+
+    auto pair_in = [&](std::uint32_t s, std::uint32_t d) {
+        return pair_base + 2 * (s * L + d);
+    };
+
+    MaxFlow flow(snk + 1);
+    for (std::uint32_t i = 0; i < N; ++i) {
+        if (!pat.participates(i))
+            continue;
+        double offered = std::min(load, 1.0);
+        flow.addCap(src, 1 + i, std::min(offered, cap_pkts));
+        const std::uint32_t s = i / ppl;
+        for (std::uint32_t o = 0; o < N; ++o) {
+            double r = pat.rateTo(i, o);
+            if (r < 0.0)
+                fatal("pattern %s has no analytic rate matrix",
+                      pat.name().c_str());
+            if (r <= 0.0)
+                continue;
+            const std::uint32_t d = o / ppl;
+            if (s == d) {
+                flow.addCap(1 + i, 1 + N + o, offered * r);
+            } else {
+                // addCap is additive: demand from every input of
+                // layer s toward layer d aggregates on this edge.
+                // The per-(i, o) split is not re-enforced beyond the
+                // pair node, which only relaxes the problem: the
+                // result stays an upper bound.
+                flow.addCap(1 + i, pair_in(s, d), offered * r);
+            }
+        }
+    }
+    for (std::uint32_t s = 0; s < L; ++s) {
+        for (std::uint32_t d = 0; d < L; ++d) {
+            if (s == d)
+                continue;
+            flow.addCap(pair_in(s, d), pair_in(s, d) + 1,
+                        double(survivors(s, d)) * cap_pkts);
+            for (std::uint32_t o = d * ppl;
+                 o < std::min((d + 1) * ppl, N); ++o)
+                flow.addCap(pair_in(s, d) + 1, 1 + N + o, cap_pkts);
+        }
+    }
+    for (std::uint32_t o = 0; o < N; ++o)
+        flow.addCap(1 + N + o, snk, cap_pkts);
+
+    return flow.run(src, snk) * double(packet_len);
+}
+
 } // namespace hirise::sim

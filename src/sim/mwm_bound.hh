@@ -19,7 +19,9 @@
 #define HIRISE_SIM_MWM_BOUND_HH
 
 #include <cstdint>
+#include <functional>
 
+#include "common/spec.hh"
 #include "traffic/pattern.hh"
 
 namespace hirise::sim {
@@ -34,6 +36,31 @@ double mwmAcceptedFlitsBound(std::uint32_t radix,
                              std::uint32_t packet_len,
                              const traffic::TrafficPattern &pat,
                              double load);
+
+/**
+ * As above, but for a Hi-Rise switch with a degraded channel set:
+ * cross-layer flow from layer s to layer d must additionally pass a
+ * capacity of survivors(s, d) * packetLen/(packetLen+1) flits/cycle —
+ * the surviving L2LCs of that pair, each serving one connection-held
+ * packet per (packet_len + 1) cycles. Same-layer traffic bypasses the
+ * channel stage, exactly as in the fabric.
+ *
+ * The per-pair stage is an *aggregate relaxation*: inside a layer
+ * pair the per-(input, output) demand split is not re-enforced, so
+ * the value is a valid — if sometimes loose — upper bound on any
+ * real schedule, which is all a throughput cross-check needs. With
+ * every pair at full capacity it coincides with the undegraded bound
+ * whenever the channel stage is not the bottleneck.
+ *
+ * @param survivors  callback (src_layer, dst_layer) -> number of
+ *                   in-service channels (e.g.
+ *                   HiRiseFabric::survivingChannels).
+ */
+double mwmDegradedFlitsBound(
+    const SwitchSpec &spec, std::uint32_t packet_len,
+    const traffic::TrafficPattern &pat, double load,
+    const std::function<std::uint32_t(std::uint32_t, std::uint32_t)>
+        &survivors);
 
 } // namespace hirise::sim
 

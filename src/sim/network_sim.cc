@@ -1,6 +1,8 @@
 #include "sim/network_sim.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -141,6 +143,21 @@ NetworkSim::NetworkSim(const SwitchSpec &spec, const SimConfig &cfg,
     }
     if (cfg_.trace && !obs::CycleTracer::global().enabled())
         obs::CycleTracer::global().enable();
+}
+
+void
+NetworkSim::setFaultSchedule(const FaultSchedule &sched)
+{
+    sim_assert(cycle_ == 0,
+               "fault schedule must be attached before stepping");
+    if (sched.empty())
+        return; // inert: zero hot-path cost
+    sim_assert(fabric_->supportsChannelFaults(),
+               "fabric '%s' cannot take channel faults",
+               toString(spec_.topo));
+    faultMgr_ = FaultManager(sched, spec_, cfg_.seed);
+    faultsOn_ = true;
+    brokenScratch_.reserve(spec_.radix);
 }
 
 void
@@ -288,7 +305,8 @@ NetworkSim::applyGrant(std::uint32_t i)
     if (obs::on()) [[unlikely]]
         recordGrant(i, req[i], cand_vc[i],
                     ports_[i].vcs()[cand_vc[i]].front().packet);
-    ports_[i].connect(cand_vc[i], req[i], cfg_.packetLen);
+    ports_[i].connect(cand_vc[i], req[i], cfg_.packetLen,
+                      ports_[i].vcs()[cand_vc[i]].front().genCycle);
     connectedPorts_.set(i);
     eligibleInputs_.reset(i);
     dstFreeScratch_.reset(req[i]);
@@ -390,6 +408,12 @@ NetworkSim::transferCycle()
         ++flitsDelivered_;
         if (measuring_)
             ++measFlitsDelivered_;
+        if (faultsOn_) {
+            // Flaky-link error draw, attributed to the L2LC this
+            // flit crossed (read before a tail flit releases it).
+            faultMgr_.onFlitTransfer(cycle_,
+                                     fabric_->heldChannelId(out));
+        }
         bool done = port.transferOne();
         if (done) {
             sim_assert(f.tail, "connection ended mid-packet");
@@ -412,6 +436,52 @@ NetworkSim::transferCycle()
                 recordRelease(i, out, cfg_.packetLen, f.packet);
         }
     });
+    if (faultsOn_) {
+        // Isolations tripped by this cycle's error draws apply after
+        // the transfer walk (never mid-iteration).
+        brokenScratch_.clear();
+        faultMgr_.applyPending(cycle_, *fabric_, brokenScratch_);
+        if (!brokenScratch_.empty())
+            handleBroken(brokenScratch_);
+    }
+}
+
+void
+NetworkSim::handleBroken(
+    const std::vector<fabric::BrokenConn> &broken)
+{
+    for (const auto &bc : broken) {
+        const std::uint32_t i = bc.input;
+        net::InputPort &port = ports_[i];
+        sim_assert(port.connected() && port.connOutput() == bc.output,
+                   "broken connection %u->%u does not match port "
+                   "state",
+                   bc.input, bc.output);
+        ++packetsDropped_;
+        if (measuring_ && port.connGenCycle() >= measureStart_)
+            ++measPacketsDropped_;
+        std::uint32_t flits_dropped = 0;
+        bool pop_source = false;
+        port.breakConnection(flits_dropped, pop_source);
+        droppedFlits_ += flits_dropped;
+        if (pop_source) {
+            // The dropped packet was still streaming from the (real
+            // or virtual) source queue head; retire it there too.
+            if (satOn_) {
+                satQ_.advance(i, *pattern_);
+            } else {
+                port.sourceQueue().pop_front();
+                if (port.sourceQueue().empty())
+                    fillPending_.reset(i);
+            }
+        }
+        connectedPorts_.reset(i);
+        dstFreeScratch_.set(bc.output);
+        if (port.anyVcOccupied())
+            eligibleInputs_.set(i);
+        else
+            eligibleInputs_.reset(i);
+    }
 }
 
 bool
@@ -431,6 +501,14 @@ NetworkSim::stepOnce()
 {
     if (obs::on()) [[unlikely]]
         obs::setTraceCycle(cycle_);
+    if (faultsOn_) {
+        // Topology changes land at cycle start, before injection, so
+        // the whole cycle sees the new channel set.
+        brokenScratch_.clear();
+        faultMgr_.beginCycle(cycle_, *fabric_, brokenScratch_);
+        if (!brokenScratch_.empty())
+            handleBroken(brokenScratch_);
+    }
     if (satOn_) {
         // Saturation fast path: inject by accounting, fill from the
         // virtual queue heads (works in both stepping modes — at load
@@ -465,6 +543,11 @@ NetworkSim::stepTo(net::Cycle bound)
             injHeap_.empty()
                 ? bound
                 : std::min(bound, injHeap_.front().cycle);
+        // Never jump a scheduled fault event or pending unisolation:
+        // those cycles must be stepped so beginCycle applies them on
+        // time (fabric state changes even in quiescent spans).
+        if (faultsOn_)
+            next = std::min(next, faultMgr_.nextEventCycle());
         if (next > cycle_) {
             // Nothing can happen before `next`; account the skipped
             // request-free arbitration cycles for stats parity.
@@ -482,7 +565,8 @@ void
 NetworkSim::checkInvariants() const
 {
     check::verifyFlitConservation(injected_ * cfg_.packetLen,
-                                  flitsDelivered_, backlogFlits());
+                                  flitsDelivered_, backlogFlits(),
+                                  droppedFlits_);
     auto holder = [this](std::uint32_t o) {
         return fabric_->outputHolder(o);
     };
@@ -537,20 +621,36 @@ NetworkSim::backlogFlits() const
     return n;
 }
 
+void
+NetworkSim::advanceTo(net::Cycle target)
+{
+    // Boundaries are absolute, so this is restartable anywhere: a
+    // restored simulator continues from cycle_ and flips the
+    // measurement window at exactly the same cycles as an
+    // uninterrupted run.
+    while (cycle_ < target) {
+        if (!measuring_ && cycle_ >= warmEnd() && cycle_ < runEnd()) {
+            measuring_ = true;
+            measureStart_ = warmEnd();
+        }
+        net::Cycle bound = target;
+        if (cycle_ < warmEnd())
+            bound = std::min(bound, warmEnd());
+        else if (cycle_ < runEnd())
+            bound = std::min(bound, runEnd());
+        stepTo(bound);
+        if (measuring_ && cycle_ >= runEnd())
+            measuring_ = false;
+    }
+}
+
 SimResult
 NetworkSim::run()
 {
-    const net::Cycle warm_end = cycle_ + cfg_.warmupCycles;
-    while (cycle_ < warm_end)
-        stepTo(warm_end);
-    measuring_ = true;
-    measureStart_ = cycle_;
-    const net::Cycle end = cycle_ + cfg_.measureCycles;
-    while (cycle_ < end)
-        stepTo(end);
-    measuring_ = false;
+    advanceTo(runEnd());
+    sim_assert(!measuring_, "measurement window still open");
 
-    double window = static_cast<double>(cycle_ - measureStart_);
+    double window = static_cast<double>(runEnd() - warmEnd());
     SimResult r;
     r.offeredFlitsPerCycle =
         static_cast<double>(measFlitsOffered_) / window;
@@ -560,10 +660,13 @@ NetworkSim::run()
     r.avgQueueingCycles = queueing_.mean();
     r.p99LatencyCycles = latencyHist_.quantile(0.99);
     r.packetsDelivered = latency_.count();
-    sim_assert(measPacketsCompleted_ <= measPacketsInjected_,
-               "more window packets completed than injected");
-    r.inFlightAtMeasureEnd =
-        measPacketsInjected_ - measPacketsCompleted_;
+    r.packetsDropped = packetsDropped_;
+    sim_assert(measPacketsCompleted_ + measPacketsDropped_ <=
+                   measPacketsInjected_,
+               "more window packets completed+dropped than injected");
+    r.inFlightAtMeasureEnd = measPacketsInjected_ -
+                             measPacketsCompleted_ -
+                             measPacketsDropped_;
     r.latencyOverflowPackets = latencyHist_.overflowCount();
     if (obs::on()) [[unlikely]] {
         SimMetrics::get().inFlightCensored.inc(
@@ -584,6 +687,162 @@ NetworkSim::run()
 
     sim_assert(delivered_ <= injected_, "conservation violated");
     return r;
+}
+
+std::uint64_t
+NetworkSim::configKey() const
+{
+    // FNV-1a over a canonical configuration string: everything the
+    // restoring process must have reconstructed identically for a
+    // snapshot's state to make sense.
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "spec:%d/%u/%u/%u/%u/%d/%d/%u/%u/%llu;"
+        "cfg:%u/%u/%u/%.17g/%llu/%llu/%llu;",
+        static_cast<int>(spec_.topo), spec_.radix, spec_.layers,
+        spec_.channels, spec_.flitBits, static_cast<int>(spec_.arb),
+        static_cast<int>(spec_.alloc), spec_.clrgMaxCount,
+        spec_.schedIters,
+        static_cast<unsigned long long>(spec_.schedSeed), cfg_.numVcs,
+        cfg_.vcDepth, cfg_.packetLen, cfg_.injectionRate,
+        static_cast<unsigned long long>(cfg_.warmupCycles),
+        static_cast<unsigned long long>(cfg_.measureCycles),
+        static_cast<unsigned long long>(cfg_.seed));
+    std::string s = buf;
+    s += "pat:" + pattern_->descriptor() + ";";
+    if (faultsOn_)
+        s += faultMgr_.schedule().descriptor();
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+NetworkSim::save(snap::Writer &w) const
+{
+    w.u64(cycle_);
+    w.u64(nextId_);
+    w.u64(injected_);
+    w.u64(delivered_);
+    w.u64(flitsDelivered_);
+    w.u64(droppedFlits_);
+    w.u64(packetsDropped_);
+    w.b(measuring_);
+    w.u64(measureStart_);
+    w.u64(measFlitsDelivered_);
+    w.u64(measFlitsOffered_);
+    w.u64(measPacketsInjected_);
+    w.u64(measPacketsCompleted_);
+    w.u64(measPacketsDropped_);
+    latency_.save(w);
+    queueing_.save(w);
+    latencyHist_.save(w);
+    for (const auto &st : perInputLatency_)
+        st.save(w);
+    w.vec(perInputPackets_);
+    for (const auto &p : ports_)
+        p.save(w);
+    if (satOn_)
+        satQ_.save(w);
+    fabric_->save(w);
+    faultMgr_.save(w);
+    pattern_->save(w);
+    // Derived structures (eligible/connected/fill bitsets, output
+    // availability, the injection heap) are rebuilt on load; the
+    // per-cycle request scratch is all-idle between cycles.
+}
+
+void
+NetworkSim::load(snap::Reader &r)
+{
+    cycle_ = r.u64();
+    nextId_ = r.u64();
+    injected_ = r.u64();
+    delivered_ = r.u64();
+    flitsDelivered_ = r.u64();
+    droppedFlits_ = r.u64();
+    packetsDropped_ = r.u64();
+    measuring_ = r.b();
+    measureStart_ = r.u64();
+    measFlitsDelivered_ = r.u64();
+    measFlitsOffered_ = r.u64();
+    measPacketsInjected_ = r.u64();
+    measPacketsCompleted_ = r.u64();
+    measPacketsDropped_ = r.u64();
+    latency_.load(r);
+    queueing_.load(r);
+    latencyHist_.load(r);
+    for (auto &st : perInputLatency_)
+        st.load(r);
+    r.vec(perInputPackets_);
+    for (auto &p : ports_)
+        p.load(r);
+    if (satOn_)
+        satQ_.load(r);
+    fabric_->load(r);
+    faultMgr_.load(r);
+    pattern_->load(r);
+    rebuildDerived();
+}
+
+void
+NetworkSim::rebuildDerived()
+{
+    connectedPorts_.clear();
+    eligibleInputs_.clear();
+    fillPending_.clear();
+    dstFreeScratch_.clear();
+    for (std::uint32_t o = 0; o < spec_.radix; ++o) {
+        if (!fabric_->outputBusy(o))
+            dstFreeScratch_.set(o);
+    }
+    for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+        const net::InputPort &p = ports_[i];
+        if (p.connected())
+            connectedPorts_.set(i);
+        else if (p.anyVcOccupied())
+            eligibleInputs_.set(i);
+        if (!p.sourceQueue().empty())
+            fillPending_.set(i);
+    }
+    if (injHeapOn_) {
+        // Injection events are pure functions of the counter streams;
+        // rescheduling from the restored cycle reproduces the exact
+        // injection cycles the saved heap encoded (probe-chunk
+        // alignment may differ, which is outcome-neutral: probes
+        // re-evaluate injectAt on pop).
+        injHeap_.clear();
+        for (std::uint32_t i = 0; i < spec_.radix; ++i) {
+            if (pattern_->participates(i))
+                scheduleNextInjection(i, cycle_);
+        }
+    }
+#ifdef HIRISE_CHECK_ENABLED
+    checkInvariants();
+#endif
+}
+
+bool
+NetworkSim::saveSnapshotFile(const std::string &path) const
+{
+    snap::Writer w;
+    save(w);
+    return w.writeFile(path, configKey());
+}
+
+bool
+NetworkSim::loadSnapshotFile(const std::string &path)
+{
+    snap::Reader r;
+    if (!r.readFile(path, configKey()))
+        return false;
+    load(r);
+    sim_assert(r.done(), "snapshot payload not fully consumed");
+    return true;
 }
 
 } // namespace hirise::sim

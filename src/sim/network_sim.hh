@@ -19,6 +19,7 @@
 #include "fabric/fabric.hh"
 #include "net/input_port.hh"
 #include "net/packet.hh"
+#include "sim/fault.hh"
 #include "sim/virtual_queue.hh"
 #include "traffic/pattern.hh"
 
@@ -84,6 +85,10 @@ struct SimResult
      *  histogram's last regular bin. Nonzero means p99LatencyCycles
      *  is clamped to the overflow edge and reads ">=", not "=". */
     std::uint64_t latencyOverflowPackets = 0;
+    /** Packets dropped over the whole run because a fault forcibly
+     *  broke their connection mid-transfer (warmup included). Always
+     *  0 without a fault schedule. */
+    std::uint64_t packetsDropped = 0;
     /** Mean packet latency per source input (Fig 11a). */
     std::vector<double> perInputLatency;
     /** Delivered packets/cycle per source input (Fig 11c). */
@@ -119,8 +124,22 @@ class NetworkSim
                std::shared_ptr<traffic::TrafficPattern> pattern,
                std::unique_ptr<fabric::Fabric> fabric);
 
-    /** Run warmup + measurement; returns the aggregated result. */
+    /** Attach a fault schedule. Must be called before the first
+     *  step (events are relative to cycle 0); requires a fabric with
+     *  failable channels. */
+    void setFaultSchedule(const FaultSchedule &sched);
+
+    /** Run warmup + measurement; returns the aggregated result.
+     *  Boundaries are absolute (warmup ends at cycle
+     *  cfg.warmupCycles, measurement at warmup + measure), so a
+     *  restored simulator picks up run() mid-flight and produces a
+     *  bit-identical SimResult. */
     SimResult run();
+
+    /** Advance to absolute cycle @p target (no-op when already
+     *  there), flipping the measurement window on/off at the exact
+     *  run() boundaries. run() == advanceTo(end) + aggregation. */
+    void advanceTo(net::Cycle target);
 
     /** Advance exactly one switch cycle (exposed for unit tests).
      *  Identical observable semantics in both stepping modes. */
@@ -129,6 +148,7 @@ class NetworkSim
     net::Cycle now() const { return cycle_; }
     const fabric::Fabric &fabricRef() const { return *fabric_; }
     net::InputPort &port(std::uint32_t i) { return ports_[i]; }
+    const FaultManager &faultManager() const { return faultMgr_; }
 
     /** Flits still inside source queues, VCs, or in flight. */
     std::uint64_t backlogFlits() const;
@@ -136,6 +156,28 @@ class NetworkSim
     std::uint64_t totalInjectedPackets() const { return injected_; }
     std::uint64_t totalDeliveredPackets() const { return delivered_; }
     std::uint64_t totalDeliveredFlits() const { return flitsDelivered_; }
+    std::uint64_t totalDroppedPackets() const { return packetsDropped_; }
+    std::uint64_t totalDroppedFlits() const { return droppedFlits_; }
+
+    // -- checkpoint/restore ------------------------------------------
+
+    /** Serialize full simulator state (cycle, ports, fabric, fault
+     *  manager, pattern state, measurement accumulators). load() runs
+     *  on a freshly constructed sim with identical spec/config/
+     *  pattern/schedule; derived structures are rebuilt. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
+    /** Content hash of the configuration (spec + SimConfig + pattern
+     *  descriptor + fault descriptor); embedded in snapshot files so
+     *  cross-configuration restores are rejected. */
+    std::uint64_t configKey() const;
+
+    /** save()/load() framed through common/snapshot.hh's versioned,
+     *  checksummed file format. False on I/O or validation failure
+     *  (the sim is untouched on a failed load). */
+    bool saveSnapshotFile(const std::string &path) const;
+    bool loadSnapshotFile(const std::string &path);
 
     /** True when this run takes the virtual-source-queue saturation
      *  fast path (load >= 1, memoryless pattern, legacy path not
@@ -166,6 +208,20 @@ class NetworkSim
     void arbitrateCycleActive(); //!< event mode: eligible-set walk
     void applyGrant(std::uint32_t i);
     void transferCycle();
+
+    /** Tear down connections the fabric broke on channel failure:
+     *  drop the in-flight packets, charge the dropped-flit ledger,
+     *  and resync the incremental port/output sets. */
+    void handleBroken(const std::vector<fabric::BrokenConn> &broken);
+    /** Rebuild every derived structure (eligible/connected/fill
+     *  bitsets, output availability, injection heap) from restored
+     *  port + fabric state. */
+    void rebuildDerived();
+    net::Cycle warmEnd() const { return cfg_.warmupCycles; }
+    net::Cycle runEnd() const
+    {
+        return cfg_.warmupCycles + cfg_.measureCycles;
+    }
 
     void scheduleNextInjection(std::uint32_t i, net::Cycle from);
     void heapPush(InjEvent ev);
@@ -243,11 +299,23 @@ class NetworkSim
      *  probe re-scans when popped). */
     static constexpr net::Cycle kInjectScanChunk = 1u << 20;
 
+    /** Fault machinery live for this run (non-empty schedule). The
+     *  hot path pays one predictable branch per phase when off. */
+    bool faultsOn_ = false;
+    FaultManager faultMgr_;
+    /** Victim scratch for beginCycle/applyPending fault breaks. */
+    std::vector<fabric::BrokenConn> brokenScratch_;
+
     net::Cycle cycle_ = 0;
     net::PacketId nextId_ = 1;
     std::uint64_t injected_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t flitsDelivered_ = 0;
+    /** Flits of fault-dropped packets never delivered; completes the
+     *  conservation identity injected*len == delivered + backlog +
+     *  dropped. */
+    std::uint64_t droppedFlits_ = 0;
+    std::uint64_t packetsDropped_ = 0;
 
     // Measurement-window accounting.
     bool measuring_ = false;
@@ -256,9 +324,11 @@ class NetworkSim
     std::uint64_t measFlitsOffered_ = 0;
     /** Packets injected during the window / delivered packets that
      *  were injected during the window; the difference at window
-     *  close is the right-censored population (inFlightAtMeasureEnd). */
+     *  close, net of window-injected drops, is the right-censored
+     *  population (inFlightAtMeasureEnd). */
     std::uint64_t measPacketsInjected_ = 0;
     std::uint64_t measPacketsCompleted_ = 0;
+    std::uint64_t measPacketsDropped_ = 0;
     RunningStat latency_;
     RunningStat queueing_;
     Histogram latencyHist_{4.0, 4096};

@@ -71,6 +71,7 @@ struct RecordHeader
     std::uint64_t packetsDelivered;
     std::uint64_t inFlightAtMeasureEnd;
     std::uint64_t latencyOverflowPackets;
+    std::uint64_t packetsDropped;
     double offered;
     double accepted;
     double avgLatency;
@@ -101,7 +102,8 @@ SimCache::SimCache(std::size_t capacity, std::string disk_dir,
 
 std::uint64_t
 SimCache::key(const SwitchSpec &spec, const SimConfig &cfg,
-              std::string_view pattern_desc)
+              std::string_view pattern_desc,
+              std::string_view fault_desc)
 {
     Fnv1a h;
     h.pod(kSimCacheVersion);
@@ -132,6 +134,11 @@ SimCache::key(const SwitchSpec &spec, const SimConfig &cfg,
 
     h.pod(static_cast<std::uint64_t>(pattern_desc.size()));
     h.bytes(pattern_desc.data(), pattern_desc.size());
+    // Fault-free runs hash an empty descriptor, so pre-fault keys for
+    // schedule-less points are unchanged in spirit (the version bump
+    // invalidates old records anyway).
+    h.pod(static_cast<std::uint64_t>(fault_desc.size()));
+    h.bytes(fault_desc.data(), fault_desc.size());
     return h.value();
 }
 
@@ -250,6 +257,7 @@ SimCache::readDisk(std::uint64_t key, SimResult *out) const
     r.packetsDelivered = hdr.packetsDelivered;
     r.inFlightAtMeasureEnd = hdr.inFlightAtMeasureEnd;
     r.latencyOverflowPackets = hdr.latencyOverflowPackets;
+    r.packetsDropped = hdr.packetsDropped;
     r.perInputLatency.resize(hdr.numPerInputLatency);
     r.perInputThroughput.resize(hdr.numPerInputThroughput);
     f.read(reinterpret_cast<char *>(r.perInputLatency.data()),
@@ -274,6 +282,7 @@ SimCache::writeDisk(std::uint64_t key, const SimResult &r) const
     hdr.packetsDelivered = r.packetsDelivered;
     hdr.inFlightAtMeasureEnd = r.inFlightAtMeasureEnd;
     hdr.latencyOverflowPackets = r.latencyOverflowPackets;
+    hdr.packetsDropped = r.packetsDropped;
     hdr.offered = r.offeredFlitsPerCycle;
     hdr.accepted = r.acceptedFlitsPerCycle;
     hdr.avgLatency = r.avgLatencyCycles;

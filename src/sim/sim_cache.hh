@@ -41,8 +41,10 @@ namespace hirise::sim {
  *  inFlightAtMeasureEnd / latencyOverflowPackets (disk layout and
  *  result contents changed). v3: keys hash the scheduler fields
  *  (SwitchSpec::schedIters/schedSeed) so scheduler configs never
- *  collide. */
-constexpr std::uint32_t kSimCacheVersion = 3;
+ *  collide. v4: SimResult gained packetsDropped (disk layout
+ *  changed) and keys hash the fault-schedule descriptor so faulted
+ *  runs never collide with fault-free ones. */
+constexpr std::uint32_t kSimCacheVersion = 4;
 
 class SimCache
 {
@@ -76,10 +78,13 @@ class SimCache
 
     /** Stable content hash of one simulation point. Includes every
      *  SwitchSpec and SimConfig field (seed included) plus the
-     *  pattern descriptor, salted with the cache version. */
+     *  pattern descriptor and, when non-empty, the fault-schedule
+     *  descriptor (FaultSchedule::descriptor()), salted with the
+     *  cache version. */
     static std::uint64_t key(const SwitchSpec &spec,
                              const SimConfig &cfg,
-                             std::string_view pattern_desc);
+                             std::string_view pattern_desc,
+                             std::string_view fault_desc = {});
 
     /** True (and *out filled) when @p key is cached in either tier;
      *  disk hits are promoted into the memory tier. */

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/snapshot.hh"
 #include "net/packet.hh"
 #include "traffic/pattern.hh"
 
@@ -115,6 +116,11 @@ class VirtualSourceQueues
     {
         return (cycle - heads_[i].genCycle) * packet_len;
     }
+
+    /** Only the head packets are state; participation, rank count,
+     *  and seed are configuration re-derived by init(). */
+    void save(snap::Writer &w) const { w.vec(heads_); }
+    void load(snap::Reader &r) { r.vec(heads_); }
 
   private:
     std::vector<net::Packet> heads_;

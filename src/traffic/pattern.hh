@@ -23,6 +23,7 @@
 
 #include "common/random.hh"
 #include "common/simd.hh"
+#include "common/snapshot.hh"
 
 namespace hirise::traffic {
 
@@ -165,6 +166,12 @@ class TrafficPattern
      * appear here.
      */
     virtual std::string descriptor() const { return name(); }
+
+    /** Checkpoint/restore of per-input pattern state. Memoryless
+     *  patterns have none (default no-op); stateful ones must save
+     *  everything injectAt/destAt depend on. */
+    virtual void save(snap::Writer & /*w*/) const {}
+    virtual void load(snap::Reader & /*r*/) {}
 };
 
 /** Uniform random over all outputs except self. */
@@ -288,6 +295,18 @@ class Bursty : public TrafficPattern
     }
     std::string name() const override { return "bursty"; }
     std::string descriptor() const override;
+    void
+    save(snap::Writer &w) const override
+    {
+        w.vec(state_);
+        w.vec(burstDst_);
+    }
+    void
+    load(snap::Reader &r) override
+    {
+        r.vec(state_);
+        r.vec(burstDst_);
+    }
 
   private:
     std::uint32_t radix_;

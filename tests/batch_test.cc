@@ -152,6 +152,7 @@ expectSame(const sim::SimResult &e, const sim::SimResult &d)
     EXPECT_EQ(e.packetsDelivered, d.packetsDelivered);
     EXPECT_EQ(e.inFlightAtMeasureEnd, d.inFlightAtMeasureEnd);
     EXPECT_EQ(e.latencyOverflowPackets, d.latencyOverflowPackets);
+    EXPECT_EQ(e.packetsDropped, d.packetsDropped);
     EXPECT_EQ(e.fairness, d.fairness);
     EXPECT_EQ(e.perInputLatency, d.perInputLatency);
     EXPECT_EQ(e.perInputThroughput, d.perInputThroughput);
@@ -219,6 +220,52 @@ TEST(BatchSim, OddReplicaCountExercisesScalarTail)
     expectAllLanesMatchScalar(
         hiriseSpec(64), Pat::Uniform,
         {{0.3, 1}, {0.3, 2}, {0.7, 3}, {1.0, 4}, {0.5, 5}});
+}
+
+TEST(BatchSim, LanesBitIdenticalWithFaultSchedule)
+{
+    // Every lane carries its own FaultManager seeded with the lane's
+    // seed, so mid-run failures, flaky-link error draws, isolation
+    // windows, and forced packet drops must all reproduce the scalar
+    // run with that seed bit for bit.
+    sim::FaultSchedule sched;
+    sched.events.push_back(
+        {200, sim::FaultEvent::Kind::FailChannel, 0, 1, 0});
+    sched.events.push_back(
+        {450, sim::FaultEvent::Kind::RecoverChannel, 0, 1, 0});
+    sched.events.push_back(
+        {300, sim::FaultEvent::Kind::FailLayer, 2, 0, 0});
+    sched.flaky.push_back({1, 3, 0, 0.35});
+    sched.maxErrorsPerWindow = 1;
+    sched.windowCycles = 32;
+    sched.recoveryCycles = 48;
+
+    auto spec = hiriseSpec(64);
+    auto pts = mixedPoints();
+    std::vector<std::shared_ptr<TrafficPattern>> pats;
+    for (std::size_t r = 0; r < pts.size(); ++r)
+        pats.push_back(makePattern(Pat::Uniform, spec.radix));
+    sim::BatchSim s(spec, baseConfig(), std::move(pats), pts);
+    s.setFaultSchedule(sched);
+    auto batched = s.run();
+
+    ASSERT_EQ(batched.size(), pts.size());
+    for (std::size_t r = 0; r < pts.size(); ++r) {
+        SCOPED_TRACE("lane " + std::to_string(r) + " load " +
+                     std::to_string(pts[r].load) + " seed " +
+                     std::to_string(pts[r].seed));
+        sim::SimConfig cfg = baseConfig();
+        cfg.injectionRate = pts[r].load;
+        cfg.seed = pts[r].seed;
+        sim::NetworkSim scalar(spec, cfg,
+                               makePattern(Pat::Uniform, spec.radix));
+        scalar.setFaultSchedule(sched);
+        expectSame(batched[r], scalar.run());
+        EXPECT_EQ(s.faultManager(r).totalLinkErrors(),
+                  scalar.faultManager().totalLinkErrors());
+        EXPECT_EQ(s.faultManager(r).totalIsolations(),
+                  scalar.faultManager().totalIsolations());
+    }
 }
 
 TEST(BatchSim, BitIdenticalOnEverySimdTier)

@@ -482,13 +482,55 @@ TEST(HiRise, FullyFailedLayerPairDegradesWithoutDeadlock)
     EXPECT_FALSE(f.channelBusy(1, 3, 1));
 }
 
-TEST(HiRiseDeath, CannotFailBusyChannel)
+TEST(HiRise, FailingBusyChannelForciblyBreaksHolder)
 {
+    // Regression: failChannel on a channel held by an in-flight
+    // multi-flit packet used to be a fatal error; now it forcibly
+    // breaks the connection and reports the victim so the simulator
+    // can drop the packet and let the input re-arbitrate.
     HiRiseFabric f(hiriseSpec(2));
     auto req = noRequests(64);
     req[20] = 63;
     ASSERT_TRUE(f.arbitrate(req)[20]); // holds channel (1,3,0)
-    EXPECT_DEATH(f.failChannel(1, 3, 0), "mid-transfer");
+    ASSERT_TRUE(f.channelBusy(1, 3, 0));
+    ASSERT_TRUE(f.outputBusy(63));
+
+    std::vector<BrokenConn> broken;
+    f.failChannel(1, 3, 0, &broken);
+    ASSERT_EQ(broken.size(), 1u);
+    EXPECT_EQ(broken[0].input, 20u);
+    EXPECT_EQ(broken[0].output, 63u);
+    EXPECT_TRUE(f.channelFailed(1, 3, 0));
+    EXPECT_FALSE(f.channelBusy(1, 3, 0));
+    EXPECT_FALSE(f.outputBusy(63));
+
+    // The freed input re-arbitrates straight onto the survivor.
+    EXPECT_TRUE(f.arbitrate(req)[20]);
+    EXPECT_TRUE(f.channelBusy(1, 3, 1));
+
+    // Idempotent: re-failing reports no new victims.
+    broken.clear();
+    f.failChannel(1, 3, 0, &broken);
+    EXPECT_TRUE(broken.empty());
+}
+
+TEST(HiRise, ZeroSurvivorPairAdvertisesZeroCapacity)
+{
+    // All channels of one layer pair down: the pair advertises zero
+    // capacity, the rest of the fabric is unaffected, and recovery
+    // restores capacity one channel at a time.
+    HiRiseFabric f(hiriseSpec(2));
+    const std::uint32_t healthy = 2u * 4 * 3; // c * L * (L-1)
+    EXPECT_EQ(f.survivingChannels(1, 3), 2u);
+    EXPECT_EQ(f.advertisedCapacity(), healthy);
+    f.failChannel(1, 3, 0);
+    f.failChannel(1, 3, 1);
+    EXPECT_EQ(f.survivingChannels(1, 3), 0u);
+    EXPECT_EQ(f.survivingChannels(3, 1), 2u);
+    EXPECT_EQ(f.advertisedCapacity(), healthy - 2);
+    f.recoverChannel(1, 3, 1);
+    EXPECT_EQ(f.survivingChannels(1, 3), 1u);
+    EXPECT_EQ(f.advertisedCapacity(), healthy - 1);
 }
 
 TEST(HiRiseDeath, FailChannelRejectsBadCoordinates)

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Dynamic fault events: scheduled mid-run channel/layer failure and
+ * recovery, forced drops of in-flight packets, flaky-link isolation
+ * thresholds with automatic unisolation, flit conservation with a
+ * drop term, determinism of the whole fault path, and the degraded
+ * MWM fluid bound against measured throughput.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/fault.hh"
+#include "sim/mwm_bound.hh"
+#include "sim/network_sim.hh"
+#include "traffic/pattern.hh"
+
+using namespace hirise;
+
+namespace {
+
+SwitchSpec
+hiriseSpec(std::uint32_t channels = 4, std::uint32_t radix = 64,
+           std::uint32_t layers = 4)
+{
+    SwitchSpec s;
+    s.topo = Topology::HiRise;
+    s.radix = radix;
+    s.layers = layers;
+    s.channels = channels;
+    s.arb = ArbScheme::Clrg;
+    return s;
+}
+
+sim::SimConfig
+quickCfg(double rate, std::uint64_t warm = 100,
+         std::uint64_t measure = 800)
+{
+    sim::SimConfig cfg;
+    cfg.injectionRate = rate;
+    cfg.warmupCycles = warm;
+    cfg.measureCycles = measure;
+    cfg.seed = 5;
+    return cfg;
+}
+
+/** injected * len == delivered + backlog + dropped, the with-faults
+ *  form of flit conservation. */
+void
+expectConserved(sim::NetworkSim &s, std::uint32_t packet_len)
+{
+    EXPECT_EQ(s.totalInjectedPackets() * packet_len,
+              s.totalDeliveredFlits() + s.backlogFlits() +
+                  s.totalDroppedFlits());
+}
+
+} // namespace
+
+TEST(FaultEvents, MidRunChannelFailureDropsInFlightAndConserves)
+{
+    // One channel per layer pair and all traffic on (1 -> 3): failing
+    // that channel mid-run forcibly breaks whatever multi-flit packet
+    // holds it. The victim is dropped (not delivered, not leaked) and
+    // the flit ledger stays balanced with the drop term.
+    auto spec = hiriseSpec(1);
+    // Fail/recover pulses at coprime spacing: the saturated channel's
+    // service cadence is packetLen + 1 = 5 cycles with one free slot,
+    // so pulses 7 and 13 cycles apart sweep every phase and at least
+    // one fail is guaranteed to catch an in-flight packet.
+    sim::FaultSchedule sched;
+    for (net::Cycle c = 150; c < 280; c += 13) {
+        sched.events.push_back(
+            {c, sim::FaultEvent::Kind::FailChannel, 1, 3, 0});
+        sched.events.push_back(
+            {c + 7, sim::FaultEvent::Kind::RecoverChannel, 1, 3, 0});
+    }
+    auto pat = std::make_shared<traffic::InterLayerOnly>(16, 1, 1, 3);
+    sim::SimConfig cfg = quickCfg(0.9);
+    sim::NetworkSim s(spec, cfg, pat);
+    s.setFaultSchedule(sched);
+    auto r = s.run();
+
+    EXPECT_GT(s.totalDroppedPackets(), 0u);
+    EXPECT_EQ(r.packetsDropped, s.totalDroppedPackets());
+    EXPECT_EQ(s.totalDroppedFlits(),
+              s.totalDroppedPackets() * cfg.packetLen);
+    // Delivery resumes after the final repair.
+    EXPECT_GT(r.packetsDelivered, 0u);
+    expectConserved(s, cfg.packetLen);
+}
+
+TEST(FaultEvents, ZeroSurvivorPairStallsThenRecovers)
+{
+    // Both channels of the only demanded pair go down: throughput for
+    // that pair is exactly zero while degraded (traffic piles up at
+    // the sources; nothing wedges), then resumes on recovery.
+    auto spec = hiriseSpec(2);
+    sim::FaultSchedule sched;
+    sched.events.push_back(
+        {100, sim::FaultEvent::Kind::FailChannel, 1, 3, 0});
+    sched.events.push_back(
+        {100, sim::FaultEvent::Kind::FailChannel, 1, 3, 1});
+    sched.events.push_back(
+        {500, sim::FaultEvent::Kind::RecoverChannel, 1, 3, 0});
+    auto pat = std::make_shared<traffic::InterLayerOnly>(16, 2, 1, 3);
+    sim::SimConfig cfg = quickCfg(0.5, 0, 900);
+    sim::NetworkSim s(spec, cfg, pat);
+    s.setFaultSchedule(sched);
+
+    s.advanceTo(480);
+    auto delivered_while_dead = s.totalDeliveredPackets();
+    auto &fab = s.fabricRef();
+    EXPECT_TRUE(fab.supportsChannelFaults());
+    auto r = s.run();
+
+    EXPECT_GT(s.totalDeliveredPackets(), delivered_while_dead);
+    EXPECT_GT(r.packetsDelivered, 0u);
+    expectConserved(s, cfg.packetLen);
+}
+
+TEST(FaultEvents, LayerLossTakesDownEveryTouchingChannel)
+{
+    // FailLayer(2) must stop all traffic into and out of layer 2's
+    // L2LCs while leaving other pairs untouched; RecoverLayer undoes
+    // exactly the channels the layer event took down.
+    auto spec = hiriseSpec(2);
+    sim::FaultSchedule sched;
+    sched.events.push_back(
+        {50, sim::FaultEvent::Kind::FailLayer, 2, 0, 0});
+    auto pat = std::make_shared<traffic::InterLayerOnly>(16, 2, 2, 0);
+    sim::SimConfig cfg = quickCfg(0.5, 0, 400);
+    sim::NetworkSim s(spec, cfg, pat);
+    s.setFaultSchedule(sched);
+    auto r = s.run();
+
+    // All post-cycle-50 traffic is cut off; only packets that won
+    // arbitration in the first 50 cycles can complete.
+    EXPECT_LT(r.packetsDelivered, 200u);
+    expectConserved(s, cfg.packetLen);
+    // Every (2, d) and (s, 2) channel carries the event reason.
+    const auto &mgr = s.faultManager();
+    for (std::uint32_t l = 0; l < 4; ++l) {
+        if (l == 2)
+            continue;
+        std::uint32_t from = (2 * 4 + l) * 2;
+        std::uint32_t to = (l * 4 + 2) * 2;
+        EXPECT_EQ(mgr.reason(from), sim::FaultManager::kReasonEvent);
+        EXPECT_EQ(mgr.reason(to), sim::FaultManager::kReasonEvent);
+    }
+}
+
+TEST(FaultEvents, FlakyLinkIsolatesAndLaterUnisolates)
+{
+    // Error rate 0.5 against a 1-error/32-cycle window trips fast;
+    // recoveryCycles brings the link back, and under sustained load
+    // it trips again — both counters advance.
+    auto spec = hiriseSpec(1);
+    sim::FaultSchedule sched;
+    sched.flaky.push_back({1, 3, 0, 0.5});
+    sched.maxErrorsPerWindow = 1;
+    sched.windowCycles = 32;
+    sched.recoveryCycles = 64;
+    auto pat = std::make_shared<traffic::InterLayerOnly>(16, 1, 1, 3);
+    sim::SimConfig cfg = quickCfg(0.9);
+    sim::NetworkSim s(spec, cfg, pat);
+    s.setFaultSchedule(sched);
+    auto r = s.run();
+
+    const auto &mgr = s.faultManager();
+    EXPECT_GT(mgr.totalLinkErrors(), 0u);
+    EXPECT_GT(mgr.totalIsolations(), 1u);
+    EXPECT_GT(mgr.totalUnisolations(), 0u);
+    EXPECT_GT(r.packetsDelivered, 0u);
+    expectConserved(s, cfg.packetLen);
+}
+
+TEST(FaultEvents, IsolationIsForeverWithoutRecoveryWindow)
+{
+    auto spec = hiriseSpec(1);
+    sim::FaultSchedule sched;
+    sched.flaky.push_back({1, 3, 0, 0.5});
+    sched.maxErrorsPerWindow = 1;
+    sched.windowCycles = 32;
+    sched.recoveryCycles = 0; // never unisolate
+    auto pat = std::make_shared<traffic::InterLayerOnly>(16, 1, 1, 3);
+    sim::NetworkSim s(spec, quickCfg(0.9), pat);
+    s.setFaultSchedule(sched);
+    s.run();
+
+    const auto &mgr = s.faultManager();
+    EXPECT_EQ(mgr.totalIsolations(), 1u);
+    EXPECT_EQ(mgr.totalUnisolations(), 0u);
+    // chanId of (1, 3, 0) with L=4, c=1.
+    EXPECT_TRUE(mgr.isolated((1 * 4 + 3) * 1 + 0));
+}
+
+TEST(FaultEvents, WholeFaultPathIsDeterministic)
+{
+    auto runOnce = [] {
+        sim::FaultSchedule sched;
+        sched.events.push_back(
+            {120, sim::FaultEvent::Kind::FailChannel, 0, 1, 0});
+        sched.events.push_back(
+            {300, sim::FaultEvent::Kind::RecoverChannel, 0, 1, 0});
+        sched.flaky.push_back({1, 3, 0, 0.3});
+        sched.maxErrorsPerWindow = 2;
+        sched.windowCycles = 64;
+        sched.recoveryCycles = 50;
+        sched.seedSalt = 17;
+        sim::NetworkSim s(
+            hiriseSpec(2), quickCfg(0.7),
+            std::make_shared<traffic::UniformRandom>(64));
+        s.setFaultSchedule(sched);
+        return s.run();
+    };
+    auto a = runOnce();
+    auto b = runOnce();
+    EXPECT_EQ(a.acceptedFlitsPerCycle, b.acceptedFlitsPerCycle);
+    EXPECT_EQ(a.avgLatencyCycles, b.avgLatencyCycles);
+    EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+    EXPECT_EQ(a.packetsDropped, b.packetsDropped);
+    EXPECT_EQ(a.perInputLatency, b.perInputLatency);
+}
+
+TEST(FaultSchedule, DescriptorIsCanonicalAndSaltSensitive)
+{
+    sim::FaultSchedule a;
+    a.events.push_back(
+        {10, sim::FaultEvent::Kind::FailChannel, 0, 1, 0});
+    a.flaky.push_back({1, 3, 0, 0.25});
+    sim::FaultSchedule b = a;
+    EXPECT_EQ(a.descriptor(), b.descriptor());
+    b.seedSalt = 1;
+    EXPECT_NE(a.descriptor(), b.descriptor());
+    b = a;
+    b.flaky[0].errorRate = 0.26;
+    EXPECT_NE(a.descriptor(), b.descriptor());
+}
+
+TEST(FaultScheduleDeath, ValidateRejectsBadSchedules)
+{
+    auto spec = hiriseSpec(2);
+    {
+        sim::FaultSchedule s;
+        s.events.push_back(
+            {0, sim::FaultEvent::Kind::FailChannel, 1, 1, 0});
+        EXPECT_DEATH(s.validate(spec), "bad channel");
+    }
+    {
+        sim::FaultSchedule s;
+        s.events.push_back(
+            {0, sim::FaultEvent::Kind::FailChannel, 1, 3, 2});
+        EXPECT_DEATH(s.validate(spec), "bad channel");
+    }
+    {
+        sim::FaultSchedule s;
+        s.events.push_back(
+            {0, sim::FaultEvent::Kind::FailLayer, 7, 0, 0});
+        EXPECT_DEATH(s.validate(spec), "bad layer");
+    }
+    {
+        sim::FaultSchedule s;
+        s.flaky.push_back({1, 3, 0, 1.5});
+        EXPECT_DEATH(s.validate(spec), "bad error rate");
+    }
+    {
+        sim::FaultSchedule s;
+        s.flaky.push_back({1, 3, 0, 0.5});
+        s.windowCycles = 0;
+        EXPECT_DEATH(s.validate(spec), "window");
+    }
+}
+
+TEST(FaultManager, DefaultConstructedIsInert)
+{
+    sim::FaultManager mgr;
+    EXPECT_FALSE(mgr.active());
+    EXPECT_EQ(mgr.nextEventCycle(), sim::FaultManager::kNever);
+    mgr.onFlitTransfer(3, 0); // free to call, no effect
+    EXPECT_EQ(mgr.totalLinkErrors(), 0u);
+}
+
+TEST(DegradedBound, TracksSurvivingCapacity)
+{
+    auto spec = hiriseSpec(4);
+    traffic::UniformRandom pat(spec.radix);
+    const std::uint32_t len = 4;
+    auto boundWith = [&](std::uint32_t dead_13) {
+        return sim::mwmDegradedFlitsBound(
+            spec, len, pat, 1.0,
+            [&](std::uint32_t s, std::uint32_t d) {
+                return (s == 1 && d == 3) ? spec.channels - dead_13
+                                          : spec.channels;
+            });
+    };
+    double healthy = boundWith(0);
+    EXPECT_GT(healthy, 0.0);
+    // The channel stage only adds constraints over the flat bound.
+    EXPECT_LE(healthy,
+              sim::mwmAcceptedFlitsBound(spec.radix, len, pat, 1.0) +
+                  1e-9);
+    // Monotone in failures.
+    EXPECT_LE(boundWith(2), boundWith(1) + 1e-12);
+    EXPECT_LE(boundWith(4), boundWith(2) + 1e-12);
+}
+
+TEST(DegradedBound, ZeroSurvivorsZeroesCrossLayerFlow)
+{
+    auto spec = hiriseSpec(2);
+    traffic::InterLayerOnly pat(16, 2, 1, 3);
+    double b = sim::mwmDegradedFlitsBound(
+        spec, 4, pat, 1.0,
+        [](std::uint32_t s, std::uint32_t d) {
+            return (s == 1 && d == 3) ? 0u : 2u;
+        });
+    EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(DegradedBound, MeasuredThroughputStaysBelowBound)
+{
+    // Saturated uniform traffic on a degraded fabric: the measured
+    // accepted rate must respect the degraded bound for the same
+    // surviving-channel matrix (up to finite-run noise).
+    auto spec = hiriseSpec(1);
+    sim::FaultSchedule sched;
+    sched.events.push_back(
+        {0, sim::FaultEvent::Kind::FailChannel, 0, 1, 0});
+    sched.events.push_back(
+        {0, sim::FaultEvent::Kind::FailChannel, 2, 3, 0});
+    auto pat = std::make_shared<traffic::UniformRandom>(64);
+    sim::SimConfig cfg = quickCfg(1.0, 300, 1500);
+    sim::NetworkSim s(spec, cfg, pat);
+    s.setFaultSchedule(sched);
+    auto r = s.run();
+    double bound = sim::mwmDegradedFlitsBound(
+        spec, cfg.packetLen, *pat, 1.0,
+        [](std::uint32_t s_, std::uint32_t d_) {
+            bool dead = (s_ == 0 && d_ == 1) || (s_ == 2 && d_ == 3);
+            return dead ? 0u : 1u;
+        });
+    EXPECT_GT(r.acceptedFlitsPerCycle, 0.0);
+    EXPECT_LE(r.acceptedFlitsPerCycle, bound * 1.02);
+}

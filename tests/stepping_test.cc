@@ -133,6 +133,7 @@ expectSame(const sim::SimResult &e, const sim::SimResult &d)
     EXPECT_EQ(e.packetsDelivered, d.packetsDelivered);
     EXPECT_EQ(e.inFlightAtMeasureEnd, d.inFlightAtMeasureEnd);
     EXPECT_EQ(e.latencyOverflowPackets, d.latencyOverflowPackets);
+    EXPECT_EQ(e.packetsDropped, d.packetsDropped);
     EXPECT_EQ(e.fairness, d.fairness);
     EXPECT_EQ(e.perInputLatency, d.perInputLatency);
     EXPECT_EQ(e.perInputThroughput, d.perInputThroughput);
@@ -213,6 +214,57 @@ TEST(SteppingModes, PerCycleStateMatchesUnderStepping)
                 ASSERT_EQ(pe.backlogFlits(), pd.backlogFlits())
                     << "cycle " << t << " input " << i;
             }
+        }
+    }
+}
+
+TEST(SteppingModes, BitIdenticalWithMidRunFaultSchedule)
+{
+    // Regression: the event core's idle fast-forward used to be able
+    // to jump straight over a scheduled fault's cycle, applying the
+    // event late (or never) relative to the dense core. The jump is
+    // now clamped to FaultManager::nextEventCycle(), so fail/recover
+    // events, layer loss, and flaky-link isolation windows land on
+    // exactly the same cycle in both modes — including at loads low
+    // enough that fast-forward actually engages.
+    sim::FaultSchedule sched;
+    sched.events.push_back(
+        {200, sim::FaultEvent::Kind::FailChannel, 0, 1, 0});
+    sched.events.push_back(
+        {370, sim::FaultEvent::Kind::RecoverChannel, 0, 1, 0});
+    sched.events.push_back(
+        {430, sim::FaultEvent::Kind::FailLayer, 2, 0, 0});
+    sched.events.push_back(
+        {600, sim::FaultEvent::Kind::RecoverLayer, 2, 0, 0});
+    sched.flaky.push_back({1, 3, 0, 0.4});
+    sched.maxErrorsPerWindow = 1;
+    sched.windowCycles = 32;
+    sched.recoveryCycles = 64;
+
+    for (double load : {0.02, 0.4}) {
+        for (Pat p : {Pat::Uniform, Pat::Bursty}) {
+            SCOPED_TRACE(std::string(patName(p)) + " load " +
+                         std::to_string(load));
+            sim::SimConfig cfg;
+            cfg.injectionRate = load;
+            cfg.warmupCycles = 150;
+            cfg.measureCycles = 600;
+            cfg.seed = 99;
+            cfg.denseStepping = false;
+            sim::NetworkSim ev(hiriseSpec(64), cfg,
+                               makePattern(p, 64));
+            ev.setFaultSchedule(sched);
+            cfg.denseStepping = true;
+            sim::NetworkSim de(hiriseSpec(64), cfg,
+                               makePattern(p, 64));
+            de.setFaultSchedule(sched);
+            expectSame(ev.run(), de.run());
+            EXPECT_EQ(ev.faultManager().totalLinkErrors(),
+                      de.faultManager().totalLinkErrors());
+            EXPECT_EQ(ev.faultManager().totalIsolations(),
+                      de.faultManager().totalIsolations());
+            EXPECT_EQ(ev.faultManager().totalUnisolations(),
+                      de.faultManager().totalUnisolations());
         }
     }
 }

@@ -33,7 +33,8 @@ usage(const char *argv0)
         "                (0 = shared pool default, 1 = serial)\n"
         "  --mutate M    seed an oracle bug: lrg-off-by-one |\n"
         "                clrg-halve-winner | islip-grant-ptr-stuck |\n"
-        "                pim-reuse-round-rng | wavefront-stuck-priority\n"
+        "                pim-reuse-round-rng | wavefront-stuck-priority |\n"
+        "                isolation-threshold-off-by-one\n"
         "  --expect-mismatch  exit 0 iff a mismatch WAS found\n"
         "  --no-shrink   print the raw failing config, do not shrink\n"
         "  --verbose     describe every config as it runs\n",
@@ -76,6 +77,9 @@ main(int argc, char **argv)
                 opt.mutation = check::Mutation::PimReuseRoundRng;
             } else if (m == "wavefront-stuck-priority") {
                 opt.mutation = check::Mutation::WavefrontStuckPriority;
+            } else if (m == "isolation-threshold-off-by-one") {
+                opt.mutation =
+                    check::Mutation::IsolationThresholdOffByOne;
             } else {
                 std::fprintf(stderr, "unknown mutation '%s'\n",
                              m.c_str());
