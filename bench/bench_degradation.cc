@@ -9,5 +9,7 @@ int
 main(int argc, char **argv)
 {
     using namespace hirise::harness;
-    return benchMain(argc, argv, {{"degradation", degradation}});
+    return benchMain(argc, argv,
+                     {{"degradation", degradation},
+                      {"degradation_latency", degradationLatency}});
 }

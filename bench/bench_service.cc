@@ -1,0 +1,193 @@
+/**
+ * @file
+ * google-benchmark suite for the campaign service layer
+ * (docs/SERVICE.md §Benchmark): end-to-end serving through a real
+ * daemon — unix socket, framed protocol, dispatcher thread — vs the
+ * same campaign evaluated in-process, both against a warm cache so
+ * the measured delta is pure protocol + queueing + streaming
+ * overhead. Also micro-covers the two serialization hot spots of the
+ * wire path (frame codec, canonical row formatting).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/sim_cache.hh"
+#include "svc/campaign.hh"
+#include "svc/campaign_spec.hh"
+#include "svc/client.hh"
+#include "svc/frame.hh"
+#include "svc/server.hh"
+
+using namespace hirise;
+
+namespace {
+
+svc::CampaignSpec
+benchSpec()
+{
+    svc::Json doc;
+    std::string err;
+    bool ok = svc::Json::parse(
+        R"({
+          "name": "bench",
+          "switch": {"topology": "hirise", "radix": 16, "layers": 2,
+                     "channels": 2, "arb": "clrg"},
+          "sim": {"warmup_cycles": 200, "measure_cycles": 1000,
+                  "seed": 7},
+          "pattern": {"kind": "uniform-random"},
+          "loads": [0.05, 0.1, 0.15, 0.2],
+          "seeds": [1, 2]
+        })",
+        &doc, &err);
+    svc::CampaignSpec spec;
+    if (!ok || !svc::parseCampaignSpec(doc, &spec, &err)) {
+        std::fprintf(stderr, "bench spec: %s\n", err.c_str());
+        std::abort();
+    }
+    return spec;
+}
+
+/** In-process evaluation with a warm private cache: the floor the
+ *  daemon path is compared against. */
+void
+BM_DirectRunPoints(benchmark::State &state)
+{
+    svc::CampaignSpec spec = benchSpec();
+    sim::SimCache cache(4096);
+    svc::RunCampaignOptions opt;
+    opt.cache = &cache;
+    svc::runCampaign(spec, opt); // warm the cache once
+    std::size_t rows = 0;
+    for (auto _ : state) {
+        opt.onRows = [&rows](std::size_t,
+                             std::vector<std::string> r) {
+            rows += r.size();
+        };
+        svc::CampaignOutcome out = svc::runCampaign(spec, opt);
+        benchmark::DoNotOptimize(out.pointsDone);
+    }
+    state.counters["rows"] =
+        benchmark::Counter(double(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DirectRunPoints)->Unit(benchmark::kMicrosecond);
+
+/** Full serving loop: connect, submit with streaming, drain every
+ *  row frame and the terminal frame. One daemon (and one warm cache)
+ *  serves all iterations, like production. */
+void
+BM_ServeCampaign(benchmark::State &state)
+{
+    std::string dir =
+        "/tmp/hirise_svcbench_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    sim::SimCache cache(4096);
+    svc::ServerOptions sopt;
+    sopt.socketPath = dir + "/s.sock";
+    sopt.cache = &cache;
+    svc::Server server(sopt);
+    std::string err;
+    if (!server.start(&err)) {
+        state.SkipWithError(err.c_str());
+        std::filesystem::remove_all(dir);
+        return;
+    }
+    std::thread loop([&server] { server.run(); });
+
+    svc::CampaignSpec spec = benchSpec();
+    svc::Json req = svc::Json::object();
+    req.set("op", "submit");
+    req.set("spec", spec.toJson());
+    req.set("stream", true);
+
+    auto serveOnce = [&](svc::Client &c) -> bool {
+        std::string e;
+        if (!c.send(req, &e))
+            return false;
+        svc::Json resp;
+        if (!c.recv(&resp, &e) || !resp["ok"].asBool())
+            return false;
+        std::string payload;
+        while (c.recvRaw(&payload, &e)) {
+            if (payload.rfind("{\"done\":", 0) == 0)
+                return true;
+            benchmark::DoNotOptimize(payload.data());
+        }
+        return false;
+    };
+
+    // Warm the cache (and fault in the whole path) once.
+    {
+        auto c = svc::Client::connectUnix(sopt.socketPath, &err);
+        if (!c || !serveOnce(*c)) {
+            state.SkipWithError("warmup submit failed");
+            server.shutdown();
+            loop.join();
+            std::filesystem::remove_all(dir);
+            return;
+        }
+    }
+
+    for (auto _ : state) {
+        auto c = svc::Client::connectUnix(sopt.socketPath, &err);
+        if (!c || !serveOnce(*c)) {
+            state.SkipWithError("submit failed");
+            break;
+        }
+    }
+
+    server.shutdown();
+    loop.join();
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ServeCampaign)->Unit(benchmark::kMicrosecond);
+
+/** Frame codec round trip at result-row payload sizes. */
+void
+BM_FrameCodecRoundTrip(benchmark::State &state)
+{
+    std::string payload(std::size_t(state.range(0)), 'x');
+    for (auto _ : state) {
+        std::string wire;
+        svc::frameAppend(wire, payload);
+        svc::FrameDecoder dec;
+        dec.feed(wire);
+        std::string out;
+        dec.next(&out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_FrameCodecRoundTrip)->Arg(256)->Arg(4096);
+
+/** Canonical row serialization (the per-point streaming cost). */
+void
+BM_ResultRowFormat(benchmark::State &state)
+{
+    sim::RunPoint pt{0.3, 12345};
+    sim::SimResult r{};
+    r.offeredFlitsPerCycle = 3.1999999999999997;
+    r.acceptedFlitsPerCycle = 3.2;
+    r.avgLatencyCycles = 4.714285714285714;
+    r.p99LatencyCycles = 9.0;
+    r.avgQueueingCycles = 1.25;
+    r.packetsDelivered = 128000;
+    r.inFlightAtMeasureEnd = 12;
+    r.fairness = 0.998;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        std::string row = svc::resultRow(i++ & 1023, pt, r);
+        benchmark::DoNotOptimize(row.data());
+    }
+}
+BENCHMARK(BM_ResultRowFormat);
+
+} // namespace

@@ -5,9 +5,11 @@
 # (compare against the committed file from the previous PR before
 # overwriting it).
 #
-# Two suites are recorded: bench_microperf (per-cycle simulation hot
-# path) and bench_campaign (campaign layer: thread pool, sim cache,
-# speculative saturation search).
+# Three suites are recorded: bench_microperf (per-cycle simulation
+# hot path), bench_campaign (campaign layer: thread pool, sim cache,
+# speculative saturation search), and bench_service (campaign daemon:
+# socket round-trip serving vs direct in-process evaluation, frame
+# codec, row serialization).
 #
 # The script refuses to write the output file unless the suite itself
 # was compiled Release ("hirise_build_type" custom context, from
@@ -35,12 +37,12 @@ git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target bench_microperf bench_campaign \
-    -j"$(nproc)"
+    bench_service -j"$(nproc)"
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
-for bench in bench_microperf bench_campaign; do
+for bench in bench_microperf bench_campaign bench_service; do
     "$build_dir/bench/$bench" \
         --benchmark_format=console \
         --benchmark_out="$tmp_dir/$bench.json" \
@@ -63,7 +65,7 @@ allow_debug = (os.environ.get("HIRISE_BENCH_ALLOW_DEBUG") == "1"
 
 merged = None
 debug_library = None
-for name in ("bench_microperf", "bench_campaign"):
+for name in ("bench_microperf", "bench_campaign", "bench_service"):
     path = f"{tmp_dir}/{name}.json"
     if os.path.getsize(path) == 0:
         sys.exit(f"{name}: empty result file — did a "

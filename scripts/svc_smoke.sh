@@ -1,0 +1,183 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the campaign daemon (docs/SERVICE.md), as run by
+# the CI service-smoke job. Three phases, each asserting one pillar of
+# the serving story:
+#
+#  1. warm-cache resubmission — submit the same spec twice to one
+#     daemon; the transcripts must be byte-identical and the second
+#     run >=90% cache-served (in practice 100%);
+#  2. kill -9 mid-sweep + resume — run a checkpointed sweep, SIGKILL
+#     the daemon while rows are streaming, restart it on the same
+#     cache + snapshot directories, resubmit, and require the full
+#     transcript to be byte-identical to an uninterrupted reference
+#     run (completed points come back from the disk SimCache, the
+#     in-progress point from its snapshot);
+#  3. graceful shutdown — send `shutdown` while a job is streaming;
+#     the client must still receive a terminal frame (done or
+#     cancelled, never a dropped connection) and the daemon must
+#     drain and exit 0.
+#
+# Usage: [BUILD_DIR=path] scripts/svc_smoke.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+served="$build_dir/tools/hirise_served"
+client="$build_dir/tools/campaign_client"
+spec="$repo_root/examples/campaigns/quick.json"
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+sock="$work/s.sock"
+
+start_daemon() { # args: cache-dir [extra served flags...]
+    local cache="$1"
+    shift
+    HIRISE_SIMCACHE_DIR="$cache" \
+        "$served" --socket "$sock" "$@" >"$work/served.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 1 100); do
+        [ -S "$sock" ] && return 0
+        kill -0 "$daemon_pid" 2>/dev/null || {
+            echo "daemon died at startup:" >&2
+            cat "$work/served.log" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    echo "daemon socket never appeared" >&2
+    exit 1
+}
+
+stop_daemon() {
+    [ -n "$daemon_pid" ] || return 0
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+    rm -f "$sock"
+}
+
+hit_rate_of() { # args: client stderr file
+    sed -n 's/.*hit_rate=\([0-9.]*\)%.*/\1/p' "$1" | tail -1
+}
+
+echo "== phase 1: warm-cache resubmission =================================="
+start_daemon "$work/cache1"
+"$client" --socket "$sock" submit "$spec" \
+    >"$work/run1.jsonl" 2>"$work/run1.err"
+"$client" --socket "$sock" submit "$spec" \
+    >"$work/run2.jsonl" 2>"$work/run2.err"
+cat "$work/run1.err" "$work/run2.err"
+
+cmp "$work/run1.jsonl" "$work/run2.jsonl" || {
+    echo "FAIL: resubmission transcript differs" >&2
+    exit 1
+}
+[ -s "$work/run1.jsonl" ] || {
+    echo "FAIL: empty transcript" >&2
+    exit 1
+}
+rate="$(hit_rate_of "$work/run2.err")"
+awk -v r="${rate:-0}" 'BEGIN { exit !(r >= 90.0) }' || {
+    echo "FAIL: warm resubmission hit rate ${rate:-none}% < 90%" >&2
+    exit 1
+}
+echo "ok: byte-identical transcripts, warm hit rate ${rate}%"
+stop_daemon
+
+echo "== phase 2: kill -9 mid-sweep, restart, resume ======================="
+# Checkpointed long-ish sweep: enough cycles per point that the kill
+# lands mid-run, small enough to stay CI-friendly.
+ckpt_args=(-o checkpoint_cycles=1000 -o sim.measure_cycles=60000
+           -o seeds='[1,2,3,4]')
+
+# --shard 1 streams row by row, so the kill below lands with most of
+# the sweep still outstanding (sharding never changes the bytes, only
+# when they flush — the cmp against this reference proves that too).
+start_daemon "$work/cache-ref" --snapshot-dir "$work/snap-ref" --shard 1
+"$client" --socket "$sock" submit "$spec" "${ckpt_args[@]}" \
+    >"$work/ref.jsonl" 2>"$work/ref.err"
+cat "$work/ref.err"
+stop_daemon
+
+# Interrupted run: SIGKILL the daemon once the first rows streamed.
+start_daemon "$work/cache-kill" --snapshot-dir "$work/snap-kill" --shard 1
+"$client" --socket "$sock" submit "$spec" "${ckpt_args[@]}" \
+    >"$work/part.jsonl" 2>"$work/part.err" &
+client_pid=$!
+for _ in $(seq 1 300); do
+    [ -s "$work/part.jsonl" ] && break
+    sleep 0.1
+done
+[ -s "$work/part.jsonl" ] || {
+    echo "FAIL: no rows streamed before the kill window" >&2
+    exit 1
+}
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+wait "$client_pid" 2>/dev/null || true # client sees the dead socket
+rm -f "$sock"
+
+# Restart on the same cache + snapshot dirs; resubmit; the complete
+# transcript must equal the uninterrupted reference byte for byte.
+start_daemon "$work/cache-kill" --snapshot-dir "$work/snap-kill"
+"$client" --socket "$sock" submit "$spec" "${ckpt_args[@]}" \
+    >"$work/resumed.jsonl" 2>"$work/resumed.err"
+cat "$work/resumed.err"
+cmp "$work/ref.jsonl" "$work/resumed.jsonl" || {
+    echo "FAIL: resumed transcript differs from uninterrupted run" >&2
+    diff "$work/ref.jsonl" "$work/resumed.jsonl" | head >&2 || true
+    exit 1
+}
+# The restart must have reused prior work (disk cache and/or
+# snapshot): the resumed run may not recompute everything cold.
+hits="$(sed -n 's/.*hits=\([0-9]*\).*/\1/p' "$work/resumed.err" | tail -1)"
+[ "${hits:-0}" -gt 0 ] || {
+    echo "FAIL: resumed run had zero cache hits (recomputed cold)" >&2
+    exit 1
+}
+echo "ok: resumed transcript byte-identical, $hits points cache-served"
+stop_daemon
+
+echo "== phase 3: graceful shutdown drains ================================="
+start_daemon "$work/cache3" --snapshot-dir "$work/snap3"
+"$client" --socket "$sock" submit "$spec" "${ckpt_args[@]}" \
+    >"$work/drain.jsonl" 2>"$work/drain.err" &
+client_pid=$!
+sleep 0.5
+"$client" --socket "$sock" shutdown
+set +e
+wait "$client_pid"
+client_rc=$?
+wait "$daemon_pid"
+daemon_rc=$?
+set -e
+daemon_pid=""
+cat "$work/drain.err"
+# rc 0 = job finished before the drain, rc 3 = cancelled mid-sweep;
+# both mean a terminal frame arrived. rc 1 = connection dropped with
+# no terminal frame, which is exactly the bug this phase exists for.
+if [ "$client_rc" != 0 ] && [ "$client_rc" != 3 ]; then
+    echo "FAIL: client rc=$client_rc (no terminal frame on shutdown)" >&2
+    exit 1
+fi
+if [ "$daemon_rc" != 0 ]; then
+    echo "FAIL: daemon exited $daemon_rc after graceful shutdown" >&2
+    cat "$work/served.log" >&2
+    exit 1
+fi
+grep -q "drained, exiting" "$work/served.log" || {
+    echo "FAIL: daemon log missing drain marker" >&2
+    cat "$work/served.log" >&2
+    exit 1
+}
+echo "ok: client got a terminal frame (rc=$client_rc), daemon drained and exited 0"
+
+echo "service smoke: all phases passed"

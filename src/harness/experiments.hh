@@ -89,6 +89,10 @@ Table faultTolerance(const ExperimentOptions &opt);
 /** Extension: closed-loop throughput vs. fault-schedule channel
  *  failures, cross-checked against the degraded MWM fluid bound. */
 Table degradation(const ExperimentOptions &opt);
+/** Companion curve family: avg/p99 packet latency for the same
+ *  failed-channel scenarios across sub-saturation offered loads
+ *  (E-A6 extension, EXPERIMENTS.md). */
+Table degradationLatency(const ExperimentOptions &opt);
 /** Section VI-E: kilo-core mesh of Hi-Rise switches vs 2D routers. */
 Table kiloCore(const ExperimentOptions &opt);
 /** Section VI-E discussion: energy/latency vs mesh and flattened

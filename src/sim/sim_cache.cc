@@ -1,5 +1,10 @@
 #include "sim/sim_cache.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -18,6 +23,56 @@ namespace hirise::sim {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x48525343; // "HRSC"
+
+/** Disk writes between store()-driven eviction attempts. */
+constexpr std::uint32_t kEvictEvery = 32;
+
+/** A *.tmp.* file this much older than the newest record is a
+ *  crashed writer's leftover; the eviction pass deletes it. */
+constexpr double kStaleTmpSeconds = 300.0;
+
+/**
+ * Scoped flock(2) on <dir>/.lock. Each instance opens its own file
+ * descriptor: flock locks belong to the open file description, so a
+ * shared fd would make a second lock call from another thread
+ * *convert* the first lock instead of contending with it. Separate
+ * fds give real mutual exclusion both across processes and across
+ * threads of one process (tests/sim_cache_test.cc races two threads
+ * through here). The lock dies with the fd — and with the process —
+ * so a crash can never leave the directory wedged.
+ */
+class DirLock
+{
+  public:
+    DirLock(const std::string &dir, int op)
+    {
+        std::string path = dir + "/.lock";
+        fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                     0644);
+        if (fd_ < 0)
+            return;
+        if (::flock(fd_, op) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~DirLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    DirLock(const DirLock &) = delete;
+    DirLock &operator=(const DirLock &) = delete;
+
+    bool held() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
 
 class Fnv1a
 {
@@ -85,9 +140,10 @@ struct RecordHeader
 } // namespace
 
 SimCache::SimCache(std::size_t capacity, std::string disk_dir,
-                   std::uint32_t version)
+                   std::uint32_t version,
+                   std::uint64_t disk_cap_bytes)
     : capacity_(capacity ? capacity : 1), diskDir_(std::move(disk_dir)),
-      version_(version)
+      version_(version), diskCapBytes_(disk_cap_bytes)
 {
     if (!diskDir_.empty()) {
         std::error_code ec;
@@ -272,8 +328,73 @@ SimCache::readDisk(std::uint64_t key, SimResult *out) const
     return true;
 }
 
+bool
+SimCache::evictDisk(bool wait)
+{
+    if (!diskEnabled() || diskCapBytes_ == 0)
+        return false;
+    DirLock lock(diskDir_, LOCK_EX | (wait ? 0 : LOCK_NB));
+    if (!lock.held())
+        return false; // another process is already evicting
+
+    namespace fs = std::filesystem;
+    struct Rec
+    {
+        fs::path path;
+        fs::file_time_type mtime;
+        std::uint64_t size;
+    };
+    std::vector<Rec> recs;
+    std::uint64_t total = 0;
+    fs::file_time_type newest{};
+    std::error_code ec;
+    for (const auto &ent : fs::directory_iterator(diskDir_, ec)) {
+        const fs::path &p = ent.path();
+        std::string name = p.filename().string();
+        fs::file_time_type mt = ent.last_write_time(ec);
+        if (ec)
+            continue;
+        if (name.size() > 7 &&
+            name.compare(name.size() - 7, 7, ".simres") == 0) {
+            std::uint64_t sz = ent.file_size(ec);
+            if (ec)
+                continue;
+            recs.push_back({p, mt, sz});
+            total += sz;
+            newest = std::max(newest, mt);
+        } else if (name.find(".tmp.") != std::string::npos) {
+            // Crashed writer's leftover — but only when clearly old:
+            // a live writer holds the shared lock, so we can't be
+            // racing one here, yet clock skew across hosts on shared
+            // storage still warrants the age margin.
+            auto age = std::chrono::duration_cast<
+                std::chrono::duration<double>>(
+                fs::file_time_type::clock::now() - mt);
+            if (age.count() > kStaleTmpSeconds)
+                fs::remove(p, ec);
+        }
+    }
+    (void)newest;
+    if (total <= diskCapBytes_)
+        return true;
+
+    // Oldest-first, down to ~80% of the cap (hysteresis).
+    std::sort(recs.begin(), recs.end(),
+              [](const Rec &a, const Rec &b) {
+                  return a.mtime < b.mtime;
+              });
+    std::uint64_t target = diskCapBytes_ - diskCapBytes_ / 5;
+    for (const Rec &r : recs) {
+        if (total <= target)
+            break;
+        if (fs::remove(r.path, ec))
+            total -= r.size;
+    }
+    return true;
+}
+
 void
-SimCache::writeDisk(std::uint64_t key, const SimResult &r) const
+SimCache::writeDisk(std::uint64_t key, const SimResult &r)
 {
     RecordHeader hdr{};
     hdr.magic = kMagic;
@@ -296,32 +417,52 @@ SimCache::writeDisk(std::uint64_t key, const SimResult &r) const
 
     // Atomic publish: concurrent writers of the same key race
     // harmlessly (identical contents), readers only ever see a
-    // complete record.
-    std::string path = recordPath(key);
-    std::string tmp = path + ".tmp." +
-                      std::to_string(static_cast<unsigned long long>(
-                          std::hash<std::thread::id>{}(
-                              std::this_thread::get_id())));
+    // complete record. The shared directory lock excludes the
+    // eviction pass (exclusive) for the whole temp-write + rename
+    // window, so an evictor can never delete the temp file or
+    // misjudge the record mid-publish; writers do not exclude each
+    // other.
     {
-        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-        if (!f)
-            return;
-        f.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
-        f.write(reinterpret_cast<const char *>(
-                    r.perInputLatency.data()),
-                static_cast<std::streamsize>(r.perInputLatency.size() *
-                                             sizeof(double)));
-        f.write(reinterpret_cast<const char *>(
-                    r.perInputThroughput.data()),
-                static_cast<std::streamsize>(
-                    r.perInputThroughput.size() * sizeof(double)));
-        if (!f)
-            return;
+        DirLock lock(diskDir_, LOCK_SH);
+        std::string path = recordPath(key);
+        std::string tmp =
+            path + ".tmp." +
+            std::to_string(static_cast<unsigned long long>(
+                std::hash<std::thread::id>{}(
+                    std::this_thread::get_id())));
+        {
+            std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+            if (!f)
+                return;
+            f.write(reinterpret_cast<const char *>(&hdr),
+                    sizeof(hdr));
+            f.write(reinterpret_cast<const char *>(
+                        r.perInputLatency.data()),
+                    static_cast<std::streamsize>(
+                        r.perInputLatency.size() * sizeof(double)));
+            f.write(reinterpret_cast<const char *>(
+                        r.perInputThroughput.data()),
+                    static_cast<std::streamsize>(
+                        r.perInputThroughput.size() *
+                        sizeof(double)));
+            if (!f)
+                return;
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec);
+        if (ec)
+            std::filesystem::remove(tmp, ec);
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec)
-        std::filesystem::remove(tmp, ec);
+
+    // Pace the cap check; runs with the shared lock released (the
+    // pass takes the exclusive lock on its own fd).
+    if (diskCapBytes_ != 0 &&
+        storesSinceEvict_.fetch_add(1, std::memory_order_relaxed) +
+                1 >=
+            kEvictEvery) {
+        storesSinceEvict_.store(0, std::memory_order_relaxed);
+        evictDisk(false);
+    }
 }
 
 namespace {
@@ -344,12 +485,24 @@ envDiskDir()
     return dir ? dir : "";
 }
 
+std::uint64_t
+envDiskCap()
+{
+    if (const char *env = std::getenv("HIRISE_SIMCACHE_DISK_CAP")) {
+        long long n = std::strtoll(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<std::uint64_t>(n);
+    }
+    return 0;
+}
+
 } // namespace
 
 SimCache &
 SimCache::global()
 {
-    static SimCache cache(envCapacity(), envDiskDir());
+    static SimCache cache(envCapacity(), envDiskDir(),
+                          kSimCacheVersion, envDiskCap());
     return cache;
 }
 

@@ -22,6 +22,7 @@
 #ifndef HIRISE_SIM_SIM_CACHE_HH
 #define HIRISE_SIM_SIM_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -71,10 +72,13 @@ class SimCache
      * @param disk_dir  directory for the on-disk tier ("" = disabled)
      * @param version   record version tag (tests override to exercise
      *                  invalidation; production uses kSimCacheVersion)
+     * @param disk_cap_bytes  soft size cap for the disk tier (0 =
+     *                  unbounded); see evictDisk()
      */
     explicit SimCache(std::size_t capacity = 4096,
                       std::string disk_dir = {},
-                      std::uint32_t version = kSimCacheVersion);
+                      std::uint32_t version = kSimCacheVersion,
+                      std::uint64_t disk_cap_bytes = 0);
 
     /** Stable content hash of one simulation point. Includes every
      *  SwitchSpec and SimConfig field (seed included) plus the
@@ -99,16 +103,43 @@ class SimCache
 
     bool diskEnabled() const { return !diskDir_.empty(); }
     const std::string &diskDir() const { return diskDir_; }
+    std::uint64_t diskCapBytes() const { return diskCapBytes_; }
     std::size_t size() const;
 
+    /**
+     * Size-cap eviction pass over the disk tier, safe against
+     * concurrent daemons and batch harnesses sharing the directory:
+     *
+     *  - the pass runs under an exclusive flock(2) on <dir>/.lock,
+     *    while every record publish holds a shared lock, so a record
+     *    is never deleted between its temp write and its rename;
+     *  - flock evaporates with the owning process, so a crash mid-
+     *    pass can never wedge the directory (no stale-lockfile
+     *    deadlock), and a partial pass just leaves extra records;
+     *  - stale *.tmp.* files (crashed writers) older than a few
+     *    minutes are garbage-collected;
+     *  - records are deleted oldest-mtime-first until the tier is
+     *    under ~80% of the cap (hysteresis so back-to-back stores do
+     *    not rescan every time).
+     *
+     * store() triggers this automatically every few disk writes when
+     * a cap is set. @p wait selects a blocking lock (tests / explicit
+     * maintenance); the store()-driven passes use a non-blocking
+     * attempt and simply skip when another process is already
+     * evicting. Returns false when the lock was busy (wait=false) or
+     * the tier is disabled/uncapped.
+     */
+    bool evictDisk(bool wait);
+
     /** Process-wide cache: capacity from HIRISE_SIMCACHE_CAP (default
-     *  4096), disk tier iff HIRISE_SIMCACHE_DIR is set. */
+     *  4096), disk tier iff HIRISE_SIMCACHE_DIR is set, disk cap from
+     *  HIRISE_SIMCACHE_DISK_CAP (bytes, 0/unset = unbounded). */
     static SimCache &global();
 
   private:
     std::string recordPath(std::uint64_t key) const;
     bool readDisk(std::uint64_t key, SimResult *out) const;
-    void writeDisk(std::uint64_t key, const SimResult &r) const;
+    void writeDisk(std::uint64_t key, const SimResult &r);
     void insertLocked(std::uint64_t key, const SimResult &r);
 
     using LruList = std::list<std::pair<std::uint64_t, SimResult>>;
@@ -117,6 +148,10 @@ class SimCache
     std::size_t capacity_;
     std::string diskDir_;
     std::uint32_t version_;
+    std::uint64_t diskCapBytes_ = 0;
+    /** Disk writes since the last store()-driven eviction attempt;
+     *  relaxed counter, approximate pacing is fine. */
+    std::atomic<std::uint32_t> storesSinceEvict_{0};
     LruList lru_; //!< front = most recently used
     std::unordered_map<std::uint64_t, LruList::iterator> index_;
     Stats stats_;

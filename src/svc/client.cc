@@ -1,0 +1,138 @@
+#include "svc/client.hh"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hirise::svc {
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::unique_ptr<Client>
+Client::connectUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "bad socket path: " + path;
+        return nullptr;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return nullptr;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = "connect(" + path + "): " + std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<Client>(new Client(fd));
+}
+
+std::unique_ptr<Client>
+Client::connectTcp(int port, std::string *err)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return nullptr;
+    }
+    sockaddr_in in{};
+    in.sin_family = AF_INET;
+    in.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    in.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&in),
+                  sizeof(in)) != 0) {
+        if (err)
+            *err = "connect(127.0.0.1:" + std::to_string(port) +
+                   "): " + std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<Client>(new Client(fd));
+}
+
+bool
+Client::send(const Json &req, std::string *err)
+{
+    std::string bytes = frameEncode(req.dump());
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + off,
+                           bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += std::size_t(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (err)
+            *err = std::string("send: ") + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::recvRaw(std::string *payload, std::string *err)
+{
+    char buf[65536];
+    while (!dec_.next(payload)) {
+        if (dec_.error()) {
+            if (err)
+                *err = "framing error (oversized frame)";
+            return false;
+        }
+        ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+            dec_.feed(buf, std::size_t(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (err)
+            *err = n == 0 ? "connection closed"
+                          : std::string("read: ") +
+                                std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::recv(Json *out, std::string *err)
+{
+    std::string payload;
+    if (!recvRaw(&payload, err))
+        return false;
+    std::string perr;
+    if (!Json::parse(payload, out, &perr)) {
+        if (err)
+            *err = "bad frame from daemon: " + perr;
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::request(const Json &req, Json *resp, std::string *err)
+{
+    return send(req, err) && recv(resp, err);
+}
+
+} // namespace hirise::svc

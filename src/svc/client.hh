@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Blocking client connection to a campaign daemon (svc/server.hh):
+ * connect over the unix socket (or loopback TCP), exchange framed
+ * JSON requests/responses, and iterate streamed result-row frames.
+ * Used by tools/campaign_client, the service tests, and the serving
+ * benchmark; recvRaw() exposes the exact payload bytes so callers can
+ * assert the byte-identity contract, not a reparse of it.
+ */
+
+#ifndef HIRISE_SVC_CLIENT_HH
+#define HIRISE_SVC_CLIENT_HH
+
+#include <memory>
+#include <string>
+
+#include "svc/frame.hh"
+#include "svc/json.hh"
+
+namespace hirise::svc {
+
+class Client
+{
+  public:
+    ~Client();
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to a daemon's unix socket. Null + *err on failure. */
+    static std::unique_ptr<Client>
+    connectUnix(const std::string &path, std::string *err);
+
+    /** Connect to a daemon's loopback TCP port. */
+    static std::unique_ptr<Client> connectTcp(int port,
+                                              std::string *err);
+
+    /** Send one framed JSON request. */
+    bool send(const Json &req, std::string *err);
+
+    /** Block for the next frame's raw payload bytes. False on
+     *  connection close or error. */
+    bool recvRaw(std::string *payload, std::string *err);
+
+    /** Block for the next frame, parsed. */
+    bool recv(Json *out, std::string *err);
+
+    /** send() + recv() convenience for single-response ops. */
+    bool request(const Json &req, Json *resp, std::string *err);
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_;
+    FrameDecoder dec_;
+};
+
+} // namespace hirise::svc
+
+#endif // HIRISE_SVC_CLIENT_HH

@@ -1,0 +1,71 @@
+#include "svc/frame.hh"
+
+#include <cstring>
+
+namespace hirise::svc {
+
+bool
+frameAppend(std::string &out, std::string_view payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    auto n = static_cast<std::uint32_t>(payload.size());
+    char hdr[4] = {
+        static_cast<char>(n & 0xff),
+        static_cast<char>((n >> 8) & 0xff),
+        static_cast<char>((n >> 16) & 0xff),
+        static_cast<char>((n >> 24) & 0xff),
+    };
+    out.append(hdr, 4);
+    out.append(payload.data(), payload.size());
+    return true;
+}
+
+std::string
+frameEncode(std::string_view payload)
+{
+    std::string out;
+    frameAppend(out, payload);
+    return out;
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t n)
+{
+    if (error_ || n == 0)
+        return;
+    // Compact the consumed prefix before growing (bounded memory even
+    // on long-lived connections).
+    if (off_ > 0 && (off_ >= buf_.size() || off_ > 4096)) {
+        buf_.erase(0, off_);
+        off_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+bool
+FrameDecoder::next(std::string *out)
+{
+    if (error_)
+        return false;
+    std::size_t avail = buf_.size() - off_;
+    if (avail < 4)
+        return false;
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(buf_.data() + off_);
+    std::uint32_t len = std::uint32_t(p[0]) |
+                        (std::uint32_t(p[1]) << 8) |
+                        (std::uint32_t(p[2]) << 16) |
+                        (std::uint32_t(p[3]) << 24);
+    if (len > maxFrame_) {
+        error_ = true;
+        return false;
+    }
+    if (avail < 4 + std::size_t(len))
+        return false;
+    out->assign(buf_.data() + off_ + 4, len);
+    off_ += 4 + std::size_t(len);
+    return true;
+}
+
+} // namespace hirise::svc

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Length-framed message codec for the campaign service wire protocol
+ * (docs/SERVICE.md). A frame is
+ *
+ *   u32 little-endian payload length | payload bytes
+ *
+ * where the payload is one JSON document ("length-framed JSONL": one
+ * logical line per frame, framed so the stream never needs to scan
+ * for newlines or worry about embedded ones). The decoder is
+ * incremental — feed() arbitrary chunks, next() pops complete frames
+ * — and treats the peer as untrusted: a declared length above the
+ * limit poisons the stream (error(), no allocation of the bogus
+ * size), and a truncated tail simply never completes a frame.
+ */
+
+#ifndef HIRISE_SVC_FRAME_HH
+#define HIRISE_SVC_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hirise::svc {
+
+/** Hard ceiling on one frame's payload. Generous for result rows and
+ *  campaign specs (both ~KBs); small enough that a malicious length
+ *  prefix cannot balloon server memory. */
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/** Append the framed encoding of @p payload to @p out. Payloads over
+ *  kMaxFrameBytes are refused (returns false, @p out untouched). */
+bool frameAppend(std::string &out, std::string_view payload);
+
+/** Convenience: the framed encoding of @p payload (empty string when
+ *  over the limit — callers frame only self-produced payloads). */
+std::string frameEncode(std::string_view payload);
+
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(std::uint32_t max_frame = kMaxFrameBytes)
+        : maxFrame_(max_frame)
+    {}
+
+    /** Buffer @p n more stream bytes. No-op once in the error state. */
+    void feed(const char *data, std::size_t n);
+    void
+    feed(std::string_view data)
+    {
+        feed(data.data(), data.size());
+    }
+
+    /** Pop the next complete frame payload into @p out. False when no
+     *  complete frame is buffered (or the stream is poisoned). */
+    bool next(std::string *out);
+
+    /** True once an oversized length prefix was seen; the connection
+     *  must be dropped (resynchronization is impossible). */
+    bool error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (diagnostics/tests). */
+    std::size_t buffered() const { return buf_.size() - off_; }
+
+  private:
+    std::uint32_t maxFrame_;
+    std::string buf_;
+    std::size_t off_ = 0; //!< consumed prefix of buf_
+    bool error_ = false;
+};
+
+} // namespace hirise::svc
+
+#endif // HIRISE_SVC_FRAME_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The campaign daemon: a poll()-based event loop accepting framed
+ * JSON requests (svc/frame.hh, docs/SERVICE.md) over a unix socket
+ * (and optionally loopback TCP), backed by one dispatcher thread that
+ * runs submitted campaigns FIFO through svc::runCampaign — so the
+ * SimCache and the global ThreadPool stay warm across requests, and
+ * identical resubmissions are served almost entirely from cache.
+ *
+ * Ops: submit (validate + enqueue a campaign; optionally stream its
+ * rows on this connection), results (replay/follow a job's rows),
+ * status (job table + service metrics), cancel, ping, shutdown
+ * (graceful: stop accepting, drain in-flight points, cancel the
+ * queue, flush, exit).
+ *
+ * Threading: the event-loop thread owns every socket; the dispatcher
+ * thread owns simulation. They meet at jobs' row vectors (mutex) and
+ * a self-pipe the dispatcher pokes to wake the loop for streaming.
+ * A signal handler may write the byte 'Q' to wakeFd() — the only
+ * async-signal-safe entry point — to request graceful shutdown.
+ */
+
+#ifndef HIRISE_SVC_SERVER_HH
+#define HIRISE_SVC_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/sim_cache.hh"
+#include "svc/campaign.hh"
+#include "svc/frame.hh"
+
+namespace hirise::svc {
+
+struct ServerOptions
+{
+    /** Unix socket path (required). An existing socket file is
+     *  replaced — run one daemon per path. */
+    std::string socketPath;
+    /** Loopback TCP port; 0 disables TCP, -1 binds an ephemeral port
+     *  (see port()). */
+    int tcpPort = 0;
+    /** Result cache (null = SimCache::global()). */
+    sim::SimCache *cache = nullptr;
+    /** Directory for per-point checkpoint snapshots ("" disables the
+     *  checkpointed path even when specs request it). */
+    std::string snapshotDir;
+    /** Streaming shard size (0 = runCampaign default). */
+    std::size_t shardPoints = 0;
+    /** Submissions rejected once this many jobs are queued. */
+    std::size_t maxQueuedJobs = 64;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opt);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind sockets and start the dispatcher. False + *err when a
+     *  socket cannot be set up (nothing is left half-open). */
+    bool start(std::string *err);
+
+    /** Event loop; returns after a graceful shutdown completes. */
+    void run();
+
+    /** Thread-safe graceful-shutdown request (tests / other threads).
+     *  Signal handlers must instead write(wakeFd(), "Q", 1). */
+    void shutdown();
+
+    /** Write end of the self-pipe. Writing 'Q' requests graceful
+     *  shutdown; any other byte just wakes the loop. */
+    int wakeFd() const { return wakeW_; }
+
+    /** Actual TCP port (after start(); 0 when TCP is disabled). */
+    int port() const { return tcpPort_; }
+
+    const std::string &socketPath() const { return opt_.socketPath; }
+
+  private:
+    struct Job
+    {
+        enum class State
+        {
+            Queued,
+            Running,
+            Done,
+            Cancelled,
+            Failed,
+        };
+
+        std::string id;
+        CampaignSpec spec;
+        State state = State::Queued; //!< guarded by Server::mu_
+        std::vector<std::string> rows; //!< guarded by Server::mu_
+        std::size_t pointsTotal = 0;
+        std::size_t pointsDone = 0; //!< guarded by Server::mu_
+        std::atomic<bool> cancel{false};
+        sim::SimCache::Stats cacheDelta; //!< set when terminal
+        std::string error;
+    };
+
+    struct Conn
+    {
+        int fd = -1;
+        FrameDecoder dec;
+        std::string out; //!< bytes pending write
+        std::shared_ptr<Job> sub; //!< job being streamed (or null)
+        std::size_t subNext = 0;  //!< next row index to stream
+        bool closing = false; //!< close once out drains
+    };
+
+    static const char *stateName(Job::State s);
+
+    void dispatcherLoop();
+    void wake();
+
+    void handleFrame(Conn &c, const std::string &payload);
+    void opSubmit(Conn &c, const Json &req);
+    void opResults(Conn &c, const Json &req);
+    void opStatus(Conn &c);
+    void opCancel(Conn &c, const Json &req);
+    void reply(Conn &c, const Json &resp);
+    void sendRaw(Conn &c, std::string_view payload);
+
+    /** Stream newly available rows (and terminal frames) to every
+     *  subscribed connection, respecting the output soft cap. */
+    void pumpSubscriptions();
+    void pumpConn(Conn &c);
+
+    std::shared_ptr<Job> findJob(const std::string &id);
+    void beginShutdown();
+    void updateQueueMetrics();
+
+    ServerOptions opt_;
+    int tcpPort_ = 0;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    int wakeR_ = -1;
+    int wakeW_ = -1;
+
+    std::vector<std::unique_ptr<Conn>> conns_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::vector<std::shared_ptr<Job>> jobs_; //!< submission order
+    std::shared_ptr<Job> running_;
+    std::uint64_t nextSeq_ = 1;
+    /** Written under mu_ (condition-variable correctness), read
+     *  lock-free from the cancel callback — hence atomic. */
+    std::atomic<bool> stopDispatcher_{false};
+
+    std::atomic<bool> shutdownReq_{false};
+    bool draining_ = false; //!< event loop: shutdown in progress
+    std::atomic<bool> dispatcherIdle_{true};
+
+    std::thread dispatcher_;
+    bool started_ = false;
+};
+
+} // namespace hirise::svc
+
+#endif // HIRISE_SVC_SERVER_HH

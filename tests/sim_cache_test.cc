@@ -6,10 +6,14 @@
  * version-tag invalidation of stale disk records.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -269,6 +273,122 @@ TEST(RunAtLoadCached, SecondCallIsServedFromCache)
     // And the cached value matches an uncached run exactly.
     auto fresh = sim::runAtLoad(spec, cfg, uniformFactory(16), 0.2);
     expectSameResult(r2, fresh);
+}
+
+TEST(SimCacheDisk, EvictionEnforcesSizeCap)
+{
+    std::string dir = scratchDir("evict");
+    // ~200 bytes per record; cap at roughly 5 records' worth.
+    sim::SimCache cache(4, dir, sim::kSimCacheVersion, 1000);
+    ASSERT_TRUE(cache.diskEnabled());
+    for (std::uint64_t k = 1; k <= 40; ++k)
+        cache.store(k, makeResult(0.01 * double(k)));
+    ASSERT_TRUE(cache.evictDisk(/*wait=*/true));
+
+    std::uint64_t total = 0;
+    std::size_t records = 0;
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        if (ent.path().extension() == ".simres") {
+            total += ent.file_size();
+            ++records;
+        }
+    }
+    EXPECT_LE(total, 1000u);
+    EXPECT_GT(records, 0u); // eviction trims, never empties
+
+    // Survivors still read back intact through a fresh instance.
+    sim::SimCache reader(4, dir, sim::kSimCacheVersion, 1000);
+    std::size_t readable = 0;
+    for (std::uint64_t k = 1; k <= 40; ++k) {
+        sim::SimResult out;
+        if (reader.lookup(k, &out)) {
+            expectSameResult(out, makeResult(0.01 * double(k)));
+            ++readable;
+        }
+    }
+    EXPECT_EQ(readable, records);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SimCacheDisk, StaleTmpFilesAreCollected)
+{
+    std::string dir = scratchDir("tmpgc");
+    sim::SimCache cache(4, dir, sim::kSimCacheVersion, 1 << 20);
+    cache.store(1, makeResult(0.5));
+
+    // A crashed writer's leftover, backdated past the GC threshold.
+    std::string stale = dir + "/00000000000000ff.simres.tmp.123";
+    {
+        std::ofstream f(stale, std::ios::binary);
+        f << "partial";
+    }
+    std::filesystem::last_write_time(
+        stale, std::filesystem::file_time_type::clock::now() -
+                   std::chrono::hours(1));
+    // A fresh one must survive (it could be a live writer's).
+    std::string fresh = dir + "/00000000000000fe.simres.tmp.456";
+    {
+        std::ofstream f(fresh, std::ios::binary);
+        f << "partial";
+    }
+
+    ASSERT_TRUE(cache.evictDisk(/*wait=*/true));
+    EXPECT_FALSE(std::filesystem::exists(stale));
+    EXPECT_TRUE(std::filesystem::exists(fresh));
+    sim::SimResult out;
+    EXPECT_TRUE(cache.lookup(1, &out));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SimCacheDisk, TwoThreadsRacingTheSameKeyStayConsistent)
+{
+    // Two cache instances over one directory model two daemons
+    // sharing HIRISE_SIMCACHE_DIR: one keeps (re)storing a key and
+    // kicking eviction passes, the other keeps reading it. Every
+    // successful read must return the exact record — never a torn or
+    // partially-evicted one. flock() locks belong to the open file
+    // description, so the two threads' separate descriptors contend
+    // exactly like two processes would.
+    std::string dir = scratchDir("race");
+    sim::SimResult want = makeResult(0.625);
+    constexpr std::uint64_t kKey = 42;
+    constexpr int kIters = 300;
+
+    std::atomic<bool> fail{false};
+    std::thread writer([&] {
+        sim::SimCache mine(2, dir, sim::kSimCacheVersion, 4096);
+        for (int i = 0; i < kIters; ++i) {
+            mine.store(kKey, want);
+            mine.evictDisk(/*wait=*/false);
+        }
+    });
+    std::thread reader([&] {
+        sim::SimCache mine(1, dir, sim::kSimCacheVersion, 4096);
+        for (int i = 0; i < kIters; ++i) {
+            // Keep a second key churning so the reader's memory tier
+            // (capacity 1) keeps dropping kKey and re-reading disk.
+            mine.store(7, makeResult(0.125));
+            sim::SimResult out;
+            if (mine.lookup(kKey, &out) &&
+                (out.acceptedFlitsPerCycle !=
+                     want.acceptedFlitsPerCycle ||
+                 out.perInputLatency != want.perInputLatency)) {
+                fail.store(true);
+                return;
+            }
+        }
+    });
+    writer.join();
+    reader.join();
+    EXPECT_FALSE(fail.load()) << "torn read under store/evict race";
+
+    // After the dust settles the record reads back exactly.
+    sim::SimCache check(2, dir, sim::kSimCacheVersion, 4096);
+    sim::SimResult out;
+    check.store(kKey, want); // re-store in case eviction removed it
+    ASSERT_TRUE(check.lookup(kKey, &out));
+    expectSameResult(out, want);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(RunAtLoadCached, DistinctPatternsDoNotCollide)

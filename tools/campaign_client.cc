@@ -1,0 +1,295 @@
+/**
+ * @file
+ * campaign_client — CLI for the campaign daemon (docs/SERVICE.md).
+ *
+ *   campaign_client submit SPEC.json [-o key.path=value]... [--detach]
+ *   campaign_client results ID [--from N]
+ *   campaign_client status
+ *   campaign_client cancel ID
+ *   campaign_client ping | shutdown
+ *
+ * submit loads the spec file (resolving includes), applies -o
+ * overrides, submits, and tails the result stream to stdout — one
+ * JSON row per line, exactly the bytes the daemon produced, so two
+ * transcripts of the same spec diff clean. --detach prints the job id
+ * and exits instead. All commands honor --socket PATH / --tcp PORT
+ * (default $HIRISE_SVC_SOCKET, else /tmp/hirise_served.sock).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "svc/campaign_spec.hh"
+#include "svc/client.hh"
+
+namespace {
+
+using hirise::svc::Client;
+using hirise::svc::Json;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: campaign_client [--socket PATH | --tcp PORT] CMD\n"
+        "  submit SPEC.json [-o key.path=value]... [--detach]\n"
+        "  results ID [--from N]\n"
+        "  status\n"
+        "  cancel ID\n"
+        "  ping\n"
+        "  shutdown\n");
+    return 2;
+}
+
+std::unique_ptr<Client>
+connect(const std::string &socketPath, int tcpPort)
+{
+    std::string err;
+    std::unique_ptr<Client> c =
+        tcpPort > 0 ? Client::connectTcp(tcpPort, &err)
+                    : Client::connectUnix(socketPath, &err);
+    if (!c)
+        std::fprintf(stderr, "campaign_client: %s\n", err.c_str());
+    return c;
+}
+
+/** Print row frames to stdout verbatim until the done frame; returns
+ *  0 when the job finished, 3 when it was cancelled or failed. */
+int
+tailStream(Client &c)
+{
+    std::string payload, err;
+    while (true) {
+        if (!c.recvRaw(&payload, &err)) {
+            std::fprintf(stderr, "campaign_client: %s\n",
+                         err.c_str());
+            return 1;
+        }
+        Json frame;
+        // Rows pass through untouched; only control frames (done /
+        // error) are interpreted, and they always parse.
+        if (payload.rfind("{\"done\":", 0) == 0 &&
+            Json::parse(payload, &frame) &&
+            frame["done"].asBool()) {
+            const std::string &state = frame["state"].asString();
+            std::fprintf(
+                stderr,
+                "campaign_client: %s rows=%.0f hits=%.0f "
+                "misses=%.0f hit_rate=%.1f%%\n",
+                state.c_str(), frame["rows"].asNumber(),
+                frame["cache_hits"].asNumber(),
+                frame["cache_misses"].asNumber(),
+                100.0 * frame["hit_rate"].asNumber());
+            return state == "done" ? 0 : 3;
+        }
+        std::fwrite(payload.data(), 1, payload.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    }
+}
+
+int
+cmdSubmit(Client &c, const std::string &file,
+          const std::vector<std::string> &overrides, bool detach)
+{
+    Json doc;
+    std::string err;
+    if (!hirise::svc::loadSpecFile(file, &doc, &err)) {
+        std::fprintf(stderr, "campaign_client: %s\n", err.c_str());
+        return 1;
+    }
+    for (const std::string &o : overrides) {
+        if (!hirise::svc::applySpecOverride(&doc, o, &err)) {
+            std::fprintf(stderr, "campaign_client: -o %s: %s\n",
+                         o.c_str(), err.c_str());
+            return 1;
+        }
+    }
+    // Validate locally first: a clean error beats a daemon round
+    // trip, and the daemon applies the identical rules.
+    hirise::svc::CampaignSpec spec;
+    if (!hirise::svc::parseCampaignSpec(doc, &spec, &err)) {
+        std::fprintf(stderr, "campaign_client: %s: %s\n",
+                     file.c_str(), err.c_str());
+        return 1;
+    }
+
+    Json req = Json::object();
+    req.set("op", "submit");
+    req.set("spec", doc);
+    req.set("stream", !detach);
+    Json resp;
+    if (!c.request(req, &resp, &err)) {
+        std::fprintf(stderr, "campaign_client: %s\n", err.c_str());
+        return 1;
+    }
+    if (!resp["ok"].asBool()) {
+        std::fprintf(stderr, "campaign_client: %s\n",
+                     resp["error"].asString().c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "campaign_client: job %s (%.0f points)\n",
+                 resp["id"].asString().c_str(),
+                 resp["points"].asNumber());
+    if (detach) {
+        std::printf("%s\n", resp["id"].asString().c_str());
+        return 0;
+    }
+    return tailStream(c);
+}
+
+int
+cmdResults(Client &c, const std::string &id, double from)
+{
+    Json req = Json::object();
+    req.set("op", "results");
+    req.set("id", id);
+    if (from > 0)
+        req.set("from", from);
+    Json resp;
+    std::string err;
+    if (!c.request(req, &resp, &err)) {
+        std::fprintf(stderr, "campaign_client: %s\n", err.c_str());
+        return 1;
+    }
+    if (!resp["ok"].asBool()) {
+        std::fprintf(stderr, "campaign_client: %s\n",
+                     resp["error"].asString().c_str());
+        return 1;
+    }
+    return tailStream(c);
+}
+
+int
+cmdStatus(Client &c)
+{
+    Json req = Json::object();
+    req.set("op", "status");
+    Json resp;
+    std::string err;
+    if (!c.request(req, &resp, &err)) {
+        std::fprintf(stderr, "campaign_client: %s\n", err.c_str());
+        return 1;
+    }
+    const Json &jobs = resp["jobs"];
+    std::printf("%-22s %-10s %9s %9s %9s  %s\n", "ID", "STATE",
+                "DONE", "POINTS", "HIT%", "NAME");
+    for (const Json &j : jobs.items()) {
+        std::string hit = "-";
+        if (j.has("hit_rate")) {
+            char b[16];
+            std::snprintf(b, sizeof(b), "%.1f",
+                          100.0 * j["hit_rate"].asNumber());
+            hit = b;
+        }
+        std::printf("%-22s %-10s %9.0f %9.0f %9s  %s\n",
+                    j["id"].asString().c_str(),
+                    j["state"].asString().c_str(),
+                    j["done"].asNumber(), j["points"].asNumber(),
+                    hit.c_str(), j["name"].asString().c_str());
+    }
+    const Json &m = resp["metrics"];
+    std::printf("queue=%.0f busy=%d inflight=%.0f cache: "
+                "hits=%.0f misses=%.0f disk=%.0f hit_rate=%.1f%% "
+                "streamed=%.0fB\n",
+                m["queue_depth"].asNumber(),
+                m["worker_busy"].asBool() ? 1 : 0,
+                m["points_inflight"].asNumber(),
+                m["cache_hits"].asNumber(),
+                m["cache_misses"].asNumber(),
+                m["cache_disk_hits"].asNumber(),
+                100.0 * m["cache_hit_rate"].asNumber(),
+                m["bytes_streamed"].asNumber());
+    return 0;
+}
+
+int
+cmdSimple(Client &c, const char *op, const std::string &id)
+{
+    Json req = Json::object();
+    req.set("op", op);
+    if (!id.empty())
+        req.set("id", id);
+    Json resp;
+    std::string err;
+    if (!c.request(req, &resp, &err)) {
+        std::fprintf(stderr, "campaign_client: %s\n", err.c_str());
+        return 1;
+    }
+    if (!resp["ok"].asBool()) {
+        std::fprintf(stderr, "campaign_client: %s\n",
+                     resp["error"].asString().c_str());
+        return 1;
+    }
+    std::printf("%s\n", resp.dump().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *env = std::getenv("HIRISE_SVC_SOCKET");
+    std::string socketPath =
+        env && *env ? env : "/tmp/hirise_served.sock";
+    int tcpPort = 0;
+
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--socket" && i + 1 < argc) {
+            socketPath = argv[++i];
+        } else if (a == "--tcp" && i + 1 < argc) {
+            tcpPort = std::atoi(argv[++i]);
+        } else {
+            args.push_back(a);
+        }
+    }
+    if (args.empty())
+        return usage();
+
+    const std::string &cmd = args[0];
+    auto client = connect(socketPath, tcpPort);
+    if (!client)
+        return 1;
+
+    if (cmd == "submit") {
+        if (args.size() < 2)
+            return usage();
+        std::string file = args[1];
+        std::vector<std::string> overrides;
+        bool detach = false;
+        for (std::size_t i = 2; i < args.size(); ++i) {
+            if (args[i] == "-o" && i + 1 < args.size())
+                overrides.push_back(args[++i]);
+            else if (args[i] == "--detach")
+                detach = true;
+            else
+                return usage();
+        }
+        return cmdSubmit(*client, file, overrides, detach);
+    }
+    if (cmd == "results") {
+        if (args.size() < 2)
+            return usage();
+        double from = 0;
+        if (args.size() >= 4 && args[2] == "--from")
+            from = std::atof(args[3].c_str());
+        return cmdResults(*client, args[1], from);
+    }
+    if (cmd == "status")
+        return cmdStatus(*client);
+    if (cmd == "cancel")
+        return args.size() < 2 ? usage()
+                               : cmdSimple(*client, "cancel", args[1]);
+    if (cmd == "ping")
+        return cmdSimple(*client, "ping", "");
+    if (cmd == "shutdown")
+        return cmdSimple(*client, "shutdown", "");
+    return usage();
+}
